@@ -1,0 +1,40 @@
+// Ablation (ours): all-to-all algorithm comparison — shared-memory staged
+// exchange vs XPMEM-style direct pulls vs the cache-oblivious Morton-order
+// cooperative transpose of Li et al. [41] (cited in the paper's related
+// work).  The Morton walk helps when blocks are small enough that many
+// (src, dst) tiles share cache; direct pulls win for large blocks where
+// staging is pure overhead.
+#include "bench_util.hpp"
+#include "yhccl/coll/extra.hpp"
+
+using namespace yhccl;
+using namespace yhccl::bench;
+
+int main() {
+  const int p = bench_ranks(), m = bench_sockets();
+  auto& team = bench_team(p, m);
+  const auto sizes = default_sizes(1u << 10, 2u << 20);  // per-dest block
+  const std::size_t hi = sizes.back();
+  auto cnt = [](std::size_t b) { return std::max<std::size_t>(b / 8, 1); };
+
+  auto arm = [cnt](coll::AlltoallAlgo algo) {
+    return [cnt, algo](rt::RankCtx& c, const void* s, void* r,
+                       std::size_t b) {
+      coll::alltoall(c, s, r, cnt(b), Datatype::f64, {}, algo);
+    };
+  };
+
+  const std::vector<std::pair<std::string, CollArm>> arms = {
+      {"staged", arm(coll::AlltoallAlgo::staged)},
+      {"direct", arm(coll::AlltoallAlgo::direct)},
+      {"morton", arm(coll::AlltoallAlgo::direct_morton)},
+  };
+
+  std::printf("Ablation — alltoall algorithms (p=%d, m=%d; MsgSz = "
+              "per-destination block)\n",
+              p, m);
+  sweep(team, "alltoall (relative to staged)", arms, sizes,
+        hi * static_cast<std::size_t>(p), hi * static_cast<std::size_t>(p))
+      .print();
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Ablation (ours): synchronization primitive costs underlying the paper's
+// MA-vs-socket-aware trade-off (§3.3): per-round the flat MA pipeline pays
+// p-1 neighbour flag waits, the socket-aware variant p/m-1 waits plus node
+// barriers.  This bench measures both primitives directly at several team
+// sizes, quantifying the overhead the socket-aware design amortizes.
+#include <memory>
+
+#include "bench_util.hpp"
+#include "yhccl/runtime/sync.hpp"
+
+using namespace yhccl;
+using namespace yhccl::bench;
+
+int main() {
+  std::printf("Ablation — synchronization primitive cost\n");
+  std::printf("%-6s %18s %18s %18s\n", "p", "central-bar(us)",
+              "dissem-bar(us)", "flag-chain(us)");
+  for (int p : {2, 4, 8, 16}) {
+    auto& team = bench_team(p, 2);
+    constexpr int kIters = 400;
+    // Node barrier.
+    team.run([&](rt::RankCtx& ctx) {
+      for (int i = 0; i < kIters; ++i) ctx.barrier();
+    });
+    const double barrier_us = team.max_time() / kIters * 1e6;
+    // Dissemination barrier (log2 p rounds of pairwise signalling).
+    auto dstate = std::make_unique<rt::DisseminationBarrierState>();
+    rt::dissemination_init(*dstate, static_cast<std::uint32_t>(p));
+    team.run([&](rt::RankCtx& ctx) {
+      rt::DisseminationToken tok;
+      for (int i = 0; i < kIters; ++i)
+        rt::dissemination_arrive(*dstate, ctx.rank(), tok);
+    });
+    const double dissem_us = team.max_time() / kIters * 1e6;
+    // Neighbour flag chain (the MA pipeline's per-step sync).
+    team.run([&](rt::RankCtx& ctx) {
+      const auto seq = ctx.next_seq();
+      const int right = (ctx.rank() + 1) % ctx.nranks();
+      for (int k = 0; k < kIters; ++k) {
+        if (k > 0) ctx.step_wait(right, rt::RankCtx::step_value(seq, k));
+        ctx.step_publish(rt::RankCtx::step_value(seq, k + 1));
+      }
+      ctx.barrier();
+    });
+    const double chain_us = team.max_time() / kIters * 1e6;
+    std::printf("%-6d %18.2f %18.2f %18.2f\n", p, barrier_us, dissem_us,
+                chain_us);
+  }
+  std::printf("\n(per large-message round, flat MA pays (p-1) flag waits; "
+              "socket-aware MA pays p/m-1 waits + 2-3 barriers)\n");
+  return 0;
+}

@@ -1,0 +1,201 @@
+// Shared harness for the paper-reproduction benchmarks.
+//
+// Each bench binary reproduces one table or figure: it sweeps the paper's
+// message sizes (scaled to this host, see DESIGN.md §3), runs every
+// algorithm arm through the same SPMD timing loop, and prints the same
+// rows/series the paper reports (absolute time plus overhead relative to
+// the YHCCL arm).
+//
+// Methodology notes, mirroring §5.5:
+//  * send/receive buffers are rewritten between iterations so no arm
+//    benefits from cache-resident inputs;
+//  * the reported time is the median over repetitions of the *slowest
+//    rank* (collectives finish when the last rank finishes);
+//  * rank counts are modest (the host has 2 cores) — relative ordering,
+//    not absolute latency, is the reproduction target.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "yhccl/common/time.hpp"
+#include "yhccl/runtime/thread_team.hpp"
+
+namespace yhccl::bench {
+
+/// Ranks used by the intra-node benches; override with YHCCL_BENCH_RANKS.
+inline int bench_ranks() {
+  if (const char* e = std::getenv("YHCCL_BENCH_RANKS")) return std::atoi(e);
+  return 8;
+}
+
+inline int bench_sockets() {
+  if (const char* e = std::getenv("YHCCL_BENCH_SOCKETS"))
+    return std::atoi(e);
+  return 2;
+}
+
+/// Scale factor for message sweeps (1 = the scaled-down defaults).
+inline double bench_scale() {
+  if (const char* e = std::getenv("YHCCL_BENCH_SCALE")) return std::atof(e);
+  return 1.0;
+}
+
+inline rt::ThreadTeam& bench_team(int p, int m,
+                                  std::size_t scratch = 96u << 20) {
+  static std::map<std::tuple<int, int, std::size_t>,
+                  std::unique_ptr<rt::ThreadTeam>>
+      cache;
+  auto key = std::make_tuple(p, m, scratch);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    rt::TeamConfig cfg;
+    cfg.nranks = p;
+    cfg.nsockets = m;
+    cfg.scratch_bytes = scratch;
+    cfg.shared_heap_bytes = 1u << 20;
+    it = cache.emplace(key, std::make_unique<rt::ThreadTeam>(cfg)).first;
+  }
+  return *it->second;
+}
+
+/// Per-rank buffer set for a collective benchmark.
+struct RankBuffers {
+  std::vector<std::vector<std::uint8_t>> send, recv;
+  RankBuffers(int p, std::size_t send_bytes, std::size_t recv_bytes) {
+    send.resize(p);
+    recv.resize(p);
+    for (int r = 0; r < p; ++r) {
+      send[r].assign(send_bytes, 0);
+      recv[r].assign(recv_bytes, 0);
+      touch(r, 0);
+    }
+  }
+  /// Rewrite the send buffer (simulates the application updating its data
+  /// between collectives, §5.5).
+  void touch(int r, unsigned iter) {
+    auto& s = send[r];
+    const auto v = static_cast<std::uint8_t>(r * 31 + iter * 7 + 1);
+    for (std::size_t i = 0; i < s.size(); i += 512) s[i] = v;
+  }
+};
+
+/// A collective arm under test: runs one invocation on a rank.
+using CollArm = std::function<void(rt::RankCtx&, const void* send,
+                                   void* recv, std::size_t bytes)>;
+
+/// Median-of-slowest-rank seconds for one (arm, size) cell.
+inline double time_arm(rt::ThreadTeam& team, RankBuffers& bufs,
+                       const CollArm& arm, std::size_t bytes,
+                       double budget_s = 0.35, int min_iters = 5,
+                       int max_iters = 40) {
+  std::vector<double> samples;
+  double spent = 0;
+  for (int it = 0; it < max_iters; ++it) {
+    for (int r = 0; r < team.nranks(); ++r) bufs.touch(r, it);
+    team.run([&](rt::RankCtx& ctx) {
+      arm(ctx, bufs.send[ctx.rank()].data(), bufs.recv[ctx.rank()].data(),
+          bytes);
+    });
+    const double t = team.max_time();
+    if (it > 0 || max_iters == 1) samples.push_back(t);  // drop warm-up
+    spent += t;
+    if (static_cast<int>(samples.size()) >= min_iters && spent > budget_s)
+      break;
+  }
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+inline std::string human_size(std::size_t b) {
+  char buf[32];
+  if (b >= (1u << 20) && b % (1u << 20) == 0)
+    std::snprintf(buf, sizeof buf, "%zuMB", b >> 20);
+  else if (b >= 1024 && b % 1024 == 0)
+    std::snprintf(buf, sizeof buf, "%zuKB", b >> 10);
+  else
+    std::snprintf(buf, sizeof buf, "%zuB", b);
+  return buf;
+}
+
+/// Print one figure-style table: rows = message sizes, columns = arms;
+/// cells show time (us) for the reference arm and relative overhead
+/// (arm/ref) otherwise — the paper's "relative time overhead" axis.
+struct SweepTable {
+  std::string title;
+  std::vector<std::string> arms;  // arms[0] is the reference (YHCCL)
+  std::vector<std::size_t> sizes;
+  // times[size_idx][arm_idx] in seconds
+  std::vector<std::vector<double>> times;
+
+  void print() const {
+    std::printf("\n== %s ==\n", title.c_str());
+    std::printf("%-10s %12s", "MsgSz", (arms[0] + "(us)").c_str());
+    for (std::size_t a = 1; a < arms.size(); ++a)
+      std::printf(" %12s", (arms[a] + "(x)").c_str());
+    std::printf("\n");
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      std::printf("%-10s %12.1f", human_size(sizes[i]).c_str(),
+                  times[i][0] * 1e6);
+      for (std::size_t a = 1; a < arms.size(); ++a)
+        std::printf(" %12.2f",
+                    times[i][0] > 0 ? times[i][a] / times[i][0] : 0.0);
+      std::printf("\n");
+    }
+    // Geometric-mean speedup of the reference over each competitor.
+    std::printf("%-10s %12s", "geomean", "1.00");
+    for (std::size_t a = 1; a < arms.size(); ++a) {
+      double g = 1;
+      int n = 0;
+      for (std::size_t i = 0; i < sizes.size(); ++i)
+        if (times[i][0] > 0) {
+          g *= times[i][a] / times[i][0];
+          ++n;
+        }
+      std::printf(" %12.2f", n > 0 ? std::pow(g, 1.0 / n) : 0.0);
+    }
+    std::printf("\n");
+  }
+};
+
+/// Run a full sweep (arms x sizes) and collect the table.  `bytes` passed
+/// to each arm is the *total message size*; arms derive their own counts.
+inline SweepTable sweep(rt::ThreadTeam& team, std::string title,
+                        const std::vector<std::pair<std::string, CollArm>>& arms,
+                        const std::vector<std::size_t>& sizes,
+                        std::size_t send_max, std::size_t recv_max) {
+  SweepTable t;
+  t.title = std::move(title);
+  for (const auto& [name, fn] : arms) t.arms.push_back(name);
+  t.sizes = sizes;
+  RankBuffers bufs(team.nranks(), send_max, recv_max);
+  for (std::size_t s : sizes) {
+    std::vector<double> row;
+    for (const auto& [name, fn] : arms)
+      row.push_back(time_arm(team, bufs, fn, s));
+    t.times.push_back(std::move(row));
+  }
+  return t;
+}
+
+/// Default sweep: 64 KB .. 16 MB (the paper sweeps to 256 MB on 64-core
+/// nodes; scaled per DESIGN.md §3).
+inline std::vector<std::size_t> default_sizes(std::size_t lo = 64u << 10,
+                                              std::size_t hi = 16u << 20) {
+  const double scale = bench_scale();
+  std::vector<std::size_t> v;
+  for (std::size_t s = lo; s <= hi; s *= 2)
+    v.push_back(static_cast<std::size_t>(s * scale));
+  return v;
+}
+
+}  // namespace yhccl::bench

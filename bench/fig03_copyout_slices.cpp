@@ -1,0 +1,61 @@
+// Fig. 3 reproduction: the copy-out overhead of a reduction as a function
+// of the slice size.  Every rank copies a large buffer from shared memory
+// to its private receive buffer slice by slice with plain memmove; slices
+// below the libc NT threshold (~2 MB) never use non-temporal stores, so
+// small slices pay the RFO/write-allocate tax and run measurably slower.
+//
+// Paper: 256 MB per rank on 64 cores; scaled here (DESIGN.md §3).
+// Expected shape: a step down in time once the slice reaches ~2 MB.
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+
+#include "bench_util.hpp"
+
+using namespace yhccl;
+using namespace yhccl::bench;
+
+namespace {
+
+void BM_CopyOutSlices(benchmark::State& state) {
+  const std::size_t slice = static_cast<std::size_t>(state.range(0));
+  const int p = 4;  // ranks doing concurrent copy-outs
+  const std::size_t per_rank =
+      static_cast<std::size_t>((32u << 20) * bench_scale());
+  auto& team = bench_team(p, 1);
+  static std::byte* shm = nullptr;
+  if (shm == nullptr) {
+    // One shared source region, initialized once.
+    shm = team.scratch_base();
+    std::memset(shm, 0x5a, per_rank);
+  }
+  std::vector<std::vector<std::uint8_t>> priv(
+      p, std::vector<std::uint8_t>(per_rank));
+
+  for (auto _ : state) {
+    team.run([&](rt::RankCtx& ctx) {
+      auto* dst = priv[ctx.rank()].data();
+      for (std::size_t off = 0; off < per_rank; off += slice) {
+        const std::size_t len = std::min(slice, per_rank - off);
+        std::memmove(dst + off, shm + off, len);
+      }
+    });
+    state.SetIterationTime(team.max_time());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(per_rank) * p *
+                          static_cast<std::int64_t>(state.iterations()));
+  state.counters["slice_KB"] = static_cast<double>(slice >> 10);
+}
+
+}  // namespace
+
+BENCHMARK(BM_CopyOutSlices)
+    ->Arg(256 << 10)
+    ->Arg(512 << 10)
+    ->Arg(1 << 20)
+    ->Arg(2 << 20)
+    ->Arg(4 << 20)
+    ->UseManualTime()
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

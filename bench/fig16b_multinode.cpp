@@ -1,0 +1,57 @@
+// Fig. 16b reproduction: multi-node all-reduce at 1024 processes
+// (16 nodes x 64 ranks), YHCCL's hierarchical composition vs ring- and
+// tree-based MPI configurations.
+//
+// Cluster-scale runs are impossible on this host, so the comparison runs
+// on the calibrated simulator (DESIGN.md §3): intra-node costs from the
+// DAV models driven by a *measured* node copy bandwidth, inter-node
+// transfers over LogGP links with serialized NICs.  Expected shape: trees
+// win small messages (logarithmic latency), YHCCL wins large ones
+// (1.4-8.8x in the paper) thanks to the MA intra-node phases and
+// multi-lane fabric use.
+#include "bench_util.hpp"
+#include "yhccl/apps/stream.hpp"
+#include "yhccl/netsim/netsim.hpp"
+
+using namespace yhccl;
+using namespace yhccl::bench;
+using namespace yhccl::net;
+
+int main() {
+  // Calibrate the intra-node model with a measured copy bandwidth.
+  const auto cal = apps::stream::run_sliced_copy(
+      64u << 20, 1u << 20, apps::stream::CopyKind::temporal, 2);
+  IntraNodeModel node;
+  node.ranks_per_node = 64;
+  node.sockets = 2;
+  // The simulated nodes are NodeA-class (16 DDR4-3200 channels, ~300 GB/s
+  // aggregate copy bandwidth); this VM's measured bandwidth is printed for
+  // reference but would misrepresent a 64-core node.
+  node.dab = 300e9;
+  const LogGP net = LogGP::infiniband_edr();
+  const int nnodes = 16;
+
+  std::printf(
+      "Fig. 16b — multi-node all-reduce, %d nodes x %d ranks = %d procs\n",
+      nnodes, node.ranks_per_node, nnodes * node.ranks_per_node);
+  std::printf("node DAB: %.1f GB/s (NodeA-class; this VM measured %.1f "
+              "GB/s); fabric: 100 Gb/s LogGP\n\n",
+              node.dab / 1e9, cal.bandwidth_mbps / 1e3);
+  std::printf("%-10s %14s %14s %14s %10s %10s\n", "MsgSz", "YHCCL(us)",
+              "OMPI-ring(x)", "Tree-hcoll(x)", "intra%", "inter%");
+
+  for (std::size_t s = 16u << 10; s <= 256u << 20; s *= 4) {
+    const auto y =
+        multinode_allreduce(MultiNodeAlgo::yhccl, s, nnodes, node, net);
+    const auto o =
+        multinode_allreduce(MultiNodeAlgo::openmpi, s, nnodes, node, net);
+    const auto t =
+        multinode_allreduce(MultiNodeAlgo::tree_hcoll, s, nnodes, node, net);
+    std::printf("%-10s %14.1f %14.2f %14.2f %9.0f%% %9.0f%%\n",
+                human_size(s).c_str(), y.seconds * 1e6,
+                o.seconds / y.seconds, t.seconds / y.seconds,
+                100 * y.intra_seconds / y.seconds,
+                100 * y.inter_seconds / y.seconds);
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Example: the analytical models as a tuning advisor.  Given a node
+// description (ranks, sockets, cache hierarchy, memory bandwidth), prints
+// the Tables 1-3 DAV comparison, the predicted per-collective times, the
+// §5.4 non-temporal switch point, and the recommended algorithm per
+// message size — i.e. everything YHCCL's runtime switching decides,
+// exposed for humans.
+//
+//   $ ./examples/tuning_advisor [ranks] [sockets] [node_a|node_b|cluster_c|detect]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "yhccl/coll/coll.hpp"
+#include "yhccl/copy/cache_model.hpp"
+#include "yhccl/model/dav_model.hpp"
+
+using namespace yhccl;
+namespace md = yhccl::model;
+
+int main(int argc, char** argv) {
+  const int p = argc > 1 ? std::atoi(argv[1]) : 64;
+  const int m = argc > 2 ? std::atoi(argv[2]) : 2;
+  copy::CacheConfig cache = copy::CacheConfig::node_a();
+  const char* preset = argc > 3 ? argv[3] : "node_a";
+  if (std::strcmp(preset, "node_b") == 0) cache = copy::CacheConfig::node_b();
+  else if (std::strcmp(preset, "cluster_c") == 0)
+    cache = copy::CacheConfig::cluster_c();
+  else if (std::strcmp(preset, "detect") == 0)
+    cache = copy::CacheConfig::detect();
+
+  const double dab = 200e9;  // assumed node copy bandwidth
+  std::printf("node: p=%d ranks, m=%d sockets, cache %s\n", p, m,
+              cache.describe().c_str());
+  std::printf("available cache C = c' + p*c'' = %.1f MB\n\n",
+              cache.available(p) / 1e6);
+
+  std::printf("all-reduce DAV (bytes moved per message byte):\n");
+  std::printf("  %-24s %6.1f\n", "YHCCL socket-aware MA",
+              1.0 * md::paper::socket_ma_allreduce(1, p, m));
+  std::printf("  %-24s %6.1f\n", "YHCCL flat MA",
+              1.0 * md::paper::ma_allreduce(1, p));
+  std::printf("  %-24s %6.1f\n", "DPML",
+              1.0 * md::paper::dpml_allreduce(1, p));
+  std::printf("  %-24s %6.1f\n", "Ring",
+              1.0 * md::paper::ring_allreduce(1, p));
+  std::printf("  %-24s %6.1f\n", "XPMEM direct",
+              1.0 * md::paper::xpmem_allreduce(1, p));
+
+  const std::size_t imax = 256u << 10;
+  const auto sw = md::nt_switch_point_allreduce(cache.available(p), p, m,
+                                                imax);
+  std::printf("\nnon-temporal switch point (Imax=256KB): stream copy-outs "
+              "for s > %.0f KB\n",
+              sw / 1024.0);
+
+  std::printf("\nper-size advice (threshold 256 KB, DAB %.0f GB/s):\n",
+              dab / 1e9);
+  std::printf("  %-10s %-14s %-10s %14s\n", "size", "algorithm", "stores",
+              "pred. time(us)");
+  for (std::size_t s = 16u << 10; s <= 256u << 20; s *= 4) {
+    const char* alg = s <= (256u << 10)
+                          ? "dpml-2l"
+                          : (m > 1 ? "socket-MA" : "flat-MA");
+    const char* stores = s > sw ? "non-temporal" : "temporal";
+    const auto dav = s <= (256u << 10)
+                         ? md::paper::dpml_allreduce(s, p)
+                         : md::paper::socket_ma_allreduce(s, p, m);
+    std::printf("  %-10.0fKB %-14s %-10s %14.1f\n", s / 1024.0, alg, stores,
+                md::time_from_dav(dav, dab) * 1e6);
+  }
+  return 0;
+}

@@ -1,0 +1,111 @@
+#include "yhccl/apps/dnn.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "yhccl/common/error.hpp"
+#include "yhccl/common/time.hpp"
+
+namespace yhccl::apps::dnn {
+
+std::size_t ModelSpec::total_params() const {
+  std::size_t t = 0;
+  for (const auto& l : layers) t += l.params;
+  return t;
+}
+
+double ModelSpec::total_gflops() const {
+  double t = 0;
+  for (const auto& l : layers) t += l.gflops;
+  return t;
+}
+
+ModelSpec resnet50() {
+  // Stage-level aggregation of ResNet-50: 25.6 M parameters, ~3.9 GFLOP
+  // forward per image (x3 for fwd+bwd).
+  return ModelSpec{
+      "ResNet-50",
+      {
+          {"conv1", 9'472, 0.70},
+          {"layer1", 215'808, 2.00},
+          {"layer2", 1'219'584, 2.60},
+          {"layer3", 7'098'368, 3.50},
+          {"layer4", 14'964'736, 2.40},
+          {"fc", 2'049'000, 0.50},
+      }};
+}
+
+ModelSpec vgg16() {
+  // VGG-16: 138.4 M parameters (the huge fc layers dominate), ~15.5 GFLOP
+  // forward per image.
+  return ModelSpec{
+      "VGG-16",
+      {
+          {"conv1-2", 38'720, 5.80},
+          {"conv3-4", 1'622'720, 13.80},
+          {"conv5-7", 5'899'776, 13.80},
+          {"conv8-13", 7'635'264, 12.00},
+          {"fc6", 102'764'544, 0.60},
+          {"fc7", 16'781'312, 0.20},
+          {"fc8", 4'097'000, 0.05},
+      }};
+}
+
+namespace {
+
+/// Calibrated busy-burn standing in for fwd/bwd compute: touches a small
+/// buffer with FMA-ish work until the modelled time elapses.
+void burn_compute(double seconds) {
+  if (seconds <= 0) return;
+  volatile double sink = 1.000001;
+  const double end = wall_seconds() + seconds;
+  while (wall_seconds() < end) {
+    double v = sink;
+    for (int i = 0; i < 2048; ++i) v = v * 1.0000001 + 1e-9;
+    sink = v;
+  }
+}
+
+}  // namespace
+
+TrainStats train_rank(rt::RankCtx& ctx, const ModelSpec& model,
+                      const TrainConfig& cfg, const GradAllreduceFn& ar) {
+  YHCCL_REQUIRE(!model.layers.empty(), "empty model");
+  const std::size_t nparams = model.total_params();
+  std::vector<float> grad(nparams), reduced(nparams);
+  // Deterministic pseudo-gradients; scaled down so sums stay exact in f32.
+  for (std::size_t i = 0; i < nparams; ++i)
+    grad[i] = static_cast<float>((i % 97) + ctx.rank()) / 64.0f;
+
+  const double gflop_per_iter = model.total_gflops() * cfg.batch_per_rank *
+                                3.0 * cfg.compute_scale;  // fwd + bwd
+  const double compute_time = gflop_per_iter / cfg.rank_gflops_per_sec;
+  const std::size_t bucket_elems =
+      std::max<std::size_t>(cfg.bucket_bytes / sizeof(float), 1);
+
+  TrainStats st;
+  Timer total;
+  for (int it = 0; it < cfg.iterations; ++it) {
+    Timer tc;
+    burn_compute(compute_time);
+    st.compute_seconds += tc.elapsed();
+
+    Timer ta;
+    // Horovod-style bucketed gradient aggregation.
+    for (std::size_t off = 0; off < nparams; off += bucket_elems) {
+      const std::size_t len = std::min(bucket_elems, nparams - off);
+      ar(ctx, grad.data() + off, reduced.data() + off, len);
+    }
+    st.allreduce_seconds += ta.elapsed();
+  }
+  st.seconds = total.elapsed();
+  st.grad_checksum =
+      std::accumulate(reduced.begin(), reduced.begin() + 1024, 0.0);
+  st.images_per_second =
+      st.seconds > 0 ? cfg.iterations * cfg.batch_per_rank * ctx.nranks() /
+                           st.seconds
+                     : 0;
+  return st;
+}
+
+}  // namespace yhccl::apps::dnn

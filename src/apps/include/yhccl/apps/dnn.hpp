@@ -1,0 +1,62 @@
+// Data-parallel CNN training proxy (paper §5.6, Fig. 18).
+//
+// Each rank holds a model replica and trains on synthetic batches: the
+// forward/backward pass is a calibrated compute burn (the paper's Cluster C
+// is compute-bound, §5.6), and the optimizer step all-reduces the gradient
+// buffer — bucketed the way Horovod fuses tensors — through an injected
+// collective, so YHCCL and baselines are interchangeable.
+//
+// Layer tables approximate ResNet-50 (25.6 M parameters) and VGG-16
+// (138.4 M parameters), the two models the paper trains.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "yhccl/runtime/team.hpp"
+
+namespace yhccl::apps::dnn {
+
+struct Layer {
+  std::string name;
+  std::size_t params;  ///< trainable parameters (floats)
+  double gflops;       ///< fwd+bwd work per image
+};
+
+struct ModelSpec {
+  std::string name;
+  std::vector<Layer> layers;
+  std::size_t total_params() const;
+  double total_gflops() const;
+};
+
+ModelSpec resnet50();
+ModelSpec vgg16();
+
+/// All-reduce (sum, f32) used for gradient aggregation.
+using GradAllreduceFn = std::function<void(rt::RankCtx&, const float*,
+                                           float*, std::size_t)>;
+
+struct TrainConfig {
+  int iterations = 4;
+  int batch_per_rank = 8;
+  double rank_gflops_per_sec = 8.0;  ///< synthetic compute speed
+  std::size_t bucket_bytes = 16u << 20;  ///< Horovod-style fusion buckets
+  double compute_scale = 1.0;  ///< shrink factor for quick runs
+};
+
+struct TrainStats {
+  double seconds = 0;
+  double compute_seconds = 0;
+  double allreduce_seconds = 0;
+  double images_per_second = 0;  ///< aggregate over the team
+  double grad_checksum = 0;      ///< validates the reductions
+};
+
+/// Run `cfg.iterations` training steps SPMD on a rank.
+TrainStats train_rank(rt::RankCtx& ctx, const ModelSpec& model,
+                      const TrainConfig& cfg, const GradAllreduceFn& ar);
+
+}  // namespace yhccl::apps::dnn

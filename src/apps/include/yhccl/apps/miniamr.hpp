@@ -1,0 +1,55 @@
+// Mini-AMR proxy (paper §5.6, Fig. 17): a 3D 7-point stencil on a block-
+// structured adaptively refined mesh, in the style of the ECP Mantevo
+// miniAMR proxy app.
+//
+// A spherical "object" sweeps through the domain; blocks it intersects are
+// refined (split into 8 children, one level deeper), blocks it leaves are
+// coarsened.  Every refinement step the ranks agree on the global
+// refinement plan with a large all-reduce whose length is proportional to
+// the number of refinement candidates — which is why the paper can tune
+// the all-reduce size with --num_refine, and why an all-reduce-optimized
+// collective library speeds the whole app up.
+//
+// The collective used for the control exchanges is injected, so the proxy
+// runs unmodified on YHCCL or any baseline.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "yhccl/runtime/team.hpp"
+
+namespace yhccl::apps::miniamr {
+
+struct Config {
+  int block_dim = 8;         ///< cells per block edge (block_dim^3 cells)
+  int domain_blocks = 4;     ///< root grid: domain_blocks^3 level-0 blocks
+  int max_level = 2;         ///< refinement depth limit
+  int tsteps = 8;            ///< time steps
+  int refine_freq = 2;       ///< refine every N steps
+  std::size_t refine_metric_len = 65536;  ///< doubles in the control
+                                          ///< all-reduce (the paper's
+                                          ///< --num_refine knob)
+};
+
+/// All-reduce (sum, f64) the proxy uses for its control exchanges.
+using AllreduceFn = std::function<void(rt::RankCtx&, const double*, double*,
+                                       std::size_t)>;
+
+struct Stats {
+  double total_seconds = 0;
+  double compute_seconds = 0;  ///< stencil
+  double comm_seconds = 0;     ///< control all-reduces
+  std::int64_t total_blocks_processed = 0;
+  int final_blocks = 0;
+  double checksum = 0;  ///< global field sum (for cross-run validation)
+};
+
+/// Run the proxy SPMD on a rank of `team`.  All ranks must call it with
+/// the same config; the returned stats are rank-local except `checksum`
+/// and `final_blocks`, which are globally agreed.
+Stats run_rank(rt::RankCtx& ctx, const Config& cfg, const AllreduceFn& ar);
+
+}  // namespace yhccl::apps::miniamr

@@ -1,0 +1,37 @@
+// STREAM-style sliced-copy workloads (paper §2.2 Fig. 3 and §4.1 Table 4):
+// a large array is copied slice by slice, which is exactly the access
+// pattern of pipelined collectives.  Comparing memmove-style, temporal and
+// non-temporal kernels at different slice sizes exposes the RFO overhead
+// the adaptive policy avoids.
+#pragma once
+
+#include <cstddef>
+
+namespace yhccl::apps::stream {
+
+enum class CopyKind {
+  memmove_libc,   ///< the actual C library memmove
+  memmove_model,  ///< our size-threshold model of it
+  temporal,       ///< t-copy: prefetch + regular stores
+  non_temporal,   ///< nt-copy: streaming stores
+  erms,           ///< rep movsb fast-string copy
+};
+
+const char* copy_kind_name(CopyKind k);
+
+struct SliceCopyResult {
+  double seconds = 0;
+  /// STREAM convention: 2 bytes of traffic per payload byte.
+  double bandwidth_mbps = 0;
+};
+
+/// Copy `total` bytes from src to dst in `slice`-sized pieces.
+SliceCopyResult sliced_copy(void* dst, const void* src, std::size_t total,
+                            std::size_t slice, CopyKind kind);
+
+/// Allocate working buffers, run `repeats` sliced copies, report the best
+/// bandwidth (classic STREAM methodology).
+SliceCopyResult run_sliced_copy(std::size_t total, std::size_t slice,
+                                CopyKind kind, int repeats = 3);
+
+}  // namespace yhccl::apps::stream

@@ -1,0 +1,206 @@
+#include "yhccl/apps/miniamr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <tuple>
+
+#include "yhccl/common/error.hpp"
+#include "yhccl/common/time.hpp"
+
+namespace yhccl::apps::miniamr {
+
+namespace {
+
+/// One mesh block.  Geometry is replicated on every rank (the global
+/// refinement plan must be identical everywhere); field storage exists
+/// only on the owning rank.
+struct Block {
+  int level;
+  double x, y, z;   ///< center, unit domain
+  double half;      ///< half edge length
+  std::vector<double> field;  ///< (bd+2)^3 with halo, owners only
+};
+
+/// Stable owner assignment from the block's geometry so refinement never
+/// migrates existing blocks between ranks.
+int owner_of(const Block& b, int p) {
+  const auto h = static_cast<std::uint64_t>(b.level) * 0x9e3779b97f4a7c15ull ^
+                 static_cast<std::uint64_t>(b.x * (1 << 20)) * 0x517cc1b727220a95ull ^
+                 static_cast<std::uint64_t>(b.y * (1 << 20)) * 0x2545f4914f6cdd1dull ^
+                 static_cast<std::uint64_t>(b.z * (1 << 20)) * 0x27d4eb2f165667c5ull;
+  return static_cast<int>(h % static_cast<std::uint64_t>(p));
+}
+
+/// The moving refinement object: a sphere sweeping across the unit cube.
+struct Sphere {
+  double cx, cy, cz, r;
+  static Sphere at_step(int t, int tsteps) {
+    const double f = tsteps <= 1 ? 0.0 : static_cast<double>(t) / (tsteps - 1);
+    return {0.2 + 0.6 * f, 0.35 + 0.3 * f, 0.5, 0.18};
+  }
+  bool intersects(const Block& b) const {
+    const double dx = std::max(std::abs(b.x - cx) - b.half, 0.0);
+    const double dy = std::max(std::abs(b.y - cy) - b.half, 0.0);
+    const double dz = std::max(std::abs(b.z - cz) - b.half, 0.0);
+    return dx * dx + dy * dy + dz * dz <= r * r;
+  }
+};
+
+void init_field(Block& b, int bd) {
+  const int n = bd + 2;
+  b.field.assign(static_cast<std::size_t>(n) * n * n,
+                 1.0 + 0.25 * b.level);
+}
+
+/// One 7-point stencil sweep over the block interior; returns the field
+/// sum (for the checksum) and leaves the smoothed values in place.
+double stencil_sweep(Block& b, int bd, std::vector<double>& tmp) {
+  const int n = bd + 2;
+  auto idx = [n](int i, int j, int k) {
+    return (static_cast<std::size_t>(i) * n + j) * n + k;
+  };
+  tmp.resize(b.field.size());
+  double sum = 0;
+  for (int i = 1; i <= bd; ++i)
+    for (int j = 1; j <= bd; ++j)
+      for (int k = 1; k <= bd; ++k) {
+        const double v = (b.field[idx(i, j, k)] * 2.0 +
+                          b.field[idx(i - 1, j, k)] +
+                          b.field[idx(i + 1, j, k)] +
+                          b.field[idx(i, j - 1, k)] +
+                          b.field[idx(i, j + 1, k)] +
+                          b.field[idx(i, j, k - 1)] +
+                          b.field[idx(i, j, k + 1)]) /
+                         8.0;
+        tmp[idx(i, j, k)] = v;
+        sum += v;
+      }
+  for (int i = 1; i <= bd; ++i)
+    for (int j = 1; j <= bd; ++j)
+      for (int k = 1; k <= bd; ++k)
+        b.field[idx(i, j, k)] = tmp[idx(i, j, k)];
+  return sum;
+}
+
+/// Parent cell key for sibling grouping during coarsening.
+std::tuple<int, long, long, long> parent_key(const Block& b) {
+  const double ps = 4 * b.half;  // parent edge
+  return {b.level - 1, std::lround(std::floor(b.x / ps)),
+          std::lround(std::floor(b.y / ps)),
+          std::lround(std::floor(b.z / ps))};
+}
+
+}  // namespace
+
+Stats run_rank(rt::RankCtx& ctx, const Config& cfg, const AllreduceFn& ar) {
+  YHCCL_REQUIRE(cfg.block_dim >= 2 && cfg.domain_blocks >= 1,
+                "bad miniamr config");
+  const int p = ctx.nranks();
+  const int bd = cfg.block_dim;
+  Stats st;
+  Timer total;
+
+  // Root grid.
+  std::vector<Block> blocks;
+  const double h = 0.5 / cfg.domain_blocks;
+  for (int i = 0; i < cfg.domain_blocks; ++i)
+    for (int j = 0; j < cfg.domain_blocks; ++j)
+      for (int k = 0; k < cfg.domain_blocks; ++k) {
+        Block b{0, (2 * i + 1) * h, (2 * j + 1) * h, (2 * k + 1) * h, h, {}};
+        if (owner_of(b, p) == ctx.rank()) init_field(b, bd);
+        blocks.push_back(std::move(b));
+      }
+
+  std::vector<double> tmp;
+  std::vector<double> metric(cfg.refine_metric_len),
+      metric_out(cfg.refine_metric_len);
+
+  for (int t = 0; t < cfg.tsteps; ++t) {
+    // --- compute: stencil on owned blocks --------------------------------
+    Timer tc;
+    double local_sum = 0;
+    for (auto& b : blocks)
+      if (!b.field.empty()) {
+        local_sum += stencil_sweep(b, bd, tmp);
+        ++st.total_blocks_processed;
+      }
+    st.compute_seconds += tc.elapsed();
+
+    // --- small control all-reduce every step ------------------------------
+    Timer ts;
+    double small[3] = {local_sum, static_cast<double>(blocks.size()), 1.0};
+    double small_out[3];
+    ar(ctx, small, small_out, 3);
+    st.checksum = small_out[0];
+    st.comm_seconds += ts.elapsed();
+
+    // --- refinement episode -----------------------------------------------
+    if (cfg.refine_freq > 0 && (t + 1) % cfg.refine_freq == 0) {
+      const Sphere obj = Sphere::at_step(t, cfg.tsteps);
+      // Large control all-reduce: the global refinement metric (length set
+      // by refine_metric_len, the paper's --num_refine analogue).
+      std::fill(metric.begin(), metric.end(), 0.0);
+      for (std::size_t i = 0; i < blocks.size(); ++i)
+        if (!blocks[i].field.empty())
+          metric[i % metric.size()] += obj.intersects(blocks[i]) ? 1.0 : 0.0;
+      Timer tb;
+      ar(ctx, metric.data(), metric_out.data(), metric.size());
+      st.comm_seconds += tb.elapsed();
+
+      // Refine: intersecting blocks below the level cap split into 8.
+      std::vector<Block> next;
+      next.reserve(blocks.size());
+      for (auto& b : blocks) {
+        if (obj.intersects(b) && b.level < cfg.max_level) {
+          const double q = b.half / 2;
+          for (int dx : {-1, 1})
+            for (int dy : {-1, 1})
+              for (int dz : {-1, 1}) {
+                Block c{b.level + 1, b.x + dx * q, b.y + dy * q,
+                        b.z + dz * q, q, {}};
+                if (owner_of(c, p) == ctx.rank()) init_field(c, bd);
+                next.push_back(std::move(c));
+              }
+        } else {
+          next.push_back(std::move(b));
+        }
+      }
+      // Coarsen: full sibling groups the object has left merge back.
+      std::map<std::tuple<int, long, long, long>, int> sib_count;
+      for (const auto& b : next)
+        if (b.level > 0 && !obj.intersects(b)) ++sib_count[parent_key(b)];
+      std::vector<Block> merged;
+      std::map<std::tuple<int, long, long, long>, bool> emitted;
+      merged.reserve(next.size());
+      for (auto& b : next) {
+        const bool coarsen = b.level > 0 && !obj.intersects(b) &&
+                             sib_count[parent_key(b)] == 8;
+        if (!coarsen) {
+          merged.push_back(std::move(b));
+          continue;
+        }
+        auto key = parent_key(b);
+        if (!emitted[key]) {
+          emitted[key] = true;
+          const double ps = 2 * b.half;
+          Block parent{b.level - 1,
+                       (std::floor(b.x / (2 * ps)) * 2 + 1) * ps,
+                       (std::floor(b.y / (2 * ps)) * 2 + 1) * ps,
+                       (std::floor(b.z / (2 * ps)) * 2 + 1) * ps,
+                       ps,
+                       {}};
+          if (owner_of(parent, p) == ctx.rank()) init_field(parent, bd);
+          merged.push_back(std::move(parent));
+        }
+      }
+      blocks = std::move(merged);
+    }
+  }
+
+  st.final_blocks = static_cast<int>(blocks.size());
+  st.total_seconds = total.elapsed();
+  return st;
+}
+
+}  // namespace yhccl::apps::miniamr

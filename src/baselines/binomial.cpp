@@ -1,0 +1,89 @@
+// Binomial-tree broadcast and reduce over point-to-point messages — the
+// classic MPICH algorithms for small messages (log2(p) rounds).  These
+// complete the baseline set: pipelined/shared-memory designs win large
+// messages on bandwidth, binomial trees win small ones on latency.
+#include "yhccl/baselines/baselines.hpp"
+#include "yhccl/coll/detail.hpp"
+#include "yhccl/copy/kernels.hpp"
+#include "yhccl/copy/reduce_kernels.hpp"
+
+namespace yhccl::base {
+
+namespace {
+
+void send_t(RankCtx& ctx, int dst, const void* p, std::size_t n,
+            Transport t) {
+  if (t == Transport::two_copy)
+    ctx.send(dst, p, n);
+  else
+    ctx.send_zc(dst, p, n);
+}
+
+void recv_t(RankCtx& ctx, int src, void* p, std::size_t n, Transport t) {
+  if (t == Transport::two_copy)
+    ctx.recv(src, p, n);
+  else
+    ctx.recv_zc(src, p, n);
+}
+
+}  // namespace
+
+void binomial_broadcast(RankCtx& ctx, void* buf, std::size_t count,
+                        Datatype d, int root, Transport t) {
+  if (count == 0 || ctx.nranks() == 1) return;
+  const int p = ctx.nranks();
+  const std::size_t n = count * dtype_size(d);
+  const int vr = (ctx.rank() - root + p) % p;
+
+  // Receive phase: the lowest set bit of my virtual rank names the round
+  // in which my parent (vr with that bit cleared) sends to me.
+  int mask = 1;
+  while (mask < p) {
+    if (vr & mask) {
+      recv_t(ctx, (vr - mask + root) % p, buf, n, t);
+      break;
+    }
+    mask <<= 1;
+  }
+  // Forward phase: peel the mask back down, sending to each child.
+  mask >>= 1;
+  while (mask > 0) {
+    if (vr + mask < p) send_t(ctx, (vr + mask + root) % p, buf, n, t);
+    mask >>= 1;
+  }
+}
+
+void binomial_reduce(RankCtx& ctx, const void* send, void* recv,
+                     std::size_t count, Datatype d, ReduceOp op, int root,
+                     Transport t) {
+  coll::detail::check_reduction_args(ctx, send, count, d, op);
+  if (count == 0) return;
+  const int p = ctx.nranks();
+  const std::size_t n = count * dtype_size(d);
+  if (p == 1) {
+    copy::t_copy(recv, send, n);
+    return;
+  }
+  const int vr = (ctx.rank() - root + p) % p;
+  // Accumulate in the root's receive buffer; other ranks use private
+  // working storage.
+  std::byte* acc = vr == 0 ? static_cast<std::byte*>(recv)
+                           : tls_buffer(2 * n);
+  std::byte* tmp = vr == 0 ? tls_buffer(n) : acc + n;
+  copy::t_copy(acc, send, n);
+
+  for (int mask = 1; mask < p; mask <<= 1) {
+    if ((vr & mask) == 0) {
+      const int child = vr | mask;
+      if (child < p) {
+        recv_t(ctx, (child + root) % p, tmp, n, t);
+        copy::reduce_inplace(acc, tmp, n, d, op);
+      }
+    } else {
+      send_t(ctx, ((vr & ~mask) + root) % p, acc, n, t);
+      break;
+    }
+  }
+}
+
+}  // namespace yhccl::base

@@ -1,0 +1,115 @@
+// Baseline collective algorithms the paper compares against (§5.3, §5.5).
+//
+// These are from-scratch implementations of the algorithms the evaluated
+// MPI libraries use for intra-node collectives, per the paper's own
+// description:
+//
+//  * Ring [45] — bandwidth-optimal send/recv ring.  `Transport::two_copy`
+//    models the classic shared-memory eager path (copy-in + copy-out per
+//    hop, Open MPI / MPICH style); `Transport::single_copy` models the
+//    kernel-assisted (CMA/KNEM) path where the receiver pulls straight from
+//    the sender's buffer.
+//  * Rabenseifner [50] — recursive-halving reduce-scatter + recursive-
+//    doubling allgather; logarithmic step count, wins on small messages.
+//  * DPML [13] — data-partitioning multi-leader parallel reduction: every
+//    rank copies its whole buffer to shared memory, then all ranks reduce
+//    disjoint partitions (a thin wrapper over coll::dpml_two_level_* with
+//    the hierarchy disabled).
+//  * RG [34] — the Intel-style pipelined k-ary tree reduction on shared
+//    memory (children copy slices into per-rank shared slots, parents
+//    reduce), plus the derived all-reduce (tree reduce + pipelined bcast).
+//  * XPMEM-direct [30, 31] — Hashmi-style shared-address-space collectives:
+//    ranks map peers' buffers and reduce/copy them in place with
+//    memmove-threshold copies (no adaptive NT decision).  Requires the
+//    thread backend (or a kernel allowing process_vm_readv).
+//
+// All functions follow the buffer semantics of yhccl::coll.
+#pragma once
+
+#include "yhccl/coll/coll.hpp"
+#include "yhccl/runtime/team.hpp"
+
+namespace yhccl::base {
+
+using coll::CollOpts;
+using rt::RankCtx;
+
+enum class Transport {
+  two_copy,     ///< eager shared-memory FIFO (copy-in + copy-out)
+  single_copy,  ///< rendezvous pull (kernel-assisted model)
+};
+
+// ---- Ring [45] -------------------------------------------------------------
+
+void ring_reduce_scatter(RankCtx& ctx, const void* send, void* recv,
+                         std::size_t count, Datatype d, ReduceOp op,
+                         Transport t = Transport::two_copy);
+void ring_allgather(RankCtx& ctx, const void* send, void* recv,
+                    std::size_t count, Datatype d,
+                    Transport t = Transport::two_copy);
+void ring_allreduce(RankCtx& ctx, const void* send, void* recv,
+                    std::size_t count, Datatype d, ReduceOp op,
+                    Transport t = Transport::two_copy);
+
+// ---- Rabenseifner [50] (rank count must be a power of two) -----------------
+
+void rabenseifner_reduce_scatter(RankCtx& ctx, const void* send, void* recv,
+                                 std::size_t count, Datatype d, ReduceOp op,
+                                 Transport t = Transport::two_copy);
+void rabenseifner_allreduce(RankCtx& ctx, const void* send, void* recv,
+                            std::size_t count, Datatype d, ReduceOp op,
+                            Transport t = Transport::two_copy);
+
+// ---- DPML [13] --------------------------------------------------------------
+
+void dpml_reduce_scatter(RankCtx& ctx, const void* send, void* recv,
+                         std::size_t count, Datatype d, ReduceOp op,
+                         const CollOpts& opts = {});
+void dpml_allreduce(RankCtx& ctx, const void* send, void* recv,
+                    std::size_t count, Datatype d, ReduceOp op,
+                    const CollOpts& opts = {});
+void dpml_reduce(RankCtx& ctx, const void* send, void* recv,
+                 std::size_t count, Datatype d, ReduceOp op, int root,
+                 const CollOpts& opts = {});
+
+// ---- RG pipelined tree [34] -------------------------------------------------
+
+struct RgOpts {
+  int branch = 2;                   ///< k, branching degree
+  std::size_t slice = 128u << 10;   ///< pipeline slice size (paper §5.3)
+};
+
+void rg_reduce(RankCtx& ctx, const void* send, void* recv, std::size_t count,
+               Datatype d, ReduceOp op, int root, const RgOpts& opts = {});
+void rg_allreduce(RankCtx& ctx, const void* send, void* recv,
+                  std::size_t count, Datatype d, ReduceOp op,
+                  const RgOpts& opts = {});
+
+// ---- XPMEM-style direct shared-address-space collectives [30, 31] ----------
+
+void xpmem_reduce_scatter(RankCtx& ctx, const void* send, void* recv,
+                          std::size_t count, Datatype d, ReduceOp op);
+void xpmem_allreduce(RankCtx& ctx, const void* send, void* recv,
+                     std::size_t count, Datatype d, ReduceOp op);
+void xpmem_reduce(RankCtx& ctx, const void* send, void* recv,
+                  std::size_t count, Datatype d, ReduceOp op, int root);
+void xpmem_broadcast(RankCtx& ctx, void* buf, std::size_t count, Datatype d,
+                     int root);
+void xpmem_allgather(RankCtx& ctx, const void* send, void* recv,
+                     std::size_t count, Datatype d);
+
+// ---- Binomial trees (MPICH's small-message algorithms) ----------------------
+// log2(p) rounds of point-to-point messages; latency-optimal, the reason
+// tree-based libraries win the small-message end of Figs. 11/15/16b.
+
+void binomial_broadcast(RankCtx& ctx, void* buf, std::size_t count,
+                        Datatype d, int root,
+                        Transport t = Transport::two_copy);
+void binomial_reduce(RankCtx& ctx, const void* send, void* recv,
+                     std::size_t count, Datatype d, ReduceOp op, int root,
+                     Transport t = Transport::two_copy);
+
+/// Growable thread-local working buffer for the send/recv baselines.
+std::byte* tls_buffer(std::size_t bytes);
+
+}  // namespace yhccl::base

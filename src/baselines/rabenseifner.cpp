@@ -1,0 +1,181 @@
+// Rabenseifner's algorithm [Thakur, Rabenseifner & Gropp 2005]:
+// recursive-halving reduce-scatter followed by recursive-doubling
+// allgather.  Logarithmic step count — the strongest send/recv baseline
+// for small and medium messages (paper Figs. 9/11).
+//
+// Reduce-scatter requires a power-of-two rank count (the benchmarks use
+// one); all-reduce handles any p with the standard fold: ranks beyond the
+// largest power of two first combine into a partner, and receive the
+// result back at the end.
+#include "yhccl/baselines/baselines.hpp"
+#include "yhccl/coll/detail.hpp"
+#include "yhccl/copy/kernels.hpp"
+#include "yhccl/copy/reduce_kernels.hpp"
+
+namespace yhccl::base {
+
+namespace {
+
+bool is_pow2(int v) { return v > 0 && (v & (v - 1)) == 0; }
+
+int floor_pow2(int v) {
+  int r = 1;
+  while (r * 2 <= v) r *= 2;
+  return r;
+}
+
+struct Blocks {
+  std::size_t total, B;
+  std::size_t len(int b) const {
+    const std::size_t start = static_cast<std::size_t>(b) * B;
+    return start >= total ? 0 : std::min(B, total - start);
+  }
+  std::size_t off(int b) const { return static_cast<std::size_t>(b) * B; }
+  /// Bytes covered by block range [lo, hi).
+  std::size_t range_len(int lo, int hi) const {
+    const std::size_t start = off(lo);
+    if (start >= total) return 0;
+    return std::min(off(hi), total) - start;
+  }
+};
+
+/// Recursive-halving reduce-scatter over `pof2` virtual ranks.  `w` holds
+/// this rank's working copy (total bytes) and ends with the completed
+/// block `vr`.  `real` maps virtual to real rank ids.
+template <typename RealFn>
+void halving_rs(RankCtx& ctx, std::byte* w, std::byte* tmp, const Blocks& blk,
+                int vr, int pof2, Datatype d, ReduceOp op, Transport t,
+                const RealFn& real) {
+  int lo = 0, hi = pof2;
+  for (int dist = pof2 / 2; dist >= 1; dist /= 2) {
+    const int partner = real(vr ^ dist);
+    const int mid = lo + (hi - lo) / 2;
+    int keep_lo, keep_hi, send_lo, send_hi;
+    if (vr & dist) {  // my block lives in the upper half
+      keep_lo = mid; keep_hi = hi; send_lo = lo; send_hi = mid;
+    } else {
+      keep_lo = lo; keep_hi = mid; send_lo = mid; send_hi = hi;
+    }
+    const std::size_t sn = blk.range_len(send_lo, send_hi);
+    const std::size_t rn = blk.range_len(keep_lo, keep_hi);
+    if (t == Transport::two_copy)
+      ctx.sendrecv(partner, w + blk.off(send_lo), sn, partner, tmp, rn);
+    else
+      ctx.sendrecv_zc(partner, w + blk.off(send_lo), sn, partner, tmp, rn);
+    if (rn > 0)
+      copy::reduce_inplace(w + blk.off(keep_lo), tmp, rn, d, op);
+    lo = keep_lo;
+    hi = keep_hi;
+  }
+}
+
+/// Recursive-doubling allgather of the completed blocks (inverse of the
+/// halving pattern, so regions stay contiguous).
+template <typename RealFn>
+void doubling_ag(RankCtx& ctx, std::byte* w, const Blocks& blk, int vr,
+                 int pof2, Transport t, const RealFn& real) {
+  int lo = vr, hi = vr + 1;
+  for (int dist = 1; dist < pof2; dist *= 2) {
+    const int partner = real(vr ^ dist);
+    int plo, phi;  // partner's current region mirrors mine across `dist`
+    if (vr & dist) {
+      plo = lo - dist;
+      phi = lo;
+    } else {
+      plo = hi;
+      phi = hi + dist;
+    }
+    const std::size_t sn = blk.range_len(lo, hi);
+    const std::size_t rn = blk.range_len(plo, phi);
+    if (t == Transport::two_copy)
+      ctx.sendrecv(partner, w + blk.off(lo), sn, partner, w + blk.off(plo),
+                   rn);
+    else
+      ctx.sendrecv_zc(partner, w + blk.off(lo), sn, partner,
+                      w + blk.off(plo), rn);
+    lo = std::min(lo, plo);
+    hi = std::max(hi, phi);
+  }
+}
+
+}  // namespace
+
+void rabenseifner_reduce_scatter(RankCtx& ctx, const void* send, void* recv,
+                                 std::size_t count, Datatype d, ReduceOp op,
+                                 Transport t) {
+  coll::detail::check_reduction_args(ctx, send, count, d, op);
+  if (count == 0) return;
+  const int p = ctx.nranks();
+  const std::size_t B = count * dtype_size(d);
+  const auto* sb = static_cast<const std::byte*>(send);
+  auto* rb = static_cast<std::byte*>(recv);
+  if (p == 1) {
+    copy::t_copy(rb, sb, B);
+    return;
+  }
+  YHCCL_REQUIRE(is_pow2(p),
+                "rabenseifner_reduce_scatter needs a power-of-two team");
+  const std::size_t total = B * static_cast<std::size_t>(p);
+  std::byte* w = tls_buffer(total + total / 2);
+  std::byte* tmp = w + total;
+  copy::t_copy(w, sb, total);  // private working copy
+  const Blocks blk{total, B};
+  halving_rs(ctx, w, tmp, blk, ctx.rank(), p, d, op, t,
+             [](int v) { return v; });
+  copy::t_copy(rb, w + blk.off(ctx.rank()), B);
+}
+
+void rabenseifner_allreduce(RankCtx& ctx, const void* send, void* recv,
+                            std::size_t count, Datatype d, ReduceOp op,
+                            Transport t) {
+  coll::detail::check_reduction_args(ctx, send, count, d, op);
+  if (count == 0) return;
+  const int p = ctx.nranks();
+  const int r = ctx.rank();
+  const std::size_t total = count * dtype_size(d);
+  const auto* sb = static_cast<const std::byte*>(send);
+  auto* rb = static_cast<std::byte*>(recv);
+  if (p == 1) {
+    copy::t_copy(rb, sb, total);
+    return;
+  }
+  const int pof2 = floor_pow2(p);
+  const int rem = p - pof2;
+  std::byte* tmp = tls_buffer(total);
+  copy::t_copy(rb, sb, total);  // work in place in the receive buffer
+
+  // Fold: the first 2*rem ranks pair up; evens hand their contribution to
+  // the odd partner and sit out of the core exchange.
+  int vr;  // virtual rank inside the pof2 group, or -1 if folded out
+  if (r < 2 * rem) {
+    if (r % 2 == 0) {
+      ctx.send(r + 1, rb, total);
+      vr = -1;
+    } else {
+      ctx.recv(r - 1, tmp, total);
+      copy::reduce_inplace(rb, tmp, total, d, op);
+      vr = r / 2;
+    }
+  } else {
+    vr = r - rem;
+  }
+  auto real = [&](int v) { return v < rem ? 2 * v + 1 : v + rem; };
+
+  if (vr >= 0) {
+    const std::size_t B = std::max(
+        round_up(ceil_div(total, static_cast<std::size_t>(pof2)), kCacheline),
+        kCacheline);
+    const Blocks blk{total, B};
+    halving_rs(ctx, rb, tmp, blk, vr, pof2, d, op, t, real);
+    doubling_ag(ctx, rb, blk, vr, pof2, t, real);
+  }
+  // Unfold: odd partners return the finished result.
+  if (r < 2 * rem) {
+    if (r % 2 == 1)
+      ctx.send(r - 1, rb, total);
+    else
+      ctx.recv(r + 1, rb, total);
+  }
+}
+
+}  // namespace yhccl::base

@@ -1,0 +1,139 @@
+// Ring collectives [Patarasuk & Yuan 2009]: the bandwidth-optimal
+// send/recv baseline (paper Tables 1-2, Figs. 9/11/15).
+//
+// Two transports model the two intra-node MPI paths the paper discusses:
+// the eager two-copy shared-memory FIFO and the kernel-assisted
+// single-copy pull (CMA/KNEM).  With single-copy, ring reduce-scatter
+// costs 5I per rank per step (2I pull + 3I reduce) — the Table 1 entry of
+// 5*s*(p-1) per node.
+#include <vector>
+
+#include "yhccl/baselines/baselines.hpp"
+#include "yhccl/coll/detail.hpp"
+#include "yhccl/copy/kernels.hpp"
+#include "yhccl/copy/reduce_kernels.hpp"
+
+namespace yhccl::base {
+
+std::byte* tls_buffer(std::size_t bytes) {
+  thread_local std::vector<std::byte> buf;
+  if (buf.size() < bytes) buf.resize(bytes);
+  return buf.data();
+}
+
+namespace {
+
+/// sendrecv dispatch on the transport.
+void exchange(RankCtx& ctx, int right, const void* sbuf, std::size_t sn,
+              int left, void* rbuf, std::size_t rn, Transport t) {
+  if (t == Transport::two_copy)
+    ctx.sendrecv(right, sbuf, sn, left, rbuf, rn);
+  else
+    ctx.sendrecv_zc(right, sbuf, sn, left, rbuf, rn);
+}
+
+}  // namespace
+
+void ring_reduce_scatter(RankCtx& ctx, const void* send, void* recv,
+                         std::size_t count, Datatype d, ReduceOp op,
+                         Transport t) {
+  coll::detail::check_reduction_args(ctx, send, count, d, op);
+  if (count == 0) return;
+  const int p = ctx.nranks();
+  const int r = ctx.rank();
+  const std::size_t B = count * dtype_size(d);
+  const auto* sb = static_cast<const std::byte*>(send);
+  auto* rb = static_cast<std::byte*>(recv);
+  if (p == 1) {
+    copy::t_copy(rb, sb, B);
+    return;
+  }
+  const int right = (r + 1) % p;
+  const int left = (r + p - 1) % p;
+  std::byte* acc = tls_buffer(2 * B);  // travelling partial
+  std::byte* tmp = acc + B;            // incoming partial
+
+  // Block b's partial starts at rank b+1 and travels down the ring; after
+  // p-1 hops it completes at its owner b.
+  for (int k = 0; k < p - 1; ++k) {
+    const int sblk = (r - 1 - k + 2 * p) % p;
+    const int rblk = (sblk - 1 + p) % p;
+    const std::byte* src = k == 0 ? sb + static_cast<std::size_t>(sblk) * B
+                                  : acc;
+    exchange(ctx, right, src, B, left, tmp, B, t);
+    if (k < p - 2)
+      copy::reduce_out(acc, sb + static_cast<std::size_t>(rblk) * B, tmp, B,
+                       d, op, /*nt_store=*/false);
+    else  // final hop: my own block completes
+      copy::reduce_out(rb, sb + static_cast<std::size_t>(rblk) * B, tmp, B,
+                       d, op, /*nt_store=*/false);
+  }
+}
+
+void ring_allgather(RankCtx& ctx, const void* send, void* recv,
+                    std::size_t count, Datatype d, Transport t) {
+  if (count == 0) return;
+  const int p = ctx.nranks();
+  const int r = ctx.rank();
+  const std::size_t B = count * dtype_size(d);
+  const auto* sb = static_cast<const std::byte*>(send);
+  auto* rb = static_cast<std::byte*>(recv);
+  copy::t_copy(rb + static_cast<std::size_t>(r) * B, sb, B);
+  if (p == 1) return;
+  const int right = (r + 1) % p;
+  const int left = (r + p - 1) % p;
+  for (int k = 0; k < p - 1; ++k) {
+    const int sblk = (r - k + p) % p;
+    const int rblk = (sblk - 1 + p) % p;
+    exchange(ctx, right, rb + static_cast<std::size_t>(sblk) * B, B, left,
+             rb + static_cast<std::size_t>(rblk) * B, B, t);
+  }
+}
+
+void ring_allreduce(RankCtx& ctx, const void* send, void* recv,
+                    std::size_t count, Datatype d, ReduceOp op, Transport t) {
+  coll::detail::check_reduction_args(ctx, send, count, d, op);
+  if (count == 0) return;
+  const int p = ctx.nranks();
+  const int r = ctx.rank();
+  const std::size_t total = count * dtype_size(d);
+  const auto* sb = static_cast<const std::byte*>(send);
+  auto* rb = static_cast<std::byte*>(recv);
+  if (p == 1) {
+    copy::t_copy(rb, sb, total);
+    return;
+  }
+  // Ragged cacheline-aligned blocks; partials accumulate in the receive
+  // buffer so no extra working copy is needed.
+  const std::size_t B = std::max(
+      round_up(ceil_div(total, static_cast<std::size_t>(p)), kCacheline),
+      kCacheline);
+  auto blen = [&](int b) -> std::size_t {
+    const std::size_t start = static_cast<std::size_t>(b) * B;
+    return start >= total ? 0 : std::min(B, total - start);
+  };
+  auto boff = [&](int b) { return static_cast<std::size_t>(b) * B; };
+  const int right = (r + 1) % p;
+  const int left = (r + p - 1) % p;
+  std::byte* tmp = tls_buffer(B);
+
+  // Phase 1: ring reduce-scatter (partials live in recv).
+  for (int k = 0; k < p - 1; ++k) {
+    const int sblk = (r - 1 - k + 2 * p) % p;
+    const int rblk = (sblk - 1 + p) % p;
+    const std::byte* src = k == 0 ? sb + boff(sblk) : rb + boff(sblk);
+    exchange(ctx, right, src, blen(sblk), left, tmp, blen(rblk), t);
+    if (blen(rblk) > 0)
+      copy::reduce_out(rb + boff(rblk), sb + boff(rblk), tmp, blen(rblk), d,
+                       op, /*nt_store=*/false);
+  }
+  // Phase 2: ring allgather of the completed blocks.
+  for (int k = 0; k < p - 1; ++k) {
+    const int sblk = (r - k + p) % p;
+    const int rblk = (sblk - 1 + p) % p;
+    exchange(ctx, right, rb + boff(sblk), blen(sblk), left, rb + boff(rblk),
+             blen(rblk), t);
+  }
+}
+
+}  // namespace yhccl::base

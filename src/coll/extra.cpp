@@ -1,0 +1,251 @@
+#include "yhccl/coll/extra.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "yhccl/coll/detail.hpp"
+#include "yhccl/copy/policy.hpp"
+
+namespace yhccl::coll {
+
+namespace {
+
+std::size_t pipe_slice(std::size_t block, const CollOpts& opts) {
+  const std::size_t imax =
+      std::max(round_up(opts.slice_max, kCacheline), kCacheline);
+  return std::min(round_up(std::max<std::size_t>(block, 1), kCacheline),
+                  imax);
+}
+
+}  // namespace
+
+std::uint32_t morton_encode(std::uint16_t x, std::uint16_t y) noexcept {
+  auto spread = [](std::uint32_t v) {
+    v &= 0xffff;
+    v = (v | (v << 8)) & 0x00ff00ff;
+    v = (v | (v << 4)) & 0x0f0f0f0f;
+    v = (v | (v << 2)) & 0x33333333;
+    v = (v | (v << 1)) & 0x55555555;
+    return v;
+  };
+  return spread(x) | (spread(y) << 1);
+}
+
+void scatter(RankCtx& ctx, const void* send, void* recv, std::size_t count,
+             Datatype d, int root, const CollOpts& opts) {
+  if (count == 0) return;
+  const int p = ctx.nranks();
+  const std::size_t B = count * dtype_size(d);
+  const auto* sb = static_cast<const std::byte*>(send);
+  auto* rb = static_cast<std::byte*>(recv);
+  if (p == 1) {
+    copy::t_copy(rb, sb, B);
+    return;
+  }
+  const std::size_t I = pipe_slice(B, opts);
+  const std::size_t nsl = ceil_div(B, I);
+  detail::ScratchCarver carve(ctx);
+  std::byte* shm = carve.take(2 * static_cast<std::size_t>(p) * I);
+  auto slot = [&](int b, std::size_t t) {
+    return shm + (static_cast<std::size_t>(t % 2) * p +
+                  static_cast<std::size_t>(b)) *
+                     I;
+  };
+  const std::size_t C = ctx.cache().available(p);
+  const std::size_t W = 2 * B * static_cast<std::size_t>(p) +
+                        2 * static_cast<std::size_t>(p) * I;
+  auto len = [&](std::size_t t) { return std::min(I, B - t * I); };
+
+  for (std::size_t t = 0; t < nsl; ++t) {
+    if (ctx.rank() == root) {
+      for (int b = 0; b < p; ++b)
+        copy::dispatch_copy(opts.policy, slot(b, t),
+                            sb + static_cast<std::size_t>(b) * B + t * I,
+                            len(t), /*temporal_hint=*/true, C, W);
+    }
+    if (t >= 1)
+      copy::dispatch_copy(opts.policy, rb + (t - 1) * I,
+                          slot(ctx.rank(), t - 1), len(t - 1),
+                          /*temporal_hint=*/false, C, W);
+    ctx.barrier();
+  }
+  copy::dispatch_copy(opts.policy, rb + (nsl - 1) * I,
+                      slot(ctx.rank(), nsl - 1), len(nsl - 1),
+                      /*temporal_hint=*/false, C, W);
+  ctx.barrier();
+}
+
+void gather(RankCtx& ctx, const void* send, void* recv, std::size_t count,
+            Datatype d, int root, const CollOpts& opts) {
+  if (count == 0) return;
+  const int p = ctx.nranks();
+  const std::size_t B = count * dtype_size(d);
+  const auto* sb = static_cast<const std::byte*>(send);
+  auto* rb = static_cast<std::byte*>(recv);
+  if (p == 1) {
+    copy::t_copy(rb, sb, B);
+    return;
+  }
+  const std::size_t I = pipe_slice(B, opts);
+  const std::size_t nsl = ceil_div(B, I);
+  detail::ScratchCarver carve(ctx);
+  std::byte* shm = carve.take(2 * static_cast<std::size_t>(p) * I);
+  auto slot = [&](int b, std::size_t t) {
+    return shm + (static_cast<std::size_t>(t % 2) * p +
+                  static_cast<std::size_t>(b)) *
+                     I;
+  };
+  const std::size_t C = ctx.cache().available(p);
+  const std::size_t W = 2 * B * static_cast<std::size_t>(p) +
+                        2 * static_cast<std::size_t>(p) * I;
+  auto len = [&](std::size_t t) { return std::min(I, B - t * I); };
+
+  for (std::size_t t = 0; t < nsl; ++t) {
+    copy::dispatch_copy(opts.policy, slot(ctx.rank(), t), sb + t * I,
+                        len(t), /*temporal_hint=*/true, C, W);
+    if (ctx.rank() == root && t >= 1) {
+      for (int b = 0; b < p; ++b)
+        copy::dispatch_copy(opts.policy,
+                            rb + static_cast<std::size_t>(b) * B + (t - 1) * I,
+                            slot(b, t - 1), len(t - 1),
+                            /*temporal_hint=*/false, C, W);
+    }
+    ctx.barrier();
+  }
+  if (ctx.rank() == root) {
+    for (int b = 0; b < p; ++b)
+      copy::dispatch_copy(opts.policy,
+                          rb + static_cast<std::size_t>(b) * B + (nsl - 1) * I,
+                          slot(b, nsl - 1), len(nsl - 1),
+                          /*temporal_hint=*/false, C, W);
+  }
+  ctx.barrier();
+}
+
+namespace {
+
+constexpr int kA2ASendSlot = 2;  // registry slots (0/1 used by baselines)
+constexpr int kA2ARecvSlot = 3;
+
+void alltoall_staged(RankCtx& ctx, const std::byte* sb, std::byte* rb,
+                     std::size_t B, const CollOpts& opts) {
+  const int p = ctx.nranks();
+  const auto r = static_cast<std::size_t>(ctx.rank());
+  const std::size_t I = pipe_slice(B, opts);
+  const std::size_t nsl = ceil_div(B, I);
+  detail::ScratchCarver carve(ctx);
+  // Row r holds rank r's p outgoing sub-slices for the current round.
+  std::byte* shm = carve.take(static_cast<std::size_t>(p) *
+                              static_cast<std::size_t>(p) * I);
+  auto cell = [&](std::size_t row, std::size_t col) {
+    return shm + (row * static_cast<std::size_t>(p) + col) * I;
+  };
+  const std::size_t C = ctx.cache().available(p);
+  const std::size_t W = 2 * B * static_cast<std::size_t>(p) *
+                            static_cast<std::size_t>(p) +
+                        static_cast<std::size_t>(p) *
+                            static_cast<std::size_t>(p) * I;
+  auto len = [&](std::size_t t) { return std::min(I, B - t * I); };
+
+  for (std::size_t t = 0; t < nsl; ++t) {
+    for (int b = 0; b < p; ++b)
+      copy::dispatch_copy(opts.policy, cell(r, static_cast<std::size_t>(b)),
+                          sb + static_cast<std::size_t>(b) * B + t * I,
+                          len(t), /*temporal_hint=*/true, C, W);
+    ctx.barrier();
+    // Gather my column; start at my own row to stagger the readers.
+    for (int k = 0; k < p; ++k) {
+      const auto a = static_cast<std::size_t>((ctx.rank() + k) % p);
+      copy::dispatch_copy(opts.policy, rb + a * B + t * I, cell(a, r),
+                          len(t), /*temporal_hint=*/false, C, W);
+    }
+    ctx.barrier();
+  }
+}
+
+void alltoall_direct(RankCtx& ctx, const std::byte* sb, std::byte* rb,
+                     std::size_t B, const CollOpts& opts, bool morton) {
+  const int p = ctx.nranks();
+  ctx.publish_buffer(kA2ASendSlot, sb, B * static_cast<std::size_t>(p));
+  ctx.publish_buffer(kA2ARecvSlot, rb, B * static_cast<std::size_t>(p));
+  ctx.barrier();
+  const std::size_t C = ctx.cache().available(p);
+  const std::size_t W = 2 * B * static_cast<std::size_t>(p) *
+                        static_cast<std::size_t>(p);
+
+  if (!morton) {
+    // Each rank pulls its own incoming blocks, staggered by source.
+    for (int k = 0; k < p; ++k) {
+      const int a = (ctx.rank() + 1 + k) % p;
+      const auto src = ctx.remote_buffer(a, kA2ASendSlot);
+      YHCCL_REQUIRE(src.pid == getpid(),
+                    "alltoall direct needs a shared address space");
+      copy::dispatch_copy(
+          opts.policy, rb + static_cast<std::size_t>(a) * B,
+          static_cast<const std::byte*>(src.ptr) +
+              static_cast<std::size_t>(ctx.rank()) * B,
+          B, /*temporal_hint=*/false, C, W);
+    }
+  } else {
+    // Cooperative cache-oblivious transpose [41]: the p x p (src, dst)
+    // block matrix is walked in Morton (Z-curve) order; pair j is executed
+    // by rank (j mod p), writing straight into the destination's receive
+    // buffer.  The Z-curve keeps consecutive pairs' working sets
+    // overlapping, so small blocks stay cache-resident across the sweep.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+    pairs.reserve(static_cast<std::size_t>(p) * p);
+    for (int src_r = 0; src_r < p; ++src_r)
+      for (int dst_r = 0; dst_r < p; ++dst_r)
+        pairs.emplace_back(morton_encode(static_cast<std::uint16_t>(src_r),
+                                         static_cast<std::uint16_t>(dst_r)),
+                           static_cast<std::uint32_t>(src_r * p + dst_r));
+    std::sort(pairs.begin(), pairs.end());
+    for (std::size_t j = 0; j < pairs.size(); ++j) {
+      if (j % static_cast<std::size_t>(p) !=
+          static_cast<std::size_t>(ctx.rank()))
+        continue;
+      const int src_r = static_cast<int>(pairs[j].second) / p;
+      const int dst_r = static_cast<int>(pairs[j].second) % p;
+      const auto src = ctx.remote_buffer(src_r, kA2ASendSlot);
+      const auto dst = ctx.remote_buffer(dst_r, kA2ARecvSlot);
+      YHCCL_REQUIRE(src.pid == getpid() && dst.pid == getpid(),
+                    "alltoall morton needs a shared address space");
+      copy::dispatch_copy(
+          opts.policy,
+          const_cast<std::byte*>(static_cast<const std::byte*>(dst.ptr)) +
+              static_cast<std::size_t>(src_r) * B,
+          static_cast<const std::byte*>(src.ptr) +
+              static_cast<std::size_t>(dst_r) * B,
+          B, /*temporal_hint=*/false, C, W);
+    }
+  }
+  ctx.barrier();  // all pulls complete before buffers may be reused
+}
+
+}  // namespace
+
+void alltoall(RankCtx& ctx, const void* send, void* recv, std::size_t count,
+              Datatype d, const CollOpts& opts, AlltoallAlgo algo) {
+  if (count == 0) return;
+  const int p = ctx.nranks();
+  const std::size_t B = count * dtype_size(d);
+  const auto* sb = static_cast<const std::byte*>(send);
+  auto* rb = static_cast<std::byte*>(recv);
+  if (p == 1) {
+    copy::t_copy(rb, sb, B);
+    return;
+  }
+  switch (algo) {
+    case AlltoallAlgo::staged:
+      return alltoall_staged(ctx, sb, rb, B, opts);
+    case AlltoallAlgo::direct:
+      return alltoall_direct(ctx, sb, rb, B, opts, /*morton=*/false);
+    case AlltoallAlgo::direct_morton:
+      return alltoall_direct(ctx, sb, rb, B, opts, /*morton=*/true);
+  }
+}
+
+}  // namespace yhccl::coll

@@ -1,0 +1,43 @@
+// Additional shared-memory collectives beyond the paper's core five —
+// the API surface a production deployment of YHCCL needs (the paper notes
+// the library "has been deployed ... to support a wide range of MPI
+// workloads").  All use the same pipelined shared-memory machinery and
+// adaptive-copy policy as §4.
+//
+//  * scatter   — root distributes block i to rank i, pipelined through a
+//                double-buffered p-slot window (inverse of all-gather's
+//                copy-in side).
+//  * gather    — ranks deposit slices, the root drains them per round.
+//  * alltoall  — personalized exchange.  Three algorithms:
+//      - staged: each rank stages its outgoing row of the p x p block
+//        matrix in shared memory; after a barrier every rank gathers its
+//        column.  O(p^2 I) shared window per round.
+//      - direct: XPMEM-style — publish send buffers, copy peers' blocks
+//        straight out (thread-backed teams).
+//      - direct_morton: like direct, but the (src, dst) block matrix is
+//        walked in Morton (Z-curve) order, the cache-oblivious traversal
+//        of Li et al. [41] the paper cites; improves locality when blocks
+//        are small enough that many fit in cache.
+#pragma once
+
+#include "yhccl/coll/coll.hpp"
+
+namespace yhccl::coll {
+
+void scatter(RankCtx& ctx, const void* send, void* recv, std::size_t count,
+             Datatype d, int root, const CollOpts& opts = {});
+
+void gather(RankCtx& ctx, const void* send, void* recv, std::size_t count,
+            Datatype d, int root, const CollOpts& opts = {});
+
+enum class AlltoallAlgo : int { staged, direct, direct_morton };
+
+void alltoall(RankCtx& ctx, const void* send, void* recv, std::size_t count,
+              Datatype d, const CollOpts& opts = {},
+              AlltoallAlgo algo = AlltoallAlgo::staged);
+
+/// Morton (Z-order) interleave of two 16-bit coordinates — exposed for
+/// tests of the cache-oblivious traversal.
+std::uint32_t morton_encode(std::uint16_t x, std::uint16_t y) noexcept;
+
+}  // namespace yhccl::coll

@@ -1,0 +1,89 @@
+// Collective profiling (the paper ships a PMPI-based profiling tool with
+// YHCCL, §5.1).  Each rank keeps a CollProfiler; wrappers time every
+// collective call and attribute its wall time, payload bytes and measured
+// data-access volume (DAV) per collective kind.  Per-rank profiles merge
+// into a node view whose achieved DAB (DAV / time) can be compared with
+// the machine's memory bandwidth — the paper's §5.4 analysis in tool form.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "yhccl/coll/coll.hpp"
+#include "yhccl/copy/dav.hpp"
+
+namespace yhccl::coll {
+
+enum class CollKind : int {
+  allreduce,
+  reduce,
+  reduce_scatter,
+  broadcast,
+  allgather,
+  kCount_,
+};
+
+constexpr const char* coll_kind_name(CollKind k) noexcept {
+  switch (k) {
+    case CollKind::allreduce: return "allreduce";
+    case CollKind::reduce: return "reduce";
+    case CollKind::reduce_scatter: return "reduce_scatter";
+    case CollKind::broadcast: return "broadcast";
+    case CollKind::allgather: return "allgather";
+    default: return "?";
+  }
+}
+
+class CollProfiler {
+ public:
+  struct Record {
+    std::uint64_t calls = 0;
+    std::uint64_t payload_bytes = 0;  ///< message bytes (user-visible)
+    double seconds = 0;               ///< wall time inside the collective
+    copy::Dav dav;                    ///< measured memory traffic
+
+    /// Achieved data-access bandwidth, bytes/s.
+    double dab() const noexcept {
+      return seconds > 0 ? static_cast<double>(dav.total()) / seconds : 0;
+    }
+  };
+
+  void add(CollKind k, std::size_t payload, double seconds,
+           const copy::Dav& dav) noexcept;
+  const Record& get(CollKind k) const noexcept;
+  Record total() const noexcept;
+
+  /// Merge another rank's profile into this one (times are summed; the
+  /// node-level DAB then reflects aggregate traffic over summed time).
+  CollProfiler& operator+=(const CollProfiler& o) noexcept;
+
+  void reset() noexcept { *this = CollProfiler{}; }
+
+  /// Human-readable per-kind table.
+  std::string report() const;
+
+ private:
+  Record records_[static_cast<int>(CollKind::kCount_)];
+};
+
+// ---- profiled wrappers -------------------------------------------------------
+// Identical signatures to yhccl::coll with a leading per-rank profiler.
+
+void allreduce(CollProfiler& prof, RankCtx& ctx, const void* send,
+               void* recv, std::size_t count, Datatype d, ReduceOp op,
+               const CollOpts& opts = {});
+void reduce(CollProfiler& prof, RankCtx& ctx, const void* send, void* recv,
+            std::size_t count, Datatype d, ReduceOp op, int root,
+            const CollOpts& opts = {});
+void reduce_scatter(CollProfiler& prof, RankCtx& ctx, const void* send,
+                    void* recv, std::size_t count, Datatype d, ReduceOp op,
+                    const CollOpts& opts = {});
+void broadcast(CollProfiler& prof, RankCtx& ctx, void* buf,
+               std::size_t count, Datatype d, int root,
+               const CollOpts& opts = {});
+void allgather(CollProfiler& prof, RankCtx& ctx, const void* send,
+               void* recv, std::size_t count, Datatype d,
+               const CollOpts& opts = {});
+
+}  // namespace yhccl::coll

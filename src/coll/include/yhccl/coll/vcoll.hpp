@@ -1,0 +1,43 @@
+// Variable-count ("v") collectives: MPI_Allgatherv / MPI_Reduce_scatter /
+// MPI_Scatterv / MPI_Gatherv equivalents.  Real applications (AMR codes,
+// graph partitioners) almost always need these — per-rank contributions
+// are uneven — and they stress the slicing machinery with ragged,
+// possibly zero-length blocks.
+//
+// `counts` is an nranks-sized array of per-rank element counts, identical
+// on every rank.  Displacements are implicit (packed in rank order), like
+// the common MPI usage with prefix-sum displs.
+//
+// reduce_scatterv uses a variable-block movement-avoiding schedule: the
+// same copy-minimal slice rotation as §3.2, with ownership blocks of
+// different sizes — rank r's reduction tree still copies exactly one
+// slice per round into shared memory.
+#pragma once
+
+#include "yhccl/coll/coll.hpp"
+
+namespace yhccl::coll {
+
+/// recv must hold sum(counts) elements on every rank; rank r contributes
+/// `counts[r]` elements from send.
+void allgatherv(RankCtx& ctx, const void* send, void* recv,
+                const std::size_t* counts, Datatype d,
+                const CollOpts& opts = {});
+
+/// send holds sum(counts) elements on every rank; rank r receives the
+/// reduction of its `counts[r]`-element block in recv.
+void reduce_scatterv(RankCtx& ctx, const void* send, void* recv,
+                     const std::size_t* counts, Datatype d, ReduceOp op,
+                     const CollOpts& opts = {});
+
+/// Root's send holds sum(counts) elements; rank r receives counts[r].
+void scatterv(RankCtx& ctx, const void* send, void* recv,
+              const std::size_t* counts, Datatype d, int root,
+              const CollOpts& opts = {});
+
+/// Rank r contributes counts[r] elements; root's recv holds sum(counts).
+void gatherv(RankCtx& ctx, const void* send, void* recv,
+             const std::size_t* counts, Datatype d, int root,
+             const CollOpts& opts = {});
+
+}  // namespace yhccl::coll

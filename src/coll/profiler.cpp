@@ -1,0 +1,120 @@
+#include "yhccl/coll/profiler.hpp"
+
+#include <cstdio>
+
+#include "yhccl/common/time.hpp"
+
+namespace yhccl::coll {
+
+void CollProfiler::add(CollKind k, std::size_t payload, double seconds,
+                       const copy::Dav& dav) noexcept {
+  auto& r = records_[static_cast<int>(k)];
+  ++r.calls;
+  r.payload_bytes += payload;
+  r.seconds += seconds;
+  r.dav += dav;
+}
+
+const CollProfiler::Record& CollProfiler::get(CollKind k) const noexcept {
+  return records_[static_cast<int>(k)];
+}
+
+CollProfiler::Record CollProfiler::total() const noexcept {
+  Record t;
+  for (const auto& r : records_) {
+    t.calls += r.calls;
+    t.payload_bytes += r.payload_bytes;
+    t.seconds += r.seconds;
+    t.dav += r.dav;
+  }
+  return t;
+}
+
+CollProfiler& CollProfiler::operator+=(const CollProfiler& o) noexcept {
+  for (int k = 0; k < static_cast<int>(CollKind::kCount_); ++k) {
+    records_[k].calls += o.records_[k].calls;
+    records_[k].payload_bytes += o.records_[k].payload_bytes;
+    records_[k].seconds += o.records_[k].seconds;
+    records_[k].dav += o.records_[k].dav;
+  }
+  return *this;
+}
+
+std::string CollProfiler::report() const {
+  char line[160];
+  std::string out;
+  std::snprintf(line, sizeof line, "%-16s %8s %12s %10s %12s %10s\n",
+                "collective", "calls", "payload(MB)", "time(s)", "DAV(MB)",
+                "DAB(GB/s)");
+  out += line;
+  for (int k = 0; k < static_cast<int>(CollKind::kCount_); ++k) {
+    const auto& r = records_[k];
+    if (r.calls == 0) continue;
+    std::snprintf(line, sizeof line, "%-16s %8llu %12.1f %10.4f %12.1f %10.2f\n",
+                  coll_kind_name(static_cast<CollKind>(k)),
+                  static_cast<unsigned long long>(r.calls),
+                  r.payload_bytes / 1e6, r.seconds, r.dav.total() / 1e6,
+                  r.dab() / 1e9);
+    out += line;
+  }
+  const auto t = total();
+  std::snprintf(line, sizeof line, "%-16s %8llu %12.1f %10.4f %12.1f %10.2f\n",
+                "TOTAL", static_cast<unsigned long long>(t.calls),
+                t.payload_bytes / 1e6, t.seconds, t.dav.total() / 1e6,
+                t.dab() / 1e9);
+  out += line;
+  return out;
+}
+
+namespace {
+
+template <typename Fn>
+void profiled(CollProfiler& prof, CollKind k, std::size_t payload,
+              const Fn& fn) {
+  const copy::DavScope dav;
+  const Timer timer;
+  fn();
+  prof.add(k, payload, timer.elapsed(), dav.delta());
+}
+
+}  // namespace
+
+void allreduce(CollProfiler& prof, RankCtx& ctx, const void* send,
+               void* recv, std::size_t count, Datatype d, ReduceOp op,
+               const CollOpts& opts) {
+  profiled(prof, CollKind::allreduce, count * dtype_size(d), [&] {
+    allreduce(ctx, send, recv, count, d, op, opts);
+  });
+}
+
+void reduce(CollProfiler& prof, RankCtx& ctx, const void* send, void* recv,
+            std::size_t count, Datatype d, ReduceOp op, int root,
+            const CollOpts& opts) {
+  profiled(prof, CollKind::reduce, count * dtype_size(d), [&] {
+    reduce(ctx, send, recv, count, d, op, root, opts);
+  });
+}
+
+void reduce_scatter(CollProfiler& prof, RankCtx& ctx, const void* send,
+                    void* recv, std::size_t count, Datatype d, ReduceOp op,
+                    const CollOpts& opts) {
+  profiled(prof, CollKind::reduce_scatter,
+           count * dtype_size(d) * static_cast<std::size_t>(ctx.nranks()),
+           [&] { reduce_scatter(ctx, send, recv, count, d, op, opts); });
+}
+
+void broadcast(CollProfiler& prof, RankCtx& ctx, void* buf,
+               std::size_t count, Datatype d, int root,
+               const CollOpts& opts) {
+  profiled(prof, CollKind::broadcast, count * dtype_size(d),
+           [&] { broadcast(ctx, buf, count, d, root, opts); });
+}
+
+void allgather(CollProfiler& prof, RankCtx& ctx, const void* send,
+               void* recv, std::size_t count, Datatype d,
+               const CollOpts& opts) {
+  profiled(prof, CollKind::allgather, count * dtype_size(d),
+           [&] { allgather(ctx, send, recv, count, d, opts); });
+}
+
+}  // namespace yhccl::coll

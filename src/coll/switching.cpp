@@ -1,0 +1,74 @@
+// Algorithm switching (paper §5.1 and Fig. 4): the generic entry points
+// route small reductions to the two-level DPML parallel reduction (cheap
+// synchronization) and everything else to the socket-aware MA reduction
+// (minimal data movement), falling back to flat MA on single-socket teams.
+#include "yhccl/coll/coll.hpp"
+#include "yhccl/coll/detail.hpp"
+
+namespace yhccl::coll {
+
+Algorithm choose_reduction_algorithm(const RankCtx& ctx,
+                                     std::size_t msg_bytes,
+                                     const CollOpts& opts) {
+  if (opts.algorithm != Algorithm::automatic) return opts.algorithm;
+  if (msg_bytes <= opts.small_msg_threshold) return Algorithm::dpml_two_level;
+  auto& topo = const_cast<RankCtx&>(ctx).team().topo();
+  if (topo.nsockets() > 1 && topo.nranks() % topo.nsockets() == 0)
+    return Algorithm::ma_socket_aware;
+  return Algorithm::ma_flat;
+}
+
+void reduce_scatter(RankCtx& ctx, const void* send, void* recv,
+                    std::size_t count, Datatype d, ReduceOp op,
+                    const CollOpts& opts) {
+  const std::size_t total =
+      count * dtype_size(d) * static_cast<std::size_t>(ctx.nranks());
+  switch (choose_reduction_algorithm(ctx, total, opts)) {
+    case Algorithm::dpml_two_level:
+      return dpml_two_level_reduce_scatter(ctx, send, recv, count, d, op,
+                                           opts);
+    case Algorithm::ma_socket_aware:
+      return socket_ma_reduce_scatter(ctx, send, recv, count, d, op, opts);
+    default:
+      return ma_reduce_scatter(ctx, send, recv, count, d, op, opts);
+  }
+}
+
+void allreduce(RankCtx& ctx, const void* send, void* recv, std::size_t count,
+               Datatype d, ReduceOp op, const CollOpts& opts) {
+  const std::size_t total = count * dtype_size(d);
+  switch (choose_reduction_algorithm(ctx, total, opts)) {
+    case Algorithm::dpml_two_level:
+      return dpml_two_level_allreduce(ctx, send, recv, count, d, op, opts);
+    case Algorithm::ma_socket_aware:
+      return socket_ma_allreduce(ctx, send, recv, count, d, op, opts);
+    default:
+      return ma_allreduce(ctx, send, recv, count, d, op, opts);
+  }
+}
+
+void reduce(RankCtx& ctx, const void* send, void* recv, std::size_t count,
+            Datatype d, ReduceOp op, int root, const CollOpts& opts) {
+  const std::size_t total = count * dtype_size(d);
+  switch (choose_reduction_algorithm(ctx, total, opts)) {
+    case Algorithm::dpml_two_level:
+      return dpml_two_level_reduce(ctx, send, recv, count, d, op, root,
+                                   opts);
+    case Algorithm::ma_socket_aware:
+      return socket_ma_reduce(ctx, send, recv, count, d, op, root, opts);
+    default:
+      return ma_reduce(ctx, send, recv, count, d, op, root, opts);
+  }
+}
+
+void broadcast(RankCtx& ctx, void* buf, std::size_t count, Datatype d,
+               int root, const CollOpts& opts) {
+  pipelined_broadcast(ctx, buf, count, d, root, opts);
+}
+
+void allgather(RankCtx& ctx, const void* send, void* recv, std::size_t count,
+               Datatype d, const CollOpts& opts) {
+  pipelined_allgather(ctx, send, recv, count, d, opts);
+}
+
+}  // namespace yhccl::coll

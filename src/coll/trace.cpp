@@ -1,0 +1,192 @@
+#include "yhccl/coll/trace.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "yhccl/common/error.hpp"
+#include "yhccl/common/time.hpp"
+
+namespace yhccl::coll {
+
+double CollTrace::recorded_seconds() const noexcept {
+  double t = 0;
+  for (const auto& e : events_) t += e.seconds;
+  return t;
+}
+
+std::string CollTrace::to_csv() const {
+  std::string out = "kind,count,dtype,op,root,seconds\n";
+  char line[160];
+  for (const auto& e : events_) {
+    std::snprintf(line, sizeof line, "%s,%zu,%s,%s,%d,%.9f\n",
+                  coll_kind_name(e.kind), e.count,
+                  std::string(dtype_name(e.dtype)).c_str(),
+                  std::string(op_name(e.op)).c_str(), e.root, e.seconds);
+    out += line;
+  }
+  return out;
+}
+
+namespace {
+
+CollKind parse_kind(const std::string& s) {
+  for (int k = 0; k < static_cast<int>(CollKind::kCount_); ++k)
+    if (s == coll_kind_name(static_cast<CollKind>(k)))
+      return static_cast<CollKind>(k);
+  raise("unknown collective kind in trace: " + s);
+}
+
+Datatype parse_dtype(const std::string& s) {
+  for (Datatype d : {Datatype::u8, Datatype::i32, Datatype::i64,
+                     Datatype::f32, Datatype::f64})
+    if (s == dtype_name(d)) return d;
+  raise("unknown dtype in trace: " + s);
+}
+
+ReduceOp parse_op(const std::string& s) {
+  for (ReduceOp o : {ReduceOp::sum, ReduceOp::prod, ReduceOp::max,
+                     ReduceOp::min, ReduceOp::band, ReduceOp::bor})
+    if (s == op_name(o)) return o;
+  raise("unknown op in trace: " + s);
+}
+
+}  // namespace
+
+CollTrace CollTrace::from_csv(const std::string& csv) {
+  CollTrace t;
+  std::istringstream in(csv);
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (first) {  // header
+      first = false;
+      continue;
+    }
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string kind, count, dtype, op, root, seconds;
+    std::getline(ls, kind, ',');
+    std::getline(ls, count, ',');
+    std::getline(ls, dtype, ',');
+    std::getline(ls, op, ',');
+    std::getline(ls, root, ',');
+    std::getline(ls, seconds, ',');
+    TraceEvent e;
+    e.kind = parse_kind(kind);
+    e.count = std::stoull(count);
+    e.dtype = parse_dtype(dtype);
+    e.op = parse_op(op);
+    e.root = std::stoi(root);
+    e.seconds = std::stod(seconds);
+    t.record(e);
+  }
+  return t;
+}
+
+namespace {
+
+template <typename Fn>
+void traced(CollTrace& trace, TraceEvent e, const Fn& fn) {
+  const Timer timer;
+  fn();
+  e.seconds = timer.elapsed();
+  trace.record(e);
+}
+
+}  // namespace
+
+void allreduce(CollTrace& trace, RankCtx& ctx, const void* send, void* recv,
+               std::size_t count, Datatype d, ReduceOp op,
+               const CollOpts& opts) {
+  traced(trace, {CollKind::allreduce, count, d, op, 0, 0},
+         [&] { allreduce(ctx, send, recv, count, d, op, opts); });
+}
+
+void reduce(CollTrace& trace, RankCtx& ctx, const void* send, void* recv,
+            std::size_t count, Datatype d, ReduceOp op, int root,
+            const CollOpts& opts) {
+  traced(trace, {CollKind::reduce, count, d, op, root, 0},
+         [&] { reduce(ctx, send, recv, count, d, op, root, opts); });
+}
+
+void reduce_scatter(CollTrace& trace, RankCtx& ctx, const void* send,
+                    void* recv, std::size_t count, Datatype d, ReduceOp op,
+                    const CollOpts& opts) {
+  traced(trace, {CollKind::reduce_scatter, count, d, op, 0, 0},
+         [&] { reduce_scatter(ctx, send, recv, count, d, op, opts); });
+}
+
+void broadcast(CollTrace& trace, RankCtx& ctx, void* buf, std::size_t count,
+               Datatype d, int root, const CollOpts& opts) {
+  traced(trace, {CollKind::broadcast, count, d, ReduceOp::sum, root, 0},
+         [&] { broadcast(ctx, buf, count, d, root, opts); });
+}
+
+void allgather(CollTrace& trace, RankCtx& ctx, const void* send, void* recv,
+               std::size_t count, Datatype d, const CollOpts& opts) {
+  traced(trace, {CollKind::allgather, count, d, ReduceOp::sum, 0, 0},
+         [&] { allgather(ctx, send, recv, count, d, opts); });
+}
+
+ReplayResult replay(RankCtx& ctx, const CollTrace& trace,
+                    const CollOpts& opts) {
+  // Synthetic buffers sized for the largest event; thread-local so
+  // repeated replays don't churn the allocator.
+  thread_local std::vector<std::uint8_t> send_buf, recv_buf;
+  std::size_t max_send = 64, max_recv = 64;
+  const auto p = static_cast<std::size_t>(ctx.nranks());
+  for (const auto& e : trace.events()) {
+    const std::size_t bytes = e.count * dtype_size(e.dtype);
+    switch (e.kind) {
+      case CollKind::reduce_scatter:
+        max_send = std::max(max_send, bytes * p);
+        max_recv = std::max(max_recv, bytes);
+        break;
+      case CollKind::allgather:
+        max_send = std::max(max_send, bytes);
+        max_recv = std::max(max_recv, bytes * p);
+        break;
+      default:
+        max_send = std::max(max_send, bytes);
+        max_recv = std::max(max_recv, bytes);
+        break;
+    }
+  }
+  if (send_buf.size() < max_send) send_buf.assign(max_send, 1);
+  if (recv_buf.size() < max_recv) recv_buf.assign(max_recv, 0);
+
+  ReplayResult r;
+  const Timer timer;
+  for (const auto& e : trace.events()) {
+    switch (e.kind) {
+      case CollKind::allreduce:
+        allreduce(ctx, send_buf.data(), recv_buf.data(), e.count, e.dtype,
+                  e.op, opts);
+        break;
+      case CollKind::reduce:
+        reduce(ctx, send_buf.data(), recv_buf.data(), e.count, e.dtype,
+               e.op, e.root, opts);
+        break;
+      case CollKind::reduce_scatter:
+        reduce_scatter(ctx, send_buf.data(), recv_buf.data(), e.count,
+                       e.dtype, e.op, opts);
+        break;
+      case CollKind::broadcast:
+        broadcast(ctx, recv_buf.data(), e.count, e.dtype, e.root, opts);
+        break;
+      case CollKind::allgather:
+        allgather(ctx, send_buf.data(), recv_buf.data(), e.count, e.dtype,
+                  opts);
+        break;
+      default:
+        raise("replay: unsupported event kind");
+    }
+    ++r.events;
+    r.payload_bytes += e.count * dtype_size(e.dtype);
+  }
+  r.seconds = timer.elapsed();
+  return r;
+}
+
+}  // namespace yhccl::coll

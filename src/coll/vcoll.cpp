@@ -1,0 +1,222 @@
+#include "yhccl/coll/vcoll.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "yhccl/coll/detail.hpp"
+#include "yhccl/copy/policy.hpp"
+#include "yhccl/copy/reduce_kernels.hpp"
+
+namespace yhccl::coll {
+
+namespace {
+
+/// Ragged ownership blocks: byte offsets/lengths per rank plus the shared
+/// slice geometry (rounds cover [t*I, (t+1)*I) of every block; blocks
+/// shorter than t*I simply contribute nothing in round t).
+struct VarBlocks {
+  std::vector<std::size_t> off;  // byte offset of block r (packed order)
+  std::vector<std::size_t> len;  // byte length of block r
+  std::size_t total = 0;
+  std::size_t slice = 0;  // I
+  std::size_t nrounds = 0;
+
+  static VarBlocks make(int p, const std::size_t* counts, std::size_t esize,
+                        const CollOpts& opts) {
+    VarBlocks v;
+    v.off.resize(p);
+    v.len.resize(p);
+    std::size_t maxlen = 0;
+    for (int r = 0; r < p; ++r) {
+      v.off[r] = v.total;
+      v.len[r] = counts[r] * esize;
+      v.total += v.len[r];
+      maxlen = std::max(maxlen, v.len[r]);
+    }
+    const std::size_t imax =
+        std::max(round_up(opts.slice_max, kCacheline), kCacheline);
+    const std::size_t imin = std::max(opts.slice_min, kCacheline);
+    v.slice = std::clamp(
+        round_up(std::max<std::size_t>(maxlen, 1), kCacheline), imin, imax);
+    v.nrounds = std::max<std::size_t>(ceil_div(maxlen, v.slice), 1);
+    return v;
+  }
+
+  std::size_t sub_len(int r, std::size_t t) const noexcept {
+    const std::size_t start = t * slice;
+    return start >= len[r] ? 0 : std::min(slice, len[r] - start);
+  }
+};
+
+}  // namespace
+
+void allgatherv(RankCtx& ctx, const void* send, void* recv,
+                const std::size_t* counts, Datatype d,
+                const CollOpts& opts) {
+  const int p = ctx.nranks();
+  const auto v = VarBlocks::make(p, counts, dtype_size(d), opts);
+  if (v.total == 0) return;
+  const auto* sb = static_cast<const std::byte*>(send);
+  auto* rb = static_cast<std::byte*>(recv);
+  if (p == 1) {
+    copy::t_copy(rb, sb, v.total);
+    return;
+  }
+  detail::ScratchCarver carve(ctx);
+  std::byte* shm = carve.take(static_cast<std::size_t>(p) * v.slice);
+  const std::size_t C = ctx.cache().available(p);
+  const std::size_t W = detail::WorkSet::allgather(v.total, p, v.slice);
+  const auto r = ctx.rank();
+
+  for (std::size_t t = 0; t < v.nrounds; ++t) {
+    const std::size_t mine = v.sub_len(r, t);
+    if (mine > 0)
+      copy::dispatch_copy(opts.policy, shm + static_cast<std::size_t>(r) * v.slice,
+                          sb + t * v.slice, mine, /*temporal_hint=*/true, C,
+                          W);
+    ctx.barrier();
+    for (int k = 0; k < p; ++k) {
+      const int a = (r + k) % p;  // stagger readers across source slots
+      const std::size_t la = v.sub_len(a, t);
+      if (la > 0)
+        copy::dispatch_copy(opts.policy, rb + v.off[a] + t * v.slice,
+                            shm + static_cast<std::size_t>(a) * v.slice, la,
+                            /*temporal_hint=*/false, C, W);
+    }
+    ctx.barrier();
+  }
+}
+
+void reduce_scatterv(RankCtx& ctx, const void* send, void* recv,
+                     const std::size_t* counts, Datatype d, ReduceOp op,
+                     const CollOpts& opts) {
+  YHCCL_REQUIRE(op_valid_for(op, d), "reduce op invalid for datatype");
+  const int p = ctx.nranks();
+  const auto v = VarBlocks::make(p, counts, dtype_size(d), opts);
+  if (v.total == 0) return;
+  const auto* sb = static_cast<const std::byte*>(send);
+  auto* rb = static_cast<std::byte*>(recv);
+  if (p == 1) {
+    copy::t_copy(rb, sb, v.total);
+    return;
+  }
+  detail::ScratchCarver carve(ctx);
+  std::byte* shm = carve.take(static_cast<std::size_t>(p) * v.slice);
+  const std::size_t C = ctx.cache().available(p);
+  const std::size_t W =
+      detail::WorkSet::reduce_scatter(v.total, p, v.slice);
+  const std::uint64_t seq = ctx.next_seq();
+  const int r = ctx.rank();
+  const int right = (r + 1) % p;
+
+  // The §3.2 movement-avoiding rotation, unchanged except that block
+  // lengths vary: slot l is still touched in rank order l-1, ..., l, so
+  // the neighbour-only dependency holds for any block sizes.
+  for (std::size_t t = 0; t < v.nrounds; ++t) {
+    for (int j = 0; j < p; ++j) {
+      const int l = (r + 1 + j) % p;
+      const std::uint64_t k =
+          t * static_cast<std::size_t>(p) + static_cast<std::size_t>(j);
+      if (k > 0) ctx.step_wait(right, rt::RankCtx::step_value(seq, k));
+      const std::size_t len = v.sub_len(l, t);
+      if (len > 0) {
+        std::byte* slot = shm + static_cast<std::size_t>(l) * v.slice;
+        const std::byte* src = sb + v.off[l] + t * v.slice;
+        if (j == 0) {
+          copy::dispatch_copy(opts.policy, slot, src, len,
+                              /*temporal_hint=*/true, C, W);
+        } else if (j < p - 1) {
+          copy::reduce_inplace(slot, src, len, d, op);
+        } else {  // l == r: deliver my (ragged) block
+          const bool nt = copy::use_nt_store(opts.policy,
+                                             /*temporal_hint=*/false, C, W,
+                                             len);
+          copy::reduce_out(rb + t * v.slice, slot, src, len, d, op, nt);
+        }
+      }
+      ctx.step_publish(rt::RankCtx::step_value(seq, k + 1));
+    }
+  }
+  ctx.barrier();
+}
+
+void scatterv(RankCtx& ctx, const void* send, void* recv,
+              const std::size_t* counts, Datatype d, int root,
+              const CollOpts& opts) {
+  const int p = ctx.nranks();
+  const auto v = VarBlocks::make(p, counts, dtype_size(d), opts);
+  if (v.total == 0) return;
+  const auto* sb = static_cast<const std::byte*>(send);
+  auto* rb = static_cast<std::byte*>(recv);
+  if (p == 1) {
+    copy::t_copy(rb, sb, v.total);
+    return;
+  }
+  detail::ScratchCarver carve(ctx);
+  std::byte* shm = carve.take(static_cast<std::size_t>(p) * v.slice);
+  const std::size_t C = ctx.cache().available(p);
+  const std::size_t W = 2 * v.total + static_cast<std::size_t>(p) * v.slice;
+  const int r = ctx.rank();
+
+  for (std::size_t t = 0; t < v.nrounds; ++t) {
+    if (r == root) {
+      for (int b = 0; b < p; ++b) {
+        const std::size_t lb = v.sub_len(b, t);
+        if (lb > 0)
+          copy::dispatch_copy(opts.policy,
+                              shm + static_cast<std::size_t>(b) * v.slice,
+                              sb + v.off[b] + t * v.slice, lb,
+                              /*temporal_hint=*/true, C, W);
+      }
+    }
+    ctx.barrier();
+    const std::size_t mine = v.sub_len(r, t);
+    if (mine > 0)
+      copy::dispatch_copy(opts.policy, rb + t * v.slice,
+                          shm + static_cast<std::size_t>(r) * v.slice, mine,
+                          /*temporal_hint=*/false, C, W);
+    ctx.barrier();
+  }
+}
+
+void gatherv(RankCtx& ctx, const void* send, void* recv,
+             const std::size_t* counts, Datatype d, int root,
+             const CollOpts& opts) {
+  const int p = ctx.nranks();
+  const auto v = VarBlocks::make(p, counts, dtype_size(d), opts);
+  if (v.total == 0) return;
+  const auto* sb = static_cast<const std::byte*>(send);
+  auto* rb = static_cast<std::byte*>(recv);
+  if (p == 1) {
+    copy::t_copy(rb, sb, v.total);
+    return;
+  }
+  detail::ScratchCarver carve(ctx);
+  std::byte* shm = carve.take(static_cast<std::size_t>(p) * v.slice);
+  const std::size_t C = ctx.cache().available(p);
+  const std::size_t W = 2 * v.total + static_cast<std::size_t>(p) * v.slice;
+  const int r = ctx.rank();
+
+  for (std::size_t t = 0; t < v.nrounds; ++t) {
+    const std::size_t mine = v.sub_len(r, t);
+    if (mine > 0)
+      copy::dispatch_copy(opts.policy,
+                          shm + static_cast<std::size_t>(r) * v.slice,
+                          sb + t * v.slice, mine, /*temporal_hint=*/true, C,
+                          W);
+    ctx.barrier();
+    if (r == root) {
+      for (int b = 0; b < p; ++b) {
+        const std::size_t lb = v.sub_len(b, t);
+        if (lb > 0)
+          copy::dispatch_copy(opts.policy, rb + v.off[b] + t * v.slice,
+                              shm + static_cast<std::size_t>(b) * v.slice,
+                              lb, /*temporal_hint=*/false, C, W);
+      }
+    }
+    ctx.barrier();
+  }
+}
+
+}  // namespace yhccl::coll

@@ -1,0 +1,38 @@
+// Error handling used across YHCCL: a single exception type plus
+// check macros for invariants and syscalls.
+#pragma once
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace yhccl {
+
+/// All YHCCL failures surface as this exception.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] inline void raise(const std::string& msg) { throw Error(msg); }
+
+[[noreturn]] inline void raise_errno(const std::string& what) {
+  throw Error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace yhccl
+
+/// Invariant check that stays on in release builds (collective protocols are
+/// too easy to silently corrupt for asserts to be compiled out).
+#define YHCCL_REQUIRE(cond, msg)                                          \
+  do {                                                                    \
+    if (!(cond)) ::yhccl::raise(std::string("requirement failed: ") +     \
+                                (msg) + " [" #cond "] at " __FILE__ ":" + \
+                                std::to_string(__LINE__));                \
+  } while (0)
+
+#define YHCCL_CHECK_SYS(expr, what) \
+  do {                              \
+    if ((expr) < 0) ::yhccl::raise_errno(what); \
+  } while (0)

@@ -1,0 +1,26 @@
+// Monotonic wall-clock helpers used by benches and the run harness.
+#pragma once
+
+#include <chrono>
+
+namespace yhccl {
+
+/// Seconds on a monotonic clock, as a double (ns resolution).
+inline double wall_seconds() noexcept {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
+}
+
+/// Simple stopwatch.
+class Timer {
+ public:
+  Timer() : start_(wall_seconds()) {}
+  double elapsed() const noexcept { return wall_seconds() - start_; }
+  void reset() noexcept { start_ = wall_seconds(); }
+
+ private:
+  double start_;
+};
+
+}  // namespace yhccl

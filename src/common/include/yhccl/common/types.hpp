@@ -1,0 +1,68 @@
+// Fundamental value types shared by every YHCCL subsystem.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace yhccl {
+
+inline constexpr std::size_t kCacheline = 64;
+
+/// Element types supported by the reduction and copy kernels.
+enum class Datatype : std::uint8_t { u8, i32, i64, f32, f64 };
+
+/// Reduction operators (MPI_SUM and friends).
+enum class ReduceOp : std::uint8_t { sum, prod, max, min, band, bor };
+
+constexpr std::size_t dtype_size(Datatype d) noexcept {
+  switch (d) {
+    case Datatype::u8: return 1;
+    case Datatype::i32: return 4;
+    case Datatype::i64: return 8;
+    case Datatype::f32: return 4;
+    case Datatype::f64: return 8;
+  }
+  return 0;
+}
+
+constexpr std::string_view dtype_name(Datatype d) noexcept {
+  switch (d) {
+    case Datatype::u8: return "u8";
+    case Datatype::i32: return "i32";
+    case Datatype::i64: return "i64";
+    case Datatype::f32: return "f32";
+    case Datatype::f64: return "f64";
+  }
+  return "?";
+}
+
+constexpr std::string_view op_name(ReduceOp o) noexcept {
+  switch (o) {
+    case ReduceOp::sum: return "sum";
+    case ReduceOp::prod: return "prod";
+    case ReduceOp::max: return "max";
+    case ReduceOp::min: return "min";
+    case ReduceOp::band: return "band";
+    case ReduceOp::bor: return "bor";
+  }
+  return "?";
+}
+
+/// Is `op` defined for `d`?  Bitwise ops require integer types.
+constexpr bool op_valid_for(ReduceOp o, Datatype d) noexcept {
+  if (o == ReduceOp::band || o == ReduceOp::bor)
+    return d == Datatype::u8 || d == Datatype::i32 || d == Datatype::i64;
+  return true;
+}
+
+/// Round `v` up to a multiple of `a` (a power of two not required).
+constexpr std::size_t round_up(std::size_t v, std::size_t a) noexcept {
+  return a == 0 ? v : ((v + a - 1) / a) * a;
+}
+
+constexpr std::size_t ceil_div(std::size_t v, std::size_t d) noexcept {
+  return d == 0 ? 0 : (v + d - 1) / d;
+}
+
+}  // namespace yhccl

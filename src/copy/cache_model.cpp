@@ -1,0 +1,76 @@
+#include "yhccl/copy/cache_model.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace yhccl::copy {
+
+namespace {
+
+// Parse a sysfs cache size string like "512K" / "8192K" / "1M".
+bool parse_size(const std::string& text, std::size_t& out) {
+  if (text.empty()) return false;
+  std::size_t v = 0;
+  std::size_t i = 0;
+  while (i < text.size() && text[i] >= '0' && text[i] <= '9') {
+    v = v * 10 + static_cast<std::size_t>(text[i] - '0');
+    ++i;
+  }
+  if (i == 0) return false;
+  switch (i < text.size() ? text[i] : '\0') {
+    case 'K': v <<= 10; break;
+    case 'M': v <<= 20; break;
+    case 'G': v <<= 30; break;
+    default: break;
+  }
+  out = v;
+  return true;
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream f(path);
+  if (!f) return false;
+  std::getline(f, out);
+  return !out.empty();
+}
+
+}  // namespace
+
+CacheConfig CacheConfig::detect() {
+  CacheConfig cfg;  // generic fallback: 8 MB non-inclusive LLC, 512 KB L2
+  const std::string base = "/sys/devices/system/cpu/cpu0/cache/";
+  std::size_t best_level = 0;
+  std::size_t l2 = 0, llc = 0;
+  for (int idx = 0; idx < 8; ++idx) {
+    const std::string dir = base + "index" + std::to_string(idx) + "/";
+    std::string level_s, size_s, type_s;
+    if (!read_file(dir + "level", level_s) ||
+        !read_file(dir + "size", size_s))
+      continue;
+    read_file(dir + "type", type_s);
+    if (type_s == "Instruction") continue;
+    std::size_t size = 0;
+    if (!parse_size(size_s, size)) continue;
+    const std::size_t level = static_cast<std::size_t>(std::stoi(level_s));
+    if (level == 2) l2 = size;
+    if (level >= best_level) {
+      best_level = level;
+      llc = size;
+    }
+  }
+  if (llc != 0) cfg.llc_bytes = llc;
+  if (l2 != 0) cfg.l2_per_core = l2;
+  return cfg;
+}
+
+std::string CacheConfig::describe() const {
+  std::ostringstream os;
+  os << "llc=" << (llc_bytes >> 10) << "KiB ("
+     << (llc_inclusive ? "inclusive" : "non-inclusive")
+     << "), l2/core=" << (l2_per_core >> 10) << "KiB, line=" << cacheline
+     << "B";
+  return os.str();
+}
+
+}  // namespace yhccl::copy

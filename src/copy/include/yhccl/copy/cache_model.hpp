@@ -1,0 +1,59 @@
+// Cache capacity model (paper §4.2).
+//
+// The adaptive-copy heuristic needs the cache capacity available to a
+// collective running on p cores.  On a non-inclusive last-level cache the
+// usable capacity is C = c' + p * c'' (LLC plus the per-core second-last
+// level), on an inclusive LLC it is just C = c'.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace yhccl::copy {
+
+struct CacheConfig {
+  std::size_t llc_bytes = 8u << 20;      ///< c': last-level cache capacity
+  std::size_t l2_per_core = 512u << 10;  ///< c'': second-last level, per core
+  bool llc_inclusive = false;            ///< inclusive LLC? (then C = c')
+  std::size_t cacheline = 64;
+
+  /// Capacity available to a collective using `p` cores: the paper's
+  /// C = c' + p*c'' (non-inclusive) or C = c' (inclusive).
+  std::size_t available(int p) const noexcept {
+    return llc_inclusive
+               ? llc_bytes
+               : llc_bytes + static_cast<std::size_t>(p) * l2_per_core;
+  }
+
+  // --- Presets for the paper's three evaluation platforms -----------------
+
+  /// NodeA: 2x AMD EPYC 7452 — 256 MB non-inclusive L3 per CPU (the paper
+  /// uses the full-node figure in §5.4), 512 KB inclusive L2 per core.
+  static CacheConfig node_a() {
+    return {.llc_bytes = 256u << 20,
+            .l2_per_core = 512u << 10,
+            .llc_inclusive = false};
+  }
+
+  /// NodeB: 2x Intel Xeon Platinum 8163 — 66 MB non-inclusive L3, 1 MB L2.
+  static CacheConfig node_b() {
+    return {.llc_bytes = 66u << 20,
+            .l2_per_core = 1u << 20,
+            .llc_inclusive = false};
+  }
+
+  /// ClusterC: 2x Intel Xeon E5-2692 v2 — 60 MB inclusive L3.
+  static CacheConfig cluster_c() {
+    return {.llc_bytes = 60u << 20,
+            .l2_per_core = 256u << 10,
+            .llc_inclusive = true};
+  }
+
+  /// Best-effort detection from /sys; falls back to a small generic
+  /// configuration when sysfs is unavailable (e.g. in containers).
+  static CacheConfig detect();
+
+  std::string describe() const;
+};
+
+}  // namespace yhccl::copy

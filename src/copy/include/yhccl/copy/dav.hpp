@@ -1,0 +1,54 @@
+// Data-access-volume (DAV) instrumentation.
+//
+// The paper's analysis (Tables 1-3) counts bytes loaded and stored by the
+// copy and reduction kernels: a copy moves 2 bytes per payload byte (one
+// load + one store), a two-operand reduction moves 3.  Every kernel in
+// src/copy increments these thread-local counters so tests can check the
+// implementation against the analytical models *exactly*.
+#pragma once
+
+#include <cstdint>
+
+namespace yhccl::copy {
+
+struct Dav {
+  std::uint64_t loads = 0;   ///< bytes read from memory
+  std::uint64_t stores = 0;  ///< bytes written to memory
+
+  std::uint64_t total() const noexcept { return loads + stores; }
+
+  Dav operator-(const Dav& o) const noexcept {
+    return Dav{loads - o.loads, stores - o.stores};
+  }
+  Dav& operator+=(const Dav& o) noexcept {
+    loads += o.loads;
+    stores += o.stores;
+    return *this;
+  }
+  bool operator==(const Dav&) const noexcept = default;
+};
+
+namespace detail {
+inline thread_local Dav g_dav;
+}
+
+/// Account `l` loaded and `s` stored bytes to the calling thread.
+inline void dav_add(std::uint64_t l, std::uint64_t s) noexcept {
+  detail::g_dav.loads += l;
+  detail::g_dav.stores += s;
+}
+
+inline Dav dav_read() noexcept { return detail::g_dav; }
+inline void dav_reset() noexcept { detail::g_dav = Dav{}; }
+
+/// RAII delta measurement:  DavScope d; ...; d.delta().total()
+class DavScope {
+ public:
+  DavScope() : start_(dav_read()) {}
+  Dav delta() const noexcept { return dav_read() - start_; }
+
+ private:
+  Dav start_;
+};
+
+}  // namespace yhccl::copy

@@ -1,0 +1,93 @@
+// Adaptive non-temporal copy policy (paper §4.2, Algorithm 1).
+//
+// adaptive_copy() extends the copy primitive with the *collective's*
+// characteristics instead of guessing from the copy size alone:
+//   t — temporal hint: will the stored data be re-read soon?
+//       (copy-ins feeding a reduction: yes; copy-outs to receive buffers: no)
+//   W — work data size of the whole collective (send + recv + shm buffers)
+//   C — cache capacity available to the collective (CacheConfig::available)
+//
+// NT stores are used only for non-temporal destinations of collectives whose
+// working set does not fit in cache (W > C); everything else stays temporal
+// so the cache can serve the next access.
+#pragma once
+
+#include <cstddef>
+
+#include "yhccl/copy/cache_model.hpp"
+#include "yhccl/copy/kernels.hpp"
+
+namespace yhccl::copy {
+
+/// How slice copies inside a collective pick their store type.  `adaptive`
+/// is the paper's contribution; the others exist as experiment arms.
+enum class CopyPolicy : int {
+  adaptive,         ///< Algorithm 1: W/C + temporal-hint driven
+  always_temporal,  ///< "t-copy" arm
+  always_nt,        ///< "nt-copy" arm
+  memmove_model,    ///< libc-style size threshold
+};
+
+constexpr const char* policy_name(CopyPolicy p) noexcept {
+  switch (p) {
+    case CopyPolicy::adaptive: return "adaptive";
+    case CopyPolicy::always_temporal: return "t-copy";
+    case CopyPolicy::always_nt: return "nt-copy";
+    case CopyPolicy::memmove_model: return "memmove";
+  }
+  return "?";
+}
+
+/// Paper Algorithm 1.  `temporal_hint == true` means the stored data is
+/// re-used soon (never stream); `work_set_bytes` is W; `cache_capacity` is C.
+inline void adaptive_copy(void* dst, const void* src, std::size_t n,
+                          bool temporal_hint, std::size_t cache_capacity,
+                          std::size_t work_set_bytes) noexcept {
+  if (temporal_hint || work_set_bytes <= cache_capacity)
+    t_copy(dst, src, n);
+  else
+    nt_copy(dst, src, n);
+}
+
+/// Policy-dispatched slice copy used by every pipelined collective.
+inline void dispatch_copy(CopyPolicy policy, void* dst, const void* src,
+                          std::size_t n, bool temporal_hint,
+                          std::size_t cache_capacity,
+                          std::size_t work_set_bytes) noexcept {
+  switch (policy) {
+    case CopyPolicy::adaptive:
+      adaptive_copy(dst, src, n, temporal_hint, cache_capacity,
+                    work_set_bytes);
+      break;
+    case CopyPolicy::always_temporal:
+      t_copy(dst, src, n);
+      break;
+    case CopyPolicy::always_nt:
+      nt_copy(dst, src, n);
+      break;
+    case CopyPolicy::memmove_model:
+      memmove_model_copy(dst, src, n);
+      break;
+  }
+}
+
+/// Should the *store side of a reduction result* stream?  Same rule as
+/// adaptive_copy, exposed for the fused reduce kernels.
+inline bool use_nt_store(CopyPolicy policy, bool temporal_hint,
+                         std::size_t cache_capacity,
+                         std::size_t work_set_bytes,
+                         std::size_t n) noexcept {
+  switch (policy) {
+    case CopyPolicy::adaptive:
+      return !temporal_hint && work_set_bytes > cache_capacity;
+    case CopyPolicy::always_temporal:
+      return false;
+    case CopyPolicy::always_nt:
+      return true;
+    case CopyPolicy::memmove_model:
+      return n >= kMemmoveNtThreshold;
+  }
+  return false;
+}
+
+}  // namespace yhccl::copy

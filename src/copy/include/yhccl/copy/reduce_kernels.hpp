@@ -1,0 +1,34 @@
+// Reduction kernels used by every reduction collective.
+//
+// Two shapes, matching the paper's operations (Fig. 6):
+//   A += B          reduce_inplace  — accumulate src into dst (temporal)
+//   C  = A (+) B    reduce_out      — fused final reduction; the result
+//                    store may use non-temporal streaming stores, which is
+//                    what lets the MA algorithms stream the last step
+//                    straight into the receive buffer.
+//
+// Buffers are raw bytes; `n` is a byte count that must be a multiple of the
+// element size.  All kernels account DAV (3 bytes moved per payload byte).
+#pragma once
+
+#include <cstddef>
+
+#include "yhccl/common/types.hpp"
+
+namespace yhccl::copy {
+
+/// dst[i] = dst[i] op src[i]
+void reduce_inplace(void* dst, const void* src, std::size_t n, Datatype d,
+                    ReduceOp op) noexcept;
+
+/// out[i] = a[i] op b[i]; streams the stores when nt_store is set.
+void reduce_out(void* out, const void* a, const void* b, std::size_t n,
+                Datatype d, ReduceOp op, bool nt_store) noexcept;
+
+/// out[i] = op over m buffers:  srcs[0][i] op srcs[1][i] op ...  (m >= 1).
+/// Used by the socket-combination stage of the socket-aware MA reduction.
+void reduce_out_multi(void* out, const void* const* srcs, int m,
+                      std::size_t n, Datatype d, ReduceOp op,
+                      bool nt_store);
+
+}  // namespace yhccl::copy

@@ -1,0 +1,167 @@
+#include "yhccl/model/dav_model.hpp"
+
+namespace yhccl::model {
+
+namespace {
+
+using u64 = std::uint64_t;
+
+u64 mul(std::size_t s, double factor) {
+  return static_cast<u64>(static_cast<double>(s) * factor);
+}
+
+/// Rabenseifner's halving series: 1/2 + 1/4 + ... + 1/p == 1 - 1/p.
+double halving_series(int p) { return 1.0 - 1.0 / p; }
+
+/// RG tree series: 5k/(k+1) + 3k/(k+1)^2 + ... + 3k/p (levels while
+/// (k+1)^i <= p).
+double rg_series(int p, int k) {
+  double sum = 0;
+  double denom = k + 1;
+  bool first = true;
+  while (denom <= static_cast<double>(p)) {
+    sum += (first ? 5.0 : 3.0) * k / denom;
+    first = false;
+    denom *= (k + 1);
+  }
+  if (first) sum = 5.0 * k / (k + 1);  // degenerate tiny trees
+  return sum;
+}
+
+}  // namespace
+
+namespace paper {
+
+u64 ring_reduce_scatter(std::size_t s, int p) {
+  return static_cast<u64>(s) * 5 * (p - 1);
+}
+u64 rabenseifner_reduce_scatter(std::size_t s, int p) {
+  return mul(s, 5.0 * p * halving_series(p));
+}
+u64 dpml_reduce_scatter(std::size_t s, int p) {
+  return static_cast<u64>(s) * (5 * static_cast<u64>(p) - 1);
+}
+u64 ma_reduce_scatter(std::size_t s, int p) {
+  return static_cast<u64>(s) * (3 * static_cast<u64>(p) - 1);
+}
+u64 socket_ma_reduce_scatter(std::size_t s, int p, int m) {
+  return static_cast<u64>(s) * (3 * static_cast<u64>(p) + 2 * m - 3);
+}
+
+u64 ring_allreduce(std::size_t s, int p) {
+  return static_cast<u64>(s) * 7 * (p - 1);
+}
+u64 rabenseifner_allreduce(std::size_t s, int p) {
+  return mul(s, 7.0 * p * halving_series(p));
+}
+u64 dpml_allreduce(std::size_t s, int p) {
+  return static_cast<u64>(s) * (7 * static_cast<u64>(p) - 1);
+}
+u64 rg_allreduce(std::size_t s, int p, int k) {
+  return mul(s, p * (rg_series(p, k) + 2.0));
+}
+u64 ma_allreduce(std::size_t s, int p) {
+  return static_cast<u64>(s) * (5 * static_cast<u64>(p) - 1);
+}
+u64 socket_ma_allreduce(std::size_t s, int p, int m) {
+  return static_cast<u64>(s) * (5 * static_cast<u64>(p) + 2 * m - 3);
+}
+u64 xpmem_allreduce(std::size_t s, int p) {
+  return static_cast<u64>(s) * 5 * (p - 1);
+}
+
+u64 dpml_reduce(std::size_t s, int p) {
+  return static_cast<u64>(s) * (5 * static_cast<u64>(p) + 1);
+}
+u64 rg_reduce(std::size_t s, int p, int k) {
+  return mul(s, p * rg_series(p, k));
+}
+u64 ma_reduce(std::size_t s, int p) {
+  return static_cast<u64>(s) * (3 * static_cast<u64>(p) + 1);
+}
+u64 socket_ma_reduce(std::size_t s, int p, int m) {
+  return static_cast<u64>(s) * (3 * static_cast<u64>(p) + 2 * m - 1);
+}
+
+}  // namespace paper
+
+namespace impl {
+
+u64 ma_reduce_scatter(std::size_t s, int p) {
+  return paper::ma_reduce_scatter(s, p);
+}
+u64 socket_ma_reduce_scatter(std::size_t s, int p, int m) {
+  return paper::socket_ma_reduce_scatter(s, p, m);
+}
+u64 ma_allreduce(std::size_t s, int p) { return paper::ma_allreduce(s, p); }
+u64 socket_ma_allreduce(std::size_t s, int p, int m) {
+  return paper::socket_ma_allreduce(s, p, m);
+}
+u64 ma_reduce(std::size_t s, int p) { return paper::ma_reduce(s, p); }
+u64 socket_ma_reduce(std::size_t s, int p, int m) {
+  return paper::socket_ma_reduce(s, p, m);
+}
+
+// Our DPML delivers the scatter blocks / copy-out directly from the staged
+// partials, so it moves one copy less than the paper's bookkeeping.
+u64 dpml_reduce_scatter(std::size_t s, int p) {
+  return static_cast<u64>(s) * (5 * static_cast<u64>(p) - 3);
+}
+u64 dpml_allreduce(std::size_t s, int p) {
+  return static_cast<u64>(s) * (7 * static_cast<u64>(p) - 3);
+}
+
+u64 ring_reduce_scatter_single_copy(std::size_t s, int p) {
+  return static_cast<u64>(s) * 5 * (p - 1);  // == paper
+}
+u64 ring_reduce_scatter_two_copy(std::size_t s, int p) {
+  return static_cast<u64>(s) * 7 * (p - 1);  // +2 for the eager copy-in
+}
+u64 ring_allreduce_single_copy(std::size_t s, int p) {
+  return static_cast<u64>(s) * 7 * (p - 1);  // == paper
+}
+u64 ring_allreduce_two_copy(std::size_t s, int p) {
+  return static_cast<u64>(s) * 11 * (p - 1);
+}
+
+// Adds the private working-copy initialization (2s per rank) the paper's
+// table omits.
+u64 rabenseifner_allreduce_single_copy(std::size_t s, int p) {
+  return 2 * static_cast<u64>(s) * p + mul(s, 7.0 * (p - 1));
+}
+
+u64 xpmem_allreduce(std::size_t s, int p) {
+  return static_cast<u64>(s) * 5 * (p - 1);  // 3s(p-1) reduce + 2s(p-1) copy
+}
+
+u64 pipelined_broadcast(std::size_t s, int p) {
+  return 2 * static_cast<u64>(s) * p;  // root copy-in + (p-1) copy-outs
+}
+u64 pipelined_allgather(std::size_t s, int p) {
+  // per rank: copy-in 2s + copy-out of all p blocks 2sp.
+  return static_cast<u64>(p) * (2 * static_cast<u64>(s) +
+                                2 * static_cast<u64>(s) * p);
+}
+
+}  // namespace impl
+
+std::size_t nt_switch_point(std::size_t cache_capacity, int p,
+                            std::size_t shm_bytes) {
+  if (cache_capacity <= shm_bytes) return 0;
+  return (cache_capacity - shm_bytes) / (2 * static_cast<std::size_t>(p));
+}
+
+std::size_t nt_switch_point_allreduce(std::size_t cache_capacity, int p,
+                                      int m, std::size_t slice_max) {
+  return nt_switch_point(cache_capacity, p,
+                         static_cast<std::size_t>(m) *
+                             static_cast<std::size_t>(p) * slice_max);
+}
+
+double time_from_dav(std::uint64_t dav_bytes, double dab_bytes_per_sec) {
+  return dab_bytes_per_sec <= 0
+             ? 0.0
+             : static_cast<double>(dav_bytes) / dab_bytes_per_sec;
+}
+
+}  // namespace yhccl::model

@@ -1,0 +1,85 @@
+// Analytical data-access-volume (DAV) models — paper Tables 1, 2, 3 — plus
+// the NT-store switch-point model of §5.4 and a DAV/DAB time estimator.
+//
+// Two families:
+//  * `paper::` — the formulas exactly as printed in the paper's tables.
+//  * `impl::`  — the byte-exact accounting of *this repository's*
+//    implementations, validated against the instrumented kernels in
+//    tests/test_dav_models.cpp.  They differ from `paper::` only in
+//    constant bookkeeping terms (e.g. the paper ignores Rabenseifner's
+//    working-copy initialization and counts one extra copy for DPML);
+//    the asymptotic p- and m-dependence is identical.
+//
+// All functions take the message size `s` in bytes and return bytes moved
+// per node (summed over the p ranks).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace yhccl::model {
+
+namespace paper {
+
+// ---- Table 1: reduce-scatter -----------------------------------------------
+std::uint64_t ring_reduce_scatter(std::size_t s, int p);          // 5s(p-1)
+std::uint64_t rabenseifner_reduce_scatter(std::size_t s, int p);  // 5sp(1-1/p)
+std::uint64_t dpml_reduce_scatter(std::size_t s, int p);          // s(5p-1)
+std::uint64_t ma_reduce_scatter(std::size_t s, int p);            // s(3p-1)
+std::uint64_t socket_ma_reduce_scatter(std::size_t s, int p, int m);
+
+// ---- Table 2: all-reduce -----------------------------------------------------
+std::uint64_t ring_allreduce(std::size_t s, int p);          // 7s(p-1)
+std::uint64_t rabenseifner_allreduce(std::size_t s, int p);  // 7sp(1-1/p)
+std::uint64_t dpml_allreduce(std::size_t s, int p);          // s(7p-1)
+std::uint64_t rg_allreduce(std::size_t s, int p, int k);
+std::uint64_t ma_allreduce(std::size_t s, int p);  // s(5p-1)
+std::uint64_t socket_ma_allreduce(std::size_t s, int p, int m);
+std::uint64_t xpmem_allreduce(std::size_t s, int p);  // 5s(p-1), §5.5
+
+// ---- Table 3: reduce ----------------------------------------------------------
+std::uint64_t dpml_reduce(std::size_t s, int p);  // s(5p+1)
+std::uint64_t rg_reduce(std::size_t s, int p, int k);
+std::uint64_t ma_reduce(std::size_t s, int p);  // s(3p+1)
+std::uint64_t socket_ma_reduce(std::size_t s, int p, int m);
+
+}  // namespace paper
+
+namespace impl {
+
+// Byte-exact models of this repo's implementations (divisible geometry:
+// blocks a multiple of the slice, slice cacheline-aligned).
+std::uint64_t ma_reduce_scatter(std::size_t s, int p);  // s(3p-1), exact
+std::uint64_t socket_ma_reduce_scatter(std::size_t s, int p, int m);
+std::uint64_t ma_allreduce(std::size_t s, int p);  // s(5p-1), exact
+std::uint64_t socket_ma_allreduce(std::size_t s, int p, int m);
+std::uint64_t ma_reduce(std::size_t s, int p);  // s(3p+1), exact
+std::uint64_t socket_ma_reduce(std::size_t s, int p, int m);
+std::uint64_t dpml_reduce_scatter(std::size_t s, int p);  // s(5p-3)
+std::uint64_t dpml_allreduce(std::size_t s, int p);       // s(7p-3)
+std::uint64_t ring_reduce_scatter_single_copy(std::size_t s, int p);
+std::uint64_t ring_reduce_scatter_two_copy(std::size_t s, int p);
+std::uint64_t ring_allreduce_single_copy(std::size_t s, int p);
+std::uint64_t ring_allreduce_two_copy(std::size_t s, int p);
+std::uint64_t rabenseifner_allreduce_single_copy(std::size_t s, int p);
+std::uint64_t xpmem_allreduce(std::size_t s, int p);  // 5s(p-1), exact
+std::uint64_t pipelined_broadcast(std::size_t s, int p);   // 2s + 2s(p-1)
+std::uint64_t pipelined_allgather(std::size_t s, int p);   // p(2s + 2sp)
+
+}  // namespace impl
+
+/// §5.4: message size beyond which the adaptive policy starts streaming
+/// the copy-outs of the MA all-reduce:
+///   W = 2sp + shm  >  C   <=>   s > (C - shm) / (2p),
+/// where shm is the shared-buffer term (m*p*Imax for the socket-aware
+/// variant; the paper's worked numbers in §5.4 plug in p*Imax).
+/// Returns 0 when the cache is so small every size streams.
+std::size_t nt_switch_point(std::size_t cache_capacity, int p,
+                            std::size_t shm_bytes);
+std::size_t nt_switch_point_allreduce(std::size_t cache_capacity, int p,
+                                      int m, std::size_t slice_max);
+
+/// Predicted wall time from DAV and a measured memory bandwidth (DAB).
+double time_from_dav(std::uint64_t dav_bytes, double dab_bytes_per_sec);
+
+}  // namespace yhccl::model

@@ -1,0 +1,106 @@
+// Cluster network simulator for the multi-node experiments (Figs. 16b, 17,
+// 18).
+//
+// The reproduction host is a single small VM, so cluster-scale runs are
+// substituted by a calibrated simulation (DESIGN.md §3): intra-node
+// collective costs come from the DAV models driven by a *measured* node
+// memory bandwidth plus per-synchronization overhead, and inter-node
+// transfers follow a LogGP cost model with serialized per-node NIC
+// resources (so lane contention and tree hot-spots emerge naturally from
+// the event recurrences rather than closed-form guesses).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace yhccl::net {
+
+/// LogGP network parameters (seconds, seconds/byte).
+struct LogGP {
+  double L = 1.5e-6;        ///< wire latency
+  double o = 0.7e-6;        ///< per-message CPU overhead (each side)
+  double g = 0.3e-6;        ///< per-message gap
+  double G = 1.0 / 12.5e9;  ///< per-byte gap (100 Gb/s InfiniBand-class)
+
+  double message_time(std::size_t bytes) const {
+    return L + 2 * o + g + static_cast<double>(bytes) * G;
+  }
+
+  static LogGP infiniband_edr() { return {}; }
+  /// ClusterC-era FDR fabric (56 Gb/s, higher latency).
+  static LogGP infiniband_fdr() {
+    return {2.0e-6, 1.0e-6, 0.4e-6, 1.0 / 7.0e9};
+  }
+};
+
+/// A serialized resource (a NIC direction, a shared link): requests are
+/// granted in arrival order, each occupying the resource for `dur`.
+class Resource {
+ public:
+  /// Returns the completion time of a request arriving at `t`.
+  double acquire(double t, double dur) {
+    const double start = t > free_at_ ? t : free_at_;
+    free_at_ = start + dur;
+    return free_at_;
+  }
+  double free_at() const { return free_at_; }
+  void reset() { free_at_ = 0; }
+
+ private:
+  double free_at_ = 0;
+};
+
+/// Intra-node collective time model: DAV / DAB + synchronization count.
+/// `dab` should be calibrated with a measured node bandwidth (the benches
+/// measure it with the STREAM-slice workload).
+struct IntraNodeModel {
+  int ranks_per_node = 64;
+  int sockets = 2;
+  double dab = 200e9;        ///< node memory bandwidth, bytes/s
+  double sync_cost = 1.2e-6; ///< one flag-wait / barrier episode
+  std::size_t slice_max = 256u << 10;
+
+  // Times (seconds) for message size s bytes.
+  double ma_reduce_scatter(std::size_t s) const;
+  double ma_allgather(std::size_t s) const;   ///< pipelined all-gather
+  double ma_allreduce(std::size_t s) const;
+  double two_copy_ring_allreduce(std::size_t s) const;  ///< Open MPI model
+  double dpml_allreduce(std::size_t s) const;
+};
+
+/// Inter-node ring all-reduce over `nnodes` nodes with `lanes` concurrent
+/// per-node communication lanes (the paper's multi-process inter-node
+/// communication, §5.5).  Simulated step-by-step over the NIC resources;
+/// returns seconds.
+double ring_allreduce_internode(int nnodes, std::size_t bytes_per_node,
+                                const LogGP& net, int lanes);
+
+/// Inter-node recursive-doubling all-reduce on one leader per node (the
+/// tree strategy of MVAPICH2 / hcoll): log2(nnodes) rounds of full-size
+/// exchanges (+ reduction assumed overlapped in the NIC time).
+double tree_allreduce_internode(int nnodes, std::size_t bytes,
+                                const LogGP& net);
+
+/// Which multi-node all-reduce composition to simulate.
+enum class MultiNodeAlgo {
+  yhccl,       ///< intra MA reduce-scatter -> multi-lane inter ring -> intra allgather
+  openmpi,     ///< two-copy intra ring + single-lane inter ring
+  tree_hcoll,  ///< intra reduce + leader recursive doubling + intra bcast
+};
+
+struct MultiNodeResult {
+  double seconds;
+  double intra_seconds;
+  double inter_seconds;
+};
+
+/// End-to-end multi-node all-reduce estimate for `s` bytes per rank.
+MultiNodeResult multinode_allreduce(MultiNodeAlgo algo, std::size_t s,
+                                    int nnodes, const IntraNodeModel& node,
+                                    const LogGP& net, int lanes = 8);
+
+const char* multinode_algo_name(MultiNodeAlgo a);
+
+}  // namespace yhccl::net

@@ -1,0 +1,177 @@
+#include "yhccl/netsim/netsim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "yhccl/common/types.hpp"
+#include "yhccl/model/dav_model.hpp"
+
+namespace yhccl::net {
+
+namespace {
+
+double log2ceil(int v) {
+  double l = 0;
+  int n = 1;
+  while (n < v) {
+    n *= 2;
+    l += 1;
+  }
+  return l;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Intra-node model: DAV / DAB + synchronization episodes
+// ---------------------------------------------------------------------------
+
+double IntraNodeModel::ma_reduce_scatter(std::size_t s) const {
+  const int p = ranks_per_node, m = sockets;
+  const double dav = static_cast<double>(
+      model::impl::socket_ma_reduce_scatter(s, p, m));
+  const double rounds = std::max(
+      1.0, std::ceil(static_cast<double>(s) / p / slice_max));
+  // Per round: (p/m - 1) neighbour waits + 2 node barriers.
+  const double barrier = sync_cost * log2ceil(p + 1);
+  const double syncs = rounds * ((p / std::max(m, 1) - 1) * sync_cost +
+                                 2 * barrier);
+  return dav / dab + syncs;
+}
+
+double IntraNodeModel::ma_allgather(std::size_t s) const {
+  const int p = ranks_per_node;
+  const double dav =
+      static_cast<double>(model::impl::pipelined_allgather(s / p, p));
+  const double slices = std::max(
+      1.0, std::ceil(static_cast<double>(s) / p / slice_max));
+  return dav / dab + slices * sync_cost * log2ceil(p + 1);
+}
+
+double IntraNodeModel::ma_allreduce(std::size_t s) const {
+  const int p = ranks_per_node, m = sockets;
+  const double dav =
+      static_cast<double>(model::impl::socket_ma_allreduce(s, p, m));
+  const double rounds = std::max(
+      1.0, std::ceil(static_cast<double>(s) / p / slice_max));
+  const double barrier = sync_cost * log2ceil(p + 1);
+  return dav / dab + rounds * ((p / std::max(m, 1) - 1) * sync_cost +
+                               3 * barrier);
+}
+
+double IntraNodeModel::two_copy_ring_allreduce(std::size_t s) const {
+  const int p = ranks_per_node;
+  const double dav =
+      static_cast<double>(model::impl::ring_allreduce_two_copy(s, p));
+  return dav / dab + 2.0 * (p - 1) * sync_cost;
+}
+
+double IntraNodeModel::dpml_allreduce(std::size_t s) const {
+  const int p = ranks_per_node;
+  const double dav = static_cast<double>(model::impl::dpml_allreduce(s, p));
+  const double rounds = std::max(
+      1.0, std::ceil(static_cast<double>(s) / p / (32u << 10)));
+  return dav / dab + rounds * 4 * sync_cost * log2ceil(p + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Inter-node simulations
+// ---------------------------------------------------------------------------
+
+double ring_allreduce_internode(int nnodes, std::size_t bytes_per_node,
+                                const LogGP& net, int lanes) {
+  if (nnodes <= 1 || bytes_per_node == 0) return 0;
+  lanes = std::max(1, lanes);
+  const std::size_t lane_bytes =
+      ceil_div(bytes_per_node, static_cast<std::size_t>(lanes));
+  const std::size_t chunk =
+      std::max<std::size_t>(ceil_div(lane_bytes, nnodes), 1);
+
+  // Per-node serialized NIC (each direction); all lanes contend on it.
+  std::vector<Resource> tx(nnodes), rx(nnodes);
+  // ready[n][l]: time lane l on node n may start its next step.
+  std::vector<std::vector<double>> ready(
+      nnodes, std::vector<double>(static_cast<std::size_t>(lanes), 0.0));
+
+  const int steps = 2 * (nnodes - 1);  // reduce-scatter + allgather phases
+  for (int k = 0; k < steps; ++k) {
+    std::vector<std::vector<double>> done = ready;
+    for (int l = 0; l < lanes; ++l) {
+      for (int n = 0; n < nnodes; ++n) {
+        const int dst = (n + 1) % nnodes;
+        const double wire = static_cast<double>(chunk) * net.G;
+        const double tx_done = tx[n].acquire(ready[n][l] + net.o, wire);
+        // The stream occupies the receiver NIC for the same duration,
+        // shifted by the wire latency.
+        const double rx_done = rx[dst].acquire(tx_done + net.L - wire, wire);
+        const double arrive =
+            std::max(rx_done, tx_done + net.L) + net.o + net.g;
+        // Receiver may proceed once the chunk arrived; sender once its NIC
+        // freed up again.
+        done[dst][l] = std::max(done[dst][l], arrive);
+        done[n][l] = std::max(done[n][l], tx_done + net.g);
+      }
+    }
+    ready = std::move(done);
+  }
+  double finish = 0;
+  for (const auto& node : ready)
+    for (double t : node) finish = std::max(finish, t);
+  return finish;
+}
+
+double tree_allreduce_internode(int nnodes, std::size_t bytes,
+                                const LogGP& net) {
+  if (nnodes <= 1 || bytes == 0) return 0;
+  // Recursive doubling: ceil(log2 N) rounds of full-size pairwise
+  // exchanges (reduction cost folded into the per-byte term).
+  return log2ceil(nnodes) * net.message_time(bytes);
+}
+
+// ---------------------------------------------------------------------------
+// Hierarchical composition
+// ---------------------------------------------------------------------------
+
+MultiNodeResult multinode_allreduce(MultiNodeAlgo algo, std::size_t s,
+                                    int nnodes, const IntraNodeModel& node,
+                                    const LogGP& net, int lanes) {
+  MultiNodeResult r{0, 0, 0};
+  switch (algo) {
+    case MultiNodeAlgo::yhccl:
+      // Paper §5.5: proposed reduce-scatter within the node, ring
+      // all-reduce across nodes with many processes driving the fabric,
+      // then all-gather within the node.
+      r.intra_seconds = node.ma_reduce_scatter(s) + node.ma_allgather(s);
+      r.inter_seconds = ring_allreduce_internode(
+          nnodes, s, net, std::min(lanes, node.ranks_per_node));
+      break;
+    case MultiNodeAlgo::openmpi:
+      // Two-copy intra-node ring + a single leader driving the fabric.
+      r.intra_seconds = node.two_copy_ring_allreduce(s);
+      r.inter_seconds = ring_allreduce_internode(nnodes, s, net, 1);
+      break;
+    case MultiNodeAlgo::tree_hcoll:
+      // Hierarchical tree: intra reduce, recursive-doubling leaders,
+      // intra broadcast.  Strong for small messages (log latency).
+      r.intra_seconds =
+          node.dpml_allreduce(s) / 2 +
+          static_cast<double>(model::impl::pipelined_broadcast(
+              s, node.ranks_per_node)) /
+              node.dab;
+      r.inter_seconds = tree_allreduce_internode(nnodes, s, net);
+      break;
+  }
+  r.seconds = r.intra_seconds + r.inter_seconds;
+  return r;
+}
+
+const char* multinode_algo_name(MultiNodeAlgo a) {
+  switch (a) {
+    case MultiNodeAlgo::yhccl: return "YHCCL";
+    case MultiNodeAlgo::openmpi: return "OpenMPI-ring";
+    case MultiNodeAlgo::tree_hcoll: return "Tree-hcoll";
+  }
+  return "?";
+}
+
+}  // namespace yhccl::net

@@ -1,0 +1,49 @@
+// RAII shared-memory mappings.
+//
+// Two flavours:
+//  * anonymous MAP_SHARED mappings — inherited across fork(), which is how
+//    ProcessTeam shares its workspace with identical addresses in every
+//    rank (no shm_open rendezvous needed);
+//  * named POSIX shm objects (shm_open) — provided for completeness and for
+//    tests that exercise the OS shared-memory path the paper describes.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace yhccl::rt {
+
+class ShmRegion {
+ public:
+  ShmRegion() = default;
+  ShmRegion(const ShmRegion&) = delete;
+  ShmRegion& operator=(const ShmRegion&) = delete;
+  ShmRegion(ShmRegion&& o) noexcept;
+  ShmRegion& operator=(ShmRegion&& o) noexcept;
+  ~ShmRegion();
+
+  /// Anonymous shared mapping, zero-initialized, survives fork().
+  static ShmRegion create_anonymous(std::size_t bytes);
+
+  /// Named POSIX shm object (O_CREAT | O_EXCL); unlinked on destruction.
+  static ShmRegion create_named(const std::string& name, std::size_t bytes);
+
+  /// Map an existing named object created by another process.
+  static ShmRegion open_named(const std::string& name, std::size_t bytes);
+
+  std::byte* data() noexcept { return static_cast<std::byte*>(addr_); }
+  const std::byte* data() const noexcept {
+    return static_cast<const std::byte*>(addr_);
+  }
+  std::size_t size() const noexcept { return bytes_; }
+  bool valid() const noexcept { return addr_ != nullptr; }
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  void* addr_ = nullptr;
+  std::size_t bytes_ = 0;
+  std::string name_;  // empty for anonymous regions
+  bool owner_ = false;
+};
+
+}  // namespace yhccl::rt

@@ -1,0 +1,125 @@
+// Shared-memory synchronization primitives.
+//
+// Everything here lives *inside the team's shared mapping* so it works for
+// both thread-backed and fork()-backed rank teams.  The paper's algorithms
+// synchronize with per-rank atomic progress flags between neighbouring
+// pipeline steps (§3.3) plus node/socket barriers between phases.
+//
+// Waits spin with `pause` then fall back to sched_yield(): the reproduction
+// host oversubscribes ranks onto few cores, so pure spinning would livelock.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "yhccl/common/types.hpp"
+#include "yhccl/runtime/sync_timeout.hpp"
+
+namespace yhccl::rt {
+
+/// One cacheline-padded atomic counter per rank; avoids false sharing on
+/// the flag array (§5.1: "avoid the cache line's false sharing").
+struct alignas(kCacheline) PaddedFlag {
+  std::atomic<std::uint64_t> v{0};
+};
+static_assert(sizeof(PaddedFlag) == kCacheline);
+
+namespace detail {
+void cpu_relax_and_maybe_yield(unsigned& spins) noexcept;
+}
+
+/// Backoff helper for every spin loop: pause-burst, then yield, and —
+/// unlike a bare spin — enforce the process-wide sync timeout so a dead
+/// peer turns into a yhccl::Error instead of a hang.
+class SpinGuard {
+ public:
+  explicit SpinGuard(const char* what = "synchronization wait") noexcept
+      : what_(what) {}
+
+  /// One backoff step; throws yhccl::Error when the watchdog expires.
+  void relax();
+
+ private:
+  const char* what_;
+  unsigned spins_ = 0;
+  unsigned yields_ = 0;
+  double deadline_ = -1.0;  // computed lazily on the first yield burst
+};
+
+/// Spin until `f >= target` (acquire).
+inline void spin_wait_ge(const std::atomic<std::uint64_t>& f,
+                         std::uint64_t target) {
+  SpinGuard guard("progress-flag wait");
+  while (f.load(std::memory_order_acquire) < target) guard.relax();
+}
+
+/// Spin until `f == target` (acquire).
+inline void spin_wait_eq(const std::atomic<std::uint64_t>& f,
+                         std::uint64_t target) {
+  SpinGuard guard("progress-flag wait");
+  while (f.load(std::memory_order_acquire) != target) guard.relax();
+}
+
+/// Sense-reversing central barrier.  Construct in shared memory; each
+/// participant keeps its own sense token (see RankCtx).
+struct BarrierState {
+  alignas(kCacheline) std::atomic<std::uint32_t> arrived{0};
+  alignas(kCacheline) std::atomic<std::uint32_t> sense{0};
+  std::uint32_t nparticipants = 0;
+};
+
+inline void barrier_init(BarrierState& b, std::uint32_t n) noexcept {
+  b.arrived.store(0, std::memory_order_relaxed);
+  b.sense.store(0, std::memory_order_relaxed);
+  b.nparticipants = n;
+}
+
+/// Arrive and wait.  `local_sense` must be a per-participant variable that
+/// starts at 0 and is only ever passed to this barrier.
+inline void barrier_arrive(BarrierState& b, std::uint32_t& local_sense) {
+  local_sense ^= 1u;
+  if (b.arrived.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+      b.nparticipants) {
+    b.arrived.store(0, std::memory_order_relaxed);
+    b.sense.store(local_sense, std::memory_order_release);
+  } else {
+    SpinGuard guard("barrier wait");
+    while (b.sense.load(std::memory_order_acquire) != local_sense)
+      guard.relax();
+  }
+}
+
+/// Dissemination barrier: ceil(log2 n) rounds of pairwise signalling, no
+/// central counter — scales better than the sense-reversing barrier at
+/// high rank counts (the synchronization cost the socket-aware MA design
+/// amortizes, §3.3).  State lives in shared memory; each participant keeps
+/// a private round-trip counter in its token.
+struct DisseminationBarrierState {
+  static constexpr int kMaxRounds = 9;  // 2^9 = 512 >= kMaxRanks
+  /// flags[round][rank]: monotone counters.
+  PaddedFlag flags[kMaxRounds][256];
+  std::uint32_t nparticipants = 0;
+};
+
+struct DisseminationToken {
+  std::uint64_t epoch = 0;
+};
+
+inline void dissemination_init(DisseminationBarrierState& b,
+                               std::uint32_t n) noexcept {
+  b.nparticipants = n;
+}
+
+inline void dissemination_arrive(DisseminationBarrierState& b, int rank,
+                                 DisseminationToken& tok) {
+  const auto n = b.nparticipants;
+  ++tok.epoch;
+  int round = 0;
+  for (std::uint32_t dist = 1; dist < n; dist *= 2, ++round) {
+    const auto peer = (static_cast<std::uint32_t>(rank) + dist) % n;
+    b.flags[round][peer].v.fetch_add(1, std::memory_order_acq_rel);
+    spin_wait_ge(b.flags[round][rank].v, tok.epoch);
+  }
+}
+
+}  // namespace yhccl::rt

@@ -1,0 +1,42 @@
+// Watchdog for the spin loops: collectives synchronize with flags and
+// barriers, so a dead or deadlocked peer rank would hang every other rank
+// forever.  All spin loops in the runtime consult a process-wide timeout
+// (default 120 s) and raise yhccl::Error when it expires — failures
+// surface as exceptions instead of silent hangs, which also makes
+// failure-injection testable.
+#pragma once
+
+#include <atomic>
+
+namespace yhccl::rt {
+
+namespace detail {
+inline std::atomic<double> g_sync_timeout{120.0};
+}
+
+/// Set the process-wide synchronization timeout in seconds
+/// (<= 0 disables the watchdog).  Applies to barriers, progress-flag
+/// waits and pt2pt FIFO waits.
+inline void set_sync_timeout(double seconds) noexcept {
+  detail::g_sync_timeout.store(seconds, std::memory_order_relaxed);
+}
+
+inline double sync_timeout() noexcept {
+  return detail::g_sync_timeout.load(std::memory_order_relaxed);
+}
+
+/// RAII override, used by tests.
+class ScopedSyncTimeout {
+ public:
+  explicit ScopedSyncTimeout(double seconds) : prev_(sync_timeout()) {
+    set_sync_timeout(seconds);
+  }
+  ~ScopedSyncTimeout() { set_sync_timeout(prev_); }
+  ScopedSyncTimeout(const ScopedSyncTimeout&) = delete;
+  ScopedSyncTimeout& operator=(const ScopedSyncTimeout&) = delete;
+
+ private:
+  double prev_;
+};
+
+}  // namespace yhccl::rt

@@ -1,0 +1,212 @@
+// Rank teams: the shared-memory "mini-MPI" the collectives run on.
+//
+// A Team owns one shared mapping laid out as
+//   [TeamShared control block][pt2pt channels][shared heap][coll scratch]
+// and executes SPMD functions over `nranks` ranks.  Two backends exist:
+//   ThreadTeam  — ranks are threads (deterministic, XPMEM-faithful)
+//   ProcessTeam — ranks are fork()ed processes (the paper's true setting)
+// Collective code only ever touches the shared mapping plus rank-private
+// buffers, so the same implementation runs unchanged on both.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "yhccl/common/types.hpp"
+#include "yhccl/copy/cache_model.hpp"
+#include "yhccl/copy/dav.hpp"
+#include "yhccl/runtime/remote_access.hpp"
+#include "yhccl/runtime/shm_region.hpp"
+#include "yhccl/runtime/sync.hpp"
+#include "yhccl/runtime/topology.hpp"
+
+namespace yhccl::rt {
+
+inline constexpr int kMaxRanks = 256;
+inline constexpr int kMaxSockets = 16;
+inline constexpr int kRegistrySlots = 4;
+
+struct TeamConfig {
+  int nranks = 4;
+  int nsockets = 1;
+  copy::CacheConfig cache = copy::CacheConfig::detect();
+  std::size_t scratch_bytes = 64u << 20;     ///< collective scratch (shm)
+  std::size_t shared_heap_bytes = 48u << 20; ///< persistent user shm heap
+  std::size_t chunk_bytes = 16u << 10;       ///< pt2pt eager chunk size
+};
+
+/// Eager FIFO + rendezvous descriptor for one directed rank pair.
+struct FifoChannel {
+  static constexpr std::uint64_t kSlots = 2;
+  struct SlotMeta {
+    std::uint32_t bytes;
+    std::int32_t tag;
+  };
+  alignas(kCacheline) std::atomic<std::uint64_t> head{0};  // consumer
+  alignas(kCacheline) std::atomic<std::uint64_t> tail{0};  // producer
+  SlotMeta meta[kSlots]{};
+  // Rendezvous (single-copy) protocol state.
+  alignas(kCacheline) std::atomic<std::uint64_t> rndv_posted{0};
+  alignas(kCacheline) std::atomic<std::uint64_t> rndv_done{0};
+  const void* rndv_ptr = nullptr;
+  std::size_t rndv_bytes = 0;
+  int rndv_pid = 0;
+};
+
+/// Control block at the start of the shared mapping.
+struct TeamShared {
+  BarrierState node_barrier;
+  BarrierState socket_barrier[kMaxSockets];
+  PaddedFlag step[kMaxRanks];  ///< per-rank pipeline progress counters
+  PaddedFlag flag[kMaxRanks];  ///< generic per-rank flags
+  RemoteWindow registry[kMaxRanks][kRegistrySlots];
+  copy::Dav dav_out[kMaxRanks]{};  ///< per-rank DAV of the last run()
+  double time_out[kMaxRanks]{};    ///< per-rank wall time of the last run()
+  alignas(kCacheline) std::atomic<std::uint64_t> heap_cursor{0};
+  struct alignas(kCacheline) Persist {
+    std::uint64_t coll_seq = 0;
+    std::uint32_t node_sense = 0;
+    std::uint32_t sock_sense = 0;
+  };
+  Persist persist[kMaxRanks];
+  PageLockTable page_locks;  ///< shared lock table for the CMA emulation
+};
+
+class RankCtx;
+
+class Team {
+ public:
+  explicit Team(TeamConfig cfg);
+  virtual ~Team() = default;
+  Team(const Team&) = delete;
+  Team& operator=(const Team&) = delete;
+
+  /// Execute `fn` SPMD over all ranks; returns when every rank finished.
+  /// Per-rank DAV counters and wall times are captured automatically.
+  void run(const std::function<void(RankCtx&)>& fn);
+
+  const TeamConfig& config() const noexcept { return cfg_; }
+  const Topology& topo() const noexcept { return topo_; }
+  int nranks() const noexcept { return cfg_.nranks; }
+
+  /// Bump-allocate persistent shared memory (test/app IO buffers).  Valid
+  /// in all ranks of both backends; never freed until the Team dies.
+  std::byte* shared_alloc(std::size_t bytes, std::size_t align = kCacheline);
+
+  copy::Dav last_dav(int rank) const { return shared_->dav_out[rank]; }
+  double last_time(int rank) const { return shared_->time_out[rank]; }
+  /// Sum of all ranks' DAV for the last run() — the per-node DAV of the
+  /// paper's tables.
+  copy::Dav total_dav() const;
+  /// Max of the per-rank wall times (collectives finish at the slowest rank).
+  double max_time() const;
+
+  // -- internals used by RankCtx and the collectives ------------------------
+  TeamShared& shared() noexcept { return *shared_; }
+  std::byte* scratch_base() noexcept { return region_.data() + off_scratch_; }
+  std::size_t scratch_bytes() const noexcept { return cfg_.scratch_bytes; }
+  FifoChannel& channel(int src, int dst) noexcept;
+  std::byte* channel_data(int src, int dst) noexcept;
+
+ protected:
+  /// Backend hook: execute `wrapped(rank)` once per rank, concurrently.
+  virtual void run_ranks(const std::function<void(int)>& wrapped) = 0;
+
+  TeamConfig cfg_;
+  Topology topo_;
+  ShmRegion region_;
+  std::size_t off_channels_ = 0;
+  std::size_t off_chan_data_ = 0;
+  std::size_t off_heap_ = 0;
+  std::size_t off_scratch_ = 0;
+  TeamShared* shared_ = nullptr;
+};
+
+/// Per-rank handle passed to SPMD functions; everything a collective needs.
+class RankCtx {
+ public:
+  RankCtx(Team& team, int rank);
+
+  int rank() const noexcept { return rank_; }
+  int nranks() const noexcept { return nranks_; }
+  Team& team() noexcept { return *team_; }
+  const TeamConfig& config() const noexcept { return team_->config(); }
+  const copy::CacheConfig& cache() const noexcept {
+    return team_->config().cache;
+  }
+
+  // Topology shortcuts.
+  int nsockets() const noexcept { return team_->topo().nsockets(); }
+  int socket() const noexcept { return team_->topo().socket_of(rank_); }
+  int socket_rank() const noexcept { return team_->topo().socket_rank(rank_); }
+  int socket_size() const noexcept {
+    return team_->topo().socket_size(socket());
+  }
+  int socket_base() const noexcept { return team_->topo().socket_base(socket()); }
+
+  std::byte* scratch() noexcept { return team_->scratch_base(); }
+  std::size_t scratch_bytes() const noexcept { return team_->scratch_bytes(); }
+
+  // ---- synchronization ----------------------------------------------------
+  void barrier();
+  void socket_barrier();
+
+  /// Per-call sequence number; identical across ranks because collectives
+  /// are invoked in the same order everywhere (MPI semantics).
+  std::uint64_t next_seq();
+
+  /// Publish my pipeline progress (release) / wait on a peer's (acquire).
+  /// Values must be strictly increasing within a team lifetime; collectives
+  /// encode them with step_value(seq, local_step).
+  void step_publish(std::uint64_t v) noexcept;
+  void step_wait(int peer, std::uint64_t v);
+
+  /// Monotone encoding of (collective sequence, step-within-collective).
+  static constexpr std::uint64_t step_value(std::uint64_t seq,
+                                            std::uint64_t step) noexcept {
+    return (seq << 32) + step;
+  }
+
+  std::atomic<std::uint64_t>& flag(int rank) noexcept {
+    return team_->shared().flag[rank].v;
+  }
+
+  // ---- remote buffer registry (XPMEM/CMA) ---------------------------------
+  void publish_buffer(int slot, const void* p, std::size_t bytes);
+  RemoteBuf remote_buffer(int peer, int slot) const;
+  PageLockTable& page_locks() noexcept { return team_->shared().page_locks; }
+
+  // ---- point-to-point ------------------------------------------------------
+  /// Eager two-copy send/recv through a shared-memory FIFO (the classic
+  /// MPI intra-node path: copy-in by sender, copy-out by receiver).
+  void send(int dst, const void* p, std::size_t n, int tag = 0);
+  void recv(int src, void* p, std::size_t n, int tag = 0);
+
+  /// Rendezvous single-copy transfer (kernel-assisted model: the receiver
+  /// pulls straight from the sender's buffer).
+  void send_zc(int dst, const void* p, std::size_t n);
+  void recv_zc(int src, void* p, std::size_t n,
+               RemoteMode mode = RemoteMode::direct);
+
+  /// Simultaneous exchange (MPI_Sendrecv).  Interleaves chunk production
+  /// and consumption so rings and recursive-halving exchanges cannot
+  /// deadlock on FIFO capacity.
+  void sendrecv(int dst, const void* sbuf, std::size_t sn, int src,
+                void* rbuf, std::size_t rn, int tag = 0);
+
+  /// Rendezvous variant: posts my descriptor, pulls from `src`, then waits
+  /// for my own buffer to be drained.
+  void sendrecv_zc(int dst, const void* sbuf, std::size_t sn, int src,
+                   void* rbuf, std::size_t rn,
+                   RemoteMode mode = RemoteMode::direct);
+
+ private:
+  Team* team_;
+  int rank_;
+  int nranks_;
+  TeamShared::Persist* persist_;
+};
+
+}  // namespace yhccl::rt

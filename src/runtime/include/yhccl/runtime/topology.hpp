@@ -1,0 +1,52 @@
+// Logical node topology: how the team's ranks map onto sockets.
+//
+// On the reproduction host the socket structure is *virtual* (the paper's
+// machines have 2 physical sockets); the socket-aware algorithms only need
+// a consistent block partition of the ranks, which this provides.
+#pragma once
+
+#include "yhccl/common/error.hpp"
+
+namespace yhccl::rt {
+
+class Topology {
+ public:
+  Topology() = default;
+  Topology(int nranks, int nsockets) : nranks_(nranks), nsockets_(nsockets) {
+    YHCCL_REQUIRE(nranks >= 1, "team needs at least one rank");
+    YHCCL_REQUIRE(nsockets >= 1 && nsockets <= nranks,
+                  "1 <= nsockets <= nranks");
+  }
+
+  int nranks() const noexcept { return nranks_; }
+  int nsockets() const noexcept { return nsockets_; }
+
+  /// Ranks are block-partitioned: socket s owns [base(s), base(s)+size(s)).
+  /// The first (nranks % nsockets) sockets get one extra rank.
+  int socket_size(int s) const noexcept {
+    const int base = nranks_ / nsockets_;
+    return base + (s < nranks_ % nsockets_ ? 1 : 0);
+  }
+
+  int socket_base(int s) const noexcept {
+    const int q = nranks_ / nsockets_, r = nranks_ % nsockets_;
+    return s * q + (s < r ? s : r);
+  }
+
+  int socket_of(int rank) const noexcept {
+    const int q = nranks_ / nsockets_, r = nranks_ % nsockets_;
+    const int cut = r * (q + 1);  // ranks below cut live in "big" sockets
+    return rank < cut ? rank / (q + 1) : r + (rank - cut) / q;
+  }
+
+  /// Index of `rank` within its socket.
+  int socket_rank(int rank) const noexcept {
+    return rank - socket_base(socket_of(rank));
+  }
+
+ private:
+  int nranks_ = 1;
+  int nsockets_ = 1;
+};
+
+}  // namespace yhccl::rt

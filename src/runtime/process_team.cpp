@@ -1,0 +1,56 @@
+#include "yhccl/runtime/process_team.hpp"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "yhccl/common/error.hpp"
+
+namespace yhccl::rt {
+
+void ProcessTeam::run_ranks(const std::function<void(int)>& wrapped) {
+  std::vector<pid_t> children;
+  children.reserve(static_cast<std::size_t>(nranks()));
+
+  for (int r = 0; r < nranks(); ++r) {
+    const pid_t pid = fork();
+    YHCCL_CHECK_SYS(pid, "fork");
+    if (pid == 0) {
+      int code = 0;
+      try {
+        wrapped(r);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "[yhccl rank %d pid %d] %s\n", r, getpid(),
+                     e.what());
+        code = 1;
+      } catch (...) {
+        std::fprintf(stderr, "[yhccl rank %d] unknown exception\n", r);
+        code = 1;
+      }
+      // _exit: skip atexit/static destructors we share with the parent.
+      std::fflush(nullptr);
+      _exit(code);
+    }
+    children.push_back(pid);
+  }
+
+  int failures = 0;
+  for (std::size_t i = 0; i < children.size(); ++i) {
+    int status = 0;
+    if (waitpid(children[i], &status, 0) < 0) {
+      ++failures;
+      continue;
+    }
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) ++failures;
+  }
+  if (failures > 0)
+    raise("ProcessTeam: " + std::to_string(failures) + " of " +
+          std::to_string(nranks()) + " rank processes failed");
+}
+
+}  // namespace yhccl::rt

@@ -1,0 +1,88 @@
+#include "yhccl/runtime/remote_access.hpp"
+
+#include <sys/uio.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "yhccl/common/error.hpp"
+#include "yhccl/copy/dav.hpp"
+#include "yhccl/copy/kernels.hpp"
+#include "yhccl/runtime/sync.hpp"
+
+namespace yhccl::rt {
+
+void PageLockTable::lock(std::uintptr_t src_page) {
+  auto& l = locks_[(src_page / kPageBytes) % kLocks].v;
+  SpinGuard guard("page-lock wait");
+  for (;;) {
+    std::uint32_t expect = 0;
+    if (l.compare_exchange_weak(expect, 1, std::memory_order_acquire,
+                                std::memory_order_relaxed))
+      return;
+    guard.relax();
+  }
+}
+
+void PageLockTable::unlock(std::uintptr_t src_page) noexcept {
+  locks_[(src_page / kPageBytes) % kLocks].v.store(
+      0, std::memory_order_release);
+}
+
+namespace {
+
+void cross_process_read(void* dst, int pid, const void* src, std::size_t n) {
+  iovec local{dst, n};
+  iovec remote{const_cast<void*>(src), n};
+  const ssize_t got = process_vm_readv(pid, &local, 1, &remote, 1, 0);
+  if (got < 0 || static_cast<std::size_t>(got) != n)
+    raise_errno("process_vm_readv");
+  copy::dav_add(n, n);
+}
+
+}  // namespace
+
+bool cma_available() {
+  // Probe by reading our own memory through the syscall; a kernel that
+  // lacks or forbids it fails even for self.
+  char probe = 42, out = 0;
+  iovec local{&out, 1};
+  iovec remote{&probe, 1};
+  return process_vm_readv(getpid(), &local, 1, &remote, 1, 0) == 1 &&
+         out == 42;
+}
+
+void remote_read(void* dst, const RemoteBuf& src, std::size_t offset,
+                 std::size_t n, RemoteMode mode, PageLockTable* locks) {
+  YHCCL_REQUIRE(offset + n <= src.bytes, "remote_read out of range");
+  const auto* base = static_cast<const std::uint8_t*>(src.ptr) + offset;
+  const bool same_process = src.pid == getpid();
+
+  if (mode == RemoteMode::direct) {
+    if (same_process)
+      copy::t_copy(dst, base, n);
+    else
+      cross_process_read(dst, src.pid, base, n);
+    return;
+  }
+
+  // CMA emulation: page-granular, temporal stores, optional page locks.
+  constexpr std::size_t kPage = PageLockTable::kPageBytes;
+  auto* d = static_cast<std::uint8_t*>(dst);
+  std::size_t done = 0;
+  while (done < n) {
+    const auto page_addr = reinterpret_cast<std::uintptr_t>(base + done);
+    const std::size_t in_page = kPage - (page_addr & (kPage - 1));
+    const std::size_t len = in_page < n - done ? in_page : n - done;
+    if (locks != nullptr) locks->lock(page_addr);
+    if (same_process)
+      copy::t_copy(d + done, base + done, len);
+    else
+      cross_process_read(d + done, src.pid, base + done, len);
+    if (locks != nullptr) locks->unlock(page_addr);
+    done += len;
+  }
+}
+
+}  // namespace yhccl::rt

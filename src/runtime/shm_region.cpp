@@ -1,0 +1,79 @@
+#include "yhccl/runtime/shm_region.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "yhccl/common/error.hpp"
+
+namespace yhccl::rt {
+
+ShmRegion::ShmRegion(ShmRegion&& o) noexcept
+    : addr_(std::exchange(o.addr_, nullptr)),
+      bytes_(std::exchange(o.bytes_, 0)),
+      name_(std::exchange(o.name_, {})),
+      owner_(std::exchange(o.owner_, false)) {}
+
+ShmRegion& ShmRegion::operator=(ShmRegion&& o) noexcept {
+  if (this != &o) {
+    this->~ShmRegion();
+    new (this) ShmRegion(std::move(o));
+  }
+  return *this;
+}
+
+ShmRegion::~ShmRegion() {
+  if (addr_ != nullptr) munmap(addr_, bytes_);
+  if (owner_ && !name_.empty()) shm_unlink(name_.c_str());
+}
+
+ShmRegion ShmRegion::create_anonymous(std::size_t bytes) {
+  void* p = mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                 MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (p == MAP_FAILED) raise_errno("mmap(MAP_SHARED|MAP_ANONYMOUS)");
+  ShmRegion r;
+  r.addr_ = p;
+  r.bytes_ = bytes;
+  return r;
+}
+
+ShmRegion ShmRegion::create_named(const std::string& name, std::size_t bytes) {
+  const int fd = shm_open(name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+  if (fd < 0) raise_errno("shm_open(create " + name + ")");
+  if (ftruncate(fd, static_cast<off_t>(bytes)) != 0) {
+    close(fd);
+    shm_unlink(name.c_str());
+    raise_errno("ftruncate(" + name + ")");
+  }
+  void* p = mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  close(fd);
+  if (p == MAP_FAILED) {
+    shm_unlink(name.c_str());
+    raise_errno("mmap(" + name + ")");
+  }
+  ShmRegion r;
+  r.addr_ = p;
+  r.bytes_ = bytes;
+  r.name_ = name;
+  r.owner_ = true;
+  return r;
+}
+
+ShmRegion ShmRegion::open_named(const std::string& name, std::size_t bytes) {
+  const int fd = shm_open(name.c_str(), O_RDWR, 0600);
+  if (fd < 0) raise_errno("shm_open(open " + name + ")");
+  void* p = mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  close(fd);
+  if (p == MAP_FAILED) raise_errno("mmap(" + name + ")");
+  ShmRegion r;
+  r.addr_ = p;
+  r.bytes_ = bytes;
+  r.name_ = name;
+  r.owner_ = false;
+  return r;
+}
+
+}  // namespace yhccl::rt

@@ -1,0 +1,50 @@
+#include "yhccl/runtime/sync.hpp"
+
+#include <immintrin.h>
+#include <sched.h>
+
+#include "yhccl/common/error.hpp"
+#include "yhccl/common/time.hpp"
+
+namespace yhccl::rt {
+
+namespace detail {
+
+void cpu_relax_and_maybe_yield(unsigned& spins) noexcept {
+  // A short pause-loop burst keeps latency low when the partner runs on
+  // another core; yielding afterwards keeps oversubscribed teams live.
+  if (++spins < 64) {
+    _mm_pause();
+    return;
+  }
+  spins = 0;
+  sched_yield();
+}
+
+}  // namespace detail
+
+void SpinGuard::relax() {
+  if (++spins_ < 64) {
+    _mm_pause();
+    return;
+  }
+  spins_ = 0;
+  sched_yield();
+  // The watchdog check is amortized: wall-clock reads only every 256
+  // yields, so the fast path stays cheap.
+  if (++yields_ < 256) return;
+  yields_ = 0;
+  const double timeout = sync_timeout();
+  if (timeout <= 0) return;
+  const double now = wall_seconds();
+  if (deadline_ < 0) {
+    deadline_ = now + timeout;
+    return;
+  }
+  if (now >= deadline_)
+    raise(std::string(what_) +
+          " exceeded the sync timeout — a peer rank is dead or the "
+          "collective call sequence diverged");
+}
+
+}  // namespace yhccl::rt

@@ -1,0 +1,278 @@
+#include "yhccl/runtime/team.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <new>
+
+#include "yhccl/common/error.hpp"
+#include "yhccl/common/time.hpp"
+#include "yhccl/copy/kernels.hpp"
+
+namespace yhccl::rt {
+
+namespace {
+constexpr std::size_t kPageAlign = 4096;
+}
+
+Team::Team(TeamConfig cfg) : cfg_(cfg), topo_(cfg.nranks, cfg.nsockets) {
+  YHCCL_REQUIRE(cfg_.nranks >= 1 && cfg_.nranks <= kMaxRanks,
+                "nranks out of range");
+  YHCCL_REQUIRE(cfg_.nsockets >= 1 && cfg_.nsockets <= kMaxSockets,
+                "nsockets out of range");
+  YHCCL_REQUIRE(cfg_.chunk_bytes >= 256, "pt2pt chunk too small");
+
+  const std::size_t p = static_cast<std::size_t>(cfg_.nranks);
+  const std::size_t nchan = p * p;
+  const std::size_t chan_data = FifoChannel::kSlots * cfg_.chunk_bytes;
+
+  std::size_t off = round_up(sizeof(TeamShared), kPageAlign);
+  off_channels_ = off;
+  off = round_up(off + nchan * sizeof(FifoChannel), kPageAlign);
+  off_chan_data_ = off;
+  off = round_up(off + nchan * chan_data, kPageAlign);
+  off_heap_ = off;
+  off = round_up(off + cfg_.shared_heap_bytes, kPageAlign);
+  off_scratch_ = off;
+  off = round_up(off + cfg_.scratch_bytes, kPageAlign);
+
+  region_ = ShmRegion::create_anonymous(off);
+  shared_ = new (region_.data()) TeamShared();
+  barrier_init(shared_->node_barrier, static_cast<std::uint32_t>(p));
+  for (int s = 0; s < cfg_.nsockets; ++s)
+    barrier_init(shared_->socket_barrier[s],
+                 static_cast<std::uint32_t>(topo_.socket_size(s)));
+  auto* chans = reinterpret_cast<FifoChannel*>(region_.data() + off_channels_);
+  for (std::size_t c = 0; c < nchan; ++c) new (chans + c) FifoChannel();
+}
+
+FifoChannel& Team::channel(int src, int dst) noexcept {
+  auto* chans = reinterpret_cast<FifoChannel*>(region_.data() + off_channels_);
+  return chans[static_cast<std::size_t>(src) * cfg_.nranks + dst];
+}
+
+std::byte* Team::channel_data(int src, int dst) noexcept {
+  const std::size_t stride = FifoChannel::kSlots * cfg_.chunk_bytes;
+  return region_.data() + off_chan_data_ +
+         (static_cast<std::size_t>(src) * cfg_.nranks + dst) * stride;
+}
+
+std::byte* Team::shared_alloc(std::size_t bytes, std::size_t align) {
+  YHCCL_REQUIRE(align != 0 && (align & (align - 1)) == 0,
+                "alignment must be a power of two");
+  auto& cur = shared_->heap_cursor;
+  std::uint64_t old = cur.load(std::memory_order_relaxed);
+  std::uint64_t base;
+  do {
+    base = (old + align - 1) & ~(static_cast<std::uint64_t>(align) - 1);
+    YHCCL_REQUIRE(base + bytes <= cfg_.shared_heap_bytes,
+                  "shared heap exhausted");
+  } while (!cur.compare_exchange_weak(old, base + bytes,
+                                      std::memory_order_relaxed));
+  return region_.data() + off_heap_ + base;
+}
+
+void Team::run(const std::function<void(RankCtx&)>& fn) {
+  run_ranks([&](int rank) {
+    RankCtx ctx(*this, rank);
+    copy::dav_reset();
+    const double t0 = wall_seconds();
+    fn(ctx);
+    const double t1 = wall_seconds();
+    shared_->dav_out[rank] = copy::dav_read();
+    shared_->time_out[rank] = t1 - t0;
+  });
+}
+
+copy::Dav Team::total_dav() const {
+  copy::Dav total;
+  for (int r = 0; r < cfg_.nranks; ++r) total += shared_->dav_out[r];
+  return total;
+}
+
+double Team::max_time() const {
+  double m = 0;
+  for (int r = 0; r < cfg_.nranks; ++r)
+    m = std::max(m, shared_->time_out[r]);
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// RankCtx
+// ---------------------------------------------------------------------------
+
+RankCtx::RankCtx(Team& team, int rank)
+    : team_(&team),
+      rank_(rank),
+      nranks_(team.nranks()),
+      persist_(&team.shared().persist[rank]) {
+  YHCCL_REQUIRE(rank >= 0 && rank < nranks_, "rank out of range");
+}
+
+void RankCtx::barrier() {
+  barrier_arrive(team_->shared().node_barrier, persist_->node_sense);
+}
+
+void RankCtx::socket_barrier() {
+  barrier_arrive(team_->shared().socket_barrier[socket()],
+                 persist_->sock_sense);
+}
+
+std::uint64_t RankCtx::next_seq() { return ++persist_->coll_seq; }
+
+void RankCtx::step_publish(std::uint64_t v) noexcept {
+  team_->shared().step[rank_].v.store(v, std::memory_order_release);
+}
+
+void RankCtx::step_wait(int peer, std::uint64_t v) {
+  spin_wait_ge(team_->shared().step[peer].v, v);
+}
+
+void RankCtx::publish_buffer(int slot, const void* p, std::size_t bytes) {
+  YHCCL_REQUIRE(slot >= 0 && slot < kRegistrySlots, "registry slot");
+  auto& w = team_->shared().registry[rank_][slot];
+  w.ptr = p;
+  w.bytes = bytes;
+  w.pid = getpid();
+  w.seq.fetch_add(1, std::memory_order_release);
+}
+
+RemoteBuf RankCtx::remote_buffer(int peer, int slot) const {
+  YHCCL_REQUIRE(slot >= 0 && slot < kRegistrySlots, "registry slot");
+  const auto& w = team_->shared().registry[peer][slot];
+  (void)w.seq.load(std::memory_order_acquire);
+  return RemoteBuf{w.ptr, w.bytes, w.pid};
+}
+
+// ---------------------------------------------------------------------------
+// pt2pt: eager two-copy FIFO
+// ---------------------------------------------------------------------------
+
+void RankCtx::send(int dst, const void* p, std::size_t n, int tag) {
+  YHCCL_REQUIRE(dst >= 0 && dst < nranks_ && dst != rank_, "bad send peer");
+  auto& ch = team_->channel(rank_, dst);
+  std::byte* data = team_->channel_data(rank_, dst);
+  const std::size_t chunk = config().chunk_bytes;
+  const auto* src = static_cast<const std::byte*>(p);
+  std::size_t off = 0;
+  do {
+    const std::uint64_t t = ch.tail.load(std::memory_order_relaxed);
+    SpinGuard guard("pt2pt send slot wait");
+    while (t - ch.head.load(std::memory_order_acquire) >= FifoChannel::kSlots)
+      guard.relax();
+    const auto slot = static_cast<std::size_t>(t % FifoChannel::kSlots);
+    const std::size_t len = std::min(chunk, n - off);
+    if (len > 0) copy::t_copy(data + slot * chunk, src + off, len);
+    ch.meta[slot] = {static_cast<std::uint32_t>(len), tag};
+    ch.tail.store(t + 1, std::memory_order_release);
+    off += len;
+  } while (off < n);
+}
+
+void RankCtx::recv(int src, void* p, std::size_t n, int tag) {
+  YHCCL_REQUIRE(src >= 0 && src < nranks_ && src != rank_, "bad recv peer");
+  auto& ch = team_->channel(src, rank_);
+  std::byte* data = team_->channel_data(src, rank_);
+  const std::size_t chunk = config().chunk_bytes;
+  auto* dst = static_cast<std::byte*>(p);
+  std::size_t off = 0;
+  do {
+    const std::uint64_t h = ch.head.load(std::memory_order_relaxed);
+    spin_wait_ge(ch.tail, h + 1);
+    const auto slot = static_cast<std::size_t>(h % FifoChannel::kSlots);
+    const auto [len, mtag] = ch.meta[slot];
+    YHCCL_REQUIRE(mtag == tag, "pt2pt tag mismatch");
+    YHCCL_REQUIRE(off + len <= n, "pt2pt recv overflow");
+    if (len > 0) copy::t_copy(dst + off, data + slot * chunk, len);
+    ch.head.store(h + 1, std::memory_order_release);
+    off += len;
+  } while (off < n);
+}
+
+void RankCtx::sendrecv(int dst, const void* sbuf, std::size_t sn, int src,
+                       void* rbuf, std::size_t rn, int tag) {
+  auto& out = team_->channel(rank_, dst);
+  auto& in = team_->channel(src, rank_);
+  std::byte* out_data = team_->channel_data(rank_, dst);
+  std::byte* in_data = team_->channel_data(src, rank_);
+  const std::size_t chunk = config().chunk_bytes;
+  const auto* sp = static_cast<const std::byte*>(sbuf);
+  auto* rp = static_cast<std::byte*>(rbuf);
+  // At least one chunk per direction even for empty messages, matching the
+  // chunk counts the peer's send()/recv()/sendrecv() will produce.
+  const std::size_t schunks = sn == 0 ? 1 : ceil_div(sn, chunk);
+  const std::size_t rchunks = rn == 0 ? 1 : ceil_div(rn, chunk);
+  std::size_t sent = 0, received = 0;
+  std::size_t soff = 0, roff = 0;
+  SpinGuard guard("sendrecv progress");
+  while (sent < schunks || received < rchunks) {
+    bool progressed = false;
+    if (sent < schunks) {
+      const std::uint64_t t = out.tail.load(std::memory_order_relaxed);
+      if (t - out.head.load(std::memory_order_acquire) <
+          FifoChannel::kSlots) {
+        const auto slot = static_cast<std::size_t>(t % FifoChannel::kSlots);
+        const std::size_t len = std::min(chunk, sn - soff);
+        if (len > 0) copy::t_copy(out_data + slot * chunk, sp + soff, len);
+        out.meta[slot] = {static_cast<std::uint32_t>(len), tag};
+        out.tail.store(t + 1, std::memory_order_release);
+        soff += len;
+        ++sent;
+        progressed = true;
+      }
+    }
+    if (received < rchunks) {
+      const std::uint64_t h = in.head.load(std::memory_order_relaxed);
+      if (in.tail.load(std::memory_order_acquire) > h) {
+        const auto slot = static_cast<std::size_t>(h % FifoChannel::kSlots);
+        const auto [len, mtag] = in.meta[slot];
+        YHCCL_REQUIRE(mtag == tag, "sendrecv tag mismatch");
+        YHCCL_REQUIRE(roff + len <= rn, "sendrecv recv overflow");
+        if (len > 0) copy::t_copy(rp + roff, in_data + slot * chunk, len);
+        in.head.store(h + 1, std::memory_order_release);
+        roff += len;
+        ++received;
+        progressed = true;
+      }
+    }
+    if (!progressed) guard.relax();
+  }
+}
+
+void RankCtx::sendrecv_zc(int dst, const void* sbuf, std::size_t sn, int src,
+                          void* rbuf, std::size_t rn, RemoteMode mode) {
+  auto& out = team_->channel(rank_, dst);
+  const std::uint64_t s = out.rndv_posted.load(std::memory_order_relaxed) + 1;
+  out.rndv_ptr = sbuf;
+  out.rndv_bytes = sn;
+  out.rndv_pid = getpid();
+  out.rndv_posted.store(s, std::memory_order_release);
+  recv_zc(src, rbuf, rn, mode);
+  spin_wait_ge(out.rndv_done, s);
+}
+
+// ---------------------------------------------------------------------------
+// pt2pt: rendezvous single-copy
+// ---------------------------------------------------------------------------
+
+void RankCtx::send_zc(int dst, const void* p, std::size_t n) {
+  auto& ch = team_->channel(rank_, dst);
+  const std::uint64_t s = ch.rndv_posted.load(std::memory_order_relaxed) + 1;
+  ch.rndv_ptr = p;
+  ch.rndv_bytes = n;
+  ch.rndv_pid = getpid();
+  ch.rndv_posted.store(s, std::memory_order_release);
+  spin_wait_ge(ch.rndv_done, s);
+}
+
+void RankCtx::recv_zc(int src, void* p, std::size_t n, RemoteMode mode) {
+  auto& ch = team_->channel(src, rank_);
+  const std::uint64_t s = ch.rndv_done.load(std::memory_order_relaxed) + 1;
+  spin_wait_ge(ch.rndv_posted, s);
+  YHCCL_REQUIRE(ch.rndv_bytes == n, "rendezvous size mismatch");
+  RemoteBuf rb{ch.rndv_ptr, ch.rndv_bytes, ch.rndv_pid};
+  if (n > 0) remote_read(p, rb, 0, n, mode, nullptr);
+  ch.rndv_done.store(s, std::memory_order_release);
+}
+
+}  // namespace yhccl::rt

@@ -1,0 +1,30 @@
+#include "yhccl/runtime/thread_team.hpp"
+
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace yhccl::rt {
+
+void ThreadTeam::run_ranks(const std::function<void(int)>& wrapped) {
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks()));
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  for (int r = 0; r < nranks(); ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        wrapped(r);
+      } catch (...) {
+        std::lock_guard lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace yhccl::rt

@@ -1,0 +1,170 @@
+// Tests for the application proxies: the sliced STREAM copy, the Mini-AMR
+// refinement dynamics (determinism, block-count evolution, checksum
+// agreement across collective providers), and the data-parallel trainer.
+#include <gtest/gtest.h>
+
+#include "yhccl/apps/dnn.hpp"
+#include "yhccl/apps/miniamr.hpp"
+#include "yhccl/apps/stream.hpp"
+#include "yhccl/baselines/baselines.hpp"
+#include "yhccl/coll/coll.hpp"
+#include "test_util.hpp"
+
+using namespace yhccl;
+using test::cached_team;
+
+namespace {
+
+// ---- stream -----------------------------------------------------------------
+
+TEST(StreamSliceCopy, AllKindsCopyAtPositiveBandwidth) {
+  using namespace apps::stream;
+  for (CopyKind k : {CopyKind::memmove_libc, CopyKind::memmove_model,
+                     CopyKind::temporal, CopyKind::non_temporal,
+                     CopyKind::erms}) {
+    const auto r = run_sliced_copy(8u << 20, 256u << 10, k, 1);
+    EXPECT_GT(r.bandwidth_mbps, 0) << copy_kind_name(k);
+  }
+}
+
+TEST(StreamSliceCopy, CopiesBytesFaithfully) {
+  using namespace apps::stream;
+  std::vector<std::byte> src(1u << 20), dst(1u << 20);
+  for (std::size_t i = 0; i < src.size(); ++i)
+    src[i] = static_cast<std::byte>(i % 251);
+  sliced_copy(dst.data(), src.data(), src.size(), 64u << 10,
+              CopyKind::non_temporal);
+  EXPECT_EQ(0, std::memcmp(dst.data(), src.data(), src.size()));
+}
+
+// ---- miniamr ------------------------------------------------------------------
+
+apps::miniamr::AllreduceFn yhccl_ar() {
+  return [](rt::RankCtx& ctx, const double* in, double* out, std::size_t n) {
+    coll::allreduce(ctx, in, out, n, Datatype::f64, ReduceOp::sum);
+  };
+}
+
+apps::miniamr::AllreduceFn ring_ar() {
+  return [](rt::RankCtx& ctx, const double* in, double* out, std::size_t n) {
+    base::ring_allreduce(ctx, in, out, n, Datatype::f64, ReduceOp::sum);
+  };
+}
+
+TEST(MiniAmr, RefinementTracksTheMovingObject) {
+  apps::miniamr::Config cfg;
+  cfg.tsteps = 6;
+  cfg.refine_metric_len = 4096;
+  auto& team = cached_team(4, 2);
+  std::vector<apps::miniamr::Stats> st(4);
+  team.run([&](rt::RankCtx& ctx) {
+    st[ctx.rank()] = apps::miniamr::run_rank(ctx, cfg, yhccl_ar());
+  });
+  const int roots = cfg.domain_blocks * cfg.domain_blocks * cfg.domain_blocks;
+  // The sphere forces refinement: more blocks than the root grid, and the
+  // level cap bounds the growth.
+  EXPECT_GT(st[0].final_blocks, roots);
+  EXPECT_LE(st[0].final_blocks, roots * 64 + roots);
+  EXPECT_GT(st[0].total_blocks_processed, 0);
+  // Global agreement on the mesh.
+  for (int r = 1; r < 4; ++r)
+    EXPECT_EQ(st[r].final_blocks, st[0].final_blocks);
+}
+
+TEST(MiniAmr, ChecksumIdenticalAcrossCollectiveProviders) {
+  apps::miniamr::Config cfg;
+  cfg.tsteps = 4;
+  cfg.refine_metric_len = 2048;
+  auto& team = cached_team(4, 2);
+  std::vector<double> sums(2);
+  std::vector<int> blocks(2);
+  int which = 0;
+  for (const auto& ar : {yhccl_ar(), ring_ar()}) {
+    apps::miniamr::Stats st0;
+    team.run([&](rt::RankCtx& ctx) {
+      auto st = apps::miniamr::run_rank(ctx, cfg, ar);
+      if (ctx.rank() == 0) st0 = st;
+    });
+    sums[which] = st0.checksum;
+    blocks[which] = st0.final_blocks;
+    ++which;
+  }
+  EXPECT_DOUBLE_EQ(sums[0], sums[1]);
+  EXPECT_EQ(blocks[0], blocks[1]);
+}
+
+TEST(MiniAmr, DeterministicAcrossRuns) {
+  apps::miniamr::Config cfg;
+  cfg.tsteps = 3;
+  cfg.refine_metric_len = 1024;
+  auto& team = cached_team(2, 1);
+  double first = 0;
+  for (int run = 0; run < 2; ++run) {
+    double sum = 0;
+    team.run([&](rt::RankCtx& ctx) {
+      auto st = apps::miniamr::run_rank(ctx, cfg, yhccl_ar());
+      if (ctx.rank() == 0) sum = st.checksum;
+    });
+    if (run == 0)
+      first = sum;
+    else
+      EXPECT_DOUBLE_EQ(sum, first);
+  }
+}
+
+// ---- dnn -----------------------------------------------------------------------
+
+TEST(DnnModels, ParameterCountsMatchThePaper) {
+  EXPECT_NEAR(apps::dnn::resnet50().total_params() / 1e6, 25.6, 0.3);
+  EXPECT_NEAR(apps::dnn::vgg16().total_params() / 1e6, 138.4, 0.6);
+}
+
+TEST(DnnTrainer, RunsAndAggregatesGradients) {
+  apps::dnn::TrainConfig cfg;
+  cfg.iterations = 2;
+  cfg.batch_per_rank = 2;
+  cfg.compute_scale = 0.001;  // keep the test fast
+  auto model = apps::dnn::resnet50();
+  model.layers.resize(2);  // shrink the gradient buffer for the test
+  auto& team = cached_team(4, 2);
+  std::vector<apps::dnn::TrainStats> st(4);
+  team.run([&](rt::RankCtx& ctx) {
+    st[ctx.rank()] = apps::dnn::train_rank(
+        ctx, model, cfg,
+        [](rt::RankCtx& c, const float* in, float* out, std::size_t n) {
+          coll::allreduce(c, in, out, n, Datatype::f32, ReduceOp::sum);
+        });
+  });
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_GT(st[r].images_per_second, 0);
+    // All ranks must agree on the reduced gradients.
+    EXPECT_DOUBLE_EQ(st[r].grad_checksum, st[0].grad_checksum);
+  }
+  EXPECT_GT(st[0].grad_checksum, 0);
+}
+
+TEST(DnnTrainer, ThroughputScalesWithComputeSpeed) {
+  apps::dnn::TrainConfig slow, fast;
+  slow.iterations = fast.iterations = 1;
+  slow.batch_per_rank = fast.batch_per_rank = 4;
+  slow.compute_scale = 0.02;
+  fast.compute_scale = 0.002;
+  auto model = apps::dnn::resnet50();
+  model.layers.resize(1);
+  auto& team = cached_team(2, 1);
+  double ips_slow = 0, ips_fast = 0;
+  auto ar = [](rt::RankCtx& c, const float* in, float* out, std::size_t n) {
+    coll::allreduce(c, in, out, n, Datatype::f32, ReduceOp::sum);
+  };
+  team.run([&](rt::RankCtx& ctx) {
+    auto st = apps::dnn::train_rank(ctx, model, slow, ar);
+    if (ctx.rank() == 0) ips_slow = st.images_per_second;
+  });
+  team.run([&](rt::RankCtx& ctx) {
+    auto st = apps::dnn::train_rank(ctx, model, fast, ar);
+    if (ctx.rank() == 0) ips_fast = st.images_per_second;
+  });
+  EXPECT_GT(ips_fast, ips_slow);
+}
+
+}  // namespace

@@ -1,0 +1,305 @@
+// Correctness sweeps for the baseline algorithms (Ring, Rabenseifner,
+// DPML, RG tree, XPMEM-direct) across team shapes, transports, message
+// sizes and roots — the same reference checks the YHCCL collectives pass.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "yhccl/baselines/baselines.hpp"
+#include "test_util.hpp"
+
+using namespace yhccl;
+using namespace yhccl::base;
+using test::cached_team;
+using test::check_reduced;
+using test::fill_buffer;
+
+namespace {
+
+const std::size_t kCounts[] = {1, 17, 1024, 50000};
+
+struct RingCase {
+  int p;
+  std::size_t count;
+  Transport t;
+  std::string name() const {
+    return "p" + std::to_string(p) + "_n" + std::to_string(count) +
+           (t == Transport::two_copy ? "_twocopy" : "_singlecopy");
+  }
+};
+
+std::vector<RingCase> ring_cases() {
+  std::vector<RingCase> cs;
+  for (int p : {1, 2, 3, 4, 7, 8})
+    for (std::size_t n : kCounts)
+      for (Transport t : {Transport::two_copy, Transport::single_copy})
+        cs.push_back({p, n, t});
+  return cs;
+}
+
+class RingSweep : public ::testing::TestWithParam<RingCase> {};
+
+TEST_P(RingSweep, ReduceScatter) {
+  const auto c = GetParam();
+  auto& team = cached_team(c.p, 1);
+  std::vector<std::vector<double>> send(c.p), recv(c.p);
+  for (int r = 0; r < c.p; ++r) {
+    send[r].resize(c.count * c.p);
+    recv[r].assign(c.count, -1);
+    fill_buffer(send[r].data(), c.count * c.p, Datatype::f64, r,
+                ReduceOp::sum);
+  }
+  team.run([&](rt::RankCtx& ctx) {
+    ring_reduce_scatter(ctx, send[ctx.rank()].data(),
+                        recv[ctx.rank()].data(), c.count, Datatype::f64,
+                        ReduceOp::sum, c.t);
+  });
+  for (int r = 0; r < c.p; ++r)
+    EXPECT_TRUE(check_reduced(recv[r].data(), c.count, Datatype::f64, c.p,
+                              ReduceOp::sum, c.count * r))
+        << "rank " << r;
+}
+
+TEST_P(RingSweep, Allreduce) {
+  const auto c = GetParam();
+  auto& team = cached_team(c.p, 1);
+  std::vector<std::vector<float>> send(c.p), recv(c.p);
+  for (int r = 0; r < c.p; ++r) {
+    send[r].resize(c.count);
+    recv[r].assign(c.count, -1);
+    fill_buffer(send[r].data(), c.count, Datatype::f32, r, ReduceOp::sum);
+  }
+  team.run([&](rt::RankCtx& ctx) {
+    ring_allreduce(ctx, send[ctx.rank()].data(), recv[ctx.rank()].data(),
+                   c.count, Datatype::f32, ReduceOp::sum, c.t);
+  });
+  for (int r = 0; r < c.p; ++r)
+    EXPECT_TRUE(check_reduced(recv[r].data(), c.count, Datatype::f32, c.p,
+                              ReduceOp::sum))
+        << "rank " << r;
+}
+
+TEST_P(RingSweep, Allgather) {
+  const auto c = GetParam();
+  auto& team = cached_team(c.p, 1);
+  std::vector<std::vector<std::int32_t>> send(c.p), recv(c.p);
+  for (int r = 0; r < c.p; ++r) {
+    send[r].resize(c.count);
+    recv[r].assign(c.count * c.p, -1);
+    fill_buffer(send[r].data(), c.count, Datatype::i32, r, ReduceOp::sum);
+  }
+  team.run([&](rt::RankCtx& ctx) {
+    ring_allgather(ctx, send[ctx.rank()].data(), recv[ctx.rank()].data(),
+                   c.count, Datatype::i32, c.t);
+  });
+  for (int r = 0; r < c.p; ++r)
+    for (int a = 0; a < c.p; ++a)
+      ASSERT_EQ(0, std::memcmp(recv[r].data() + a * c.count, send[a].data(),
+                               c.count * 4))
+          << "rank " << r << " block " << a;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RingSweep, ::testing::ValuesIn(ring_cases()),
+                         [](const auto& i) { return i.param.name(); });
+
+// ---- Rabenseifner -----------------------------------------------------------
+
+class RabSweep : public ::testing::TestWithParam<RingCase> {};
+
+TEST_P(RabSweep, ReduceScatterPow2) {
+  const auto c = GetParam();
+  if ((c.p & (c.p - 1)) != 0) GTEST_SKIP() << "needs power-of-two p";
+  auto& team = cached_team(c.p, 1);
+  std::vector<std::vector<double>> send(c.p), recv(c.p);
+  for (int r = 0; r < c.p; ++r) {
+    send[r].resize(c.count * c.p);
+    recv[r].assign(c.count, -1);
+    fill_buffer(send[r].data(), c.count * c.p, Datatype::f64, r,
+                ReduceOp::sum);
+  }
+  team.run([&](rt::RankCtx& ctx) {
+    rabenseifner_reduce_scatter(ctx, send[ctx.rank()].data(),
+                                recv[ctx.rank()].data(), c.count,
+                                Datatype::f64, ReduceOp::sum, c.t);
+  });
+  for (int r = 0; r < c.p; ++r)
+    EXPECT_TRUE(check_reduced(recv[r].data(), c.count, Datatype::f64, c.p,
+                              ReduceOp::sum, c.count * r))
+        << "rank " << r;
+}
+
+TEST_P(RabSweep, AllreduceAnyP) {
+  const auto c = GetParam();
+  auto& team = cached_team(c.p, 1);
+  std::vector<std::vector<double>> send(c.p), recv(c.p);
+  for (int r = 0; r < c.p; ++r) {
+    send[r].resize(c.count);
+    recv[r].assign(c.count, -1);
+    fill_buffer(send[r].data(), c.count, Datatype::f64, r, ReduceOp::sum);
+  }
+  team.run([&](rt::RankCtx& ctx) {
+    rabenseifner_allreduce(ctx, send[ctx.rank()].data(),
+                           recv[ctx.rank()].data(), c.count, Datatype::f64,
+                           ReduceOp::sum, c.t);
+  });
+  for (int r = 0; r < c.p; ++r)
+    EXPECT_TRUE(check_reduced(recv[r].data(), c.count, Datatype::f64, c.p,
+                              ReduceOp::sum))
+        << "rank " << r;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RabSweep, ::testing::ValuesIn(ring_cases()),
+                         [](const auto& i) { return i.param.name(); });
+
+// ---- DPML / RG / XPMEM -------------------------------------------------------
+
+struct ShapeCase {
+  int p, m;
+  std::size_t count;
+  std::string name() const {
+    return "p" + std::to_string(p) + "m" + std::to_string(m) + "_n" +
+           std::to_string(count);
+  }
+};
+
+std::vector<ShapeCase> shape_cases() {
+  std::vector<ShapeCase> cs;
+  for (auto [p, m] : {std::pair{1, 1}, {2, 1}, {4, 2}, {6, 2}, {8, 4}})
+    for (std::size_t n : kCounts) cs.push_back({p, m, n});
+  return cs;
+}
+
+class OtherBaselines : public ::testing::TestWithParam<ShapeCase> {};
+
+TEST_P(OtherBaselines, DpmlAllreduce) {
+  const auto c = GetParam();
+  auto& team = cached_team(c.p, c.m);
+  std::vector<std::vector<double>> send(c.p), recv(c.p);
+  for (int r = 0; r < c.p; ++r) {
+    send[r].resize(c.count);
+    recv[r].assign(c.count, -1);
+    fill_buffer(send[r].data(), c.count, Datatype::f64, r, ReduceOp::sum);
+  }
+  team.run([&](rt::RankCtx& ctx) {
+    dpml_allreduce(ctx, send[ctx.rank()].data(), recv[ctx.rank()].data(),
+                   c.count, Datatype::f64, ReduceOp::sum);
+  });
+  for (int r = 0; r < c.p; ++r)
+    EXPECT_TRUE(check_reduced(recv[r].data(), c.count, Datatype::f64, c.p,
+                              ReduceOp::sum));
+}
+
+TEST_P(OtherBaselines, RgReduceEveryRootAndBranch) {
+  const auto c = GetParam();
+  if (c.count > 1024 && c.p > 4) GTEST_SKIP() << "cap large-case roots";
+  auto& team = cached_team(c.p, c.m);
+  std::vector<std::vector<float>> send(c.p), recv(c.p);
+  for (int r = 0; r < c.p; ++r) {
+    send[r].resize(c.count);
+    recv[r].assign(c.count, -1);
+    fill_buffer(send[r].data(), c.count, Datatype::f32, r, ReduceOp::sum);
+  }
+  for (int branch : {1, 2, 3}) {
+    for (int root = 0; root < c.p; ++root) {
+      RgOpts o;
+      o.branch = branch;
+      o.slice = 4096;
+      team.run([&](rt::RankCtx& ctx) {
+        rg_reduce(ctx, send[ctx.rank()].data(), recv[ctx.rank()].data(),
+                  c.count, Datatype::f32, ReduceOp::sum, root, o);
+      });
+      EXPECT_TRUE(check_reduced(recv[root].data(), c.count, Datatype::f32,
+                                c.p, ReduceOp::sum))
+          << "root " << root << " k " << branch;
+    }
+  }
+}
+
+TEST_P(OtherBaselines, RgAllreduce) {
+  const auto c = GetParam();
+  auto& team = cached_team(c.p, c.m);
+  std::vector<std::vector<float>> send(c.p), recv(c.p);
+  for (int r = 0; r < c.p; ++r) {
+    send[r].resize(c.count);
+    recv[r].assign(c.count, -1);
+    fill_buffer(send[r].data(), c.count, Datatype::f32, r, ReduceOp::sum);
+  }
+  team.run([&](rt::RankCtx& ctx) {
+    rg_allreduce(ctx, send[ctx.rank()].data(), recv[ctx.rank()].data(),
+                 c.count, Datatype::f32, ReduceOp::sum);
+  });
+  for (int r = 0; r < c.p; ++r)
+    EXPECT_TRUE(check_reduced(recv[r].data(), c.count, Datatype::f32, c.p,
+                              ReduceOp::sum))
+        << "rank " << r;
+}
+
+TEST_P(OtherBaselines, XpmemAllFive) {
+  const auto c = GetParam();
+  auto& team = cached_team(c.p, c.m);
+  const int p = c.p;
+  // all-reduce
+  {
+    std::vector<std::vector<double>> send(p), recv(p);
+    for (int r = 0; r < p; ++r) {
+      send[r].resize(c.count);
+      recv[r].assign(c.count, -1);
+      fill_buffer(send[r].data(), c.count, Datatype::f64, r, ReduceOp::sum);
+    }
+    team.run([&](rt::RankCtx& ctx) {
+      xpmem_allreduce(ctx, send[ctx.rank()].data(), recv[ctx.rank()].data(),
+                      c.count, Datatype::f64, ReduceOp::sum);
+    });
+    for (int r = 0; r < p; ++r)
+      EXPECT_TRUE(check_reduced(recv[r].data(), c.count, Datatype::f64, p,
+                                ReduceOp::sum));
+  }
+  // reduce-scatter
+  {
+    std::vector<std::vector<double>> send(p), recv(p);
+    for (int r = 0; r < p; ++r) {
+      send[r].resize(c.count * p);
+      recv[r].assign(c.count, -1);
+      fill_buffer(send[r].data(), c.count * p, Datatype::f64, r,
+                  ReduceOp::sum);
+    }
+    team.run([&](rt::RankCtx& ctx) {
+      xpmem_reduce_scatter(ctx, send[ctx.rank()].data(),
+                           recv[ctx.rank()].data(), c.count, Datatype::f64,
+                           ReduceOp::sum);
+    });
+    for (int r = 0; r < p; ++r)
+      EXPECT_TRUE(check_reduced(recv[r].data(), c.count, Datatype::f64, p,
+                                ReduceOp::sum, c.count * r));
+  }
+  // reduce to root 0 + broadcast + allgather
+  {
+    std::vector<std::vector<double>> send(p), recv(p), gat(p);
+    for (int r = 0; r < p; ++r) {
+      send[r].resize(c.count);
+      recv[r].assign(c.count, -1);
+      gat[r].assign(c.count * p, -1);
+      fill_buffer(send[r].data(), c.count, Datatype::f64, r, ReduceOp::sum);
+    }
+    team.run([&](rt::RankCtx& ctx) {
+      xpmem_reduce(ctx, send[ctx.rank()].data(), recv[ctx.rank()].data(),
+                   c.count, Datatype::f64, ReduceOp::sum, 0);
+      xpmem_broadcast(ctx, recv[0].data(), c.count, Datatype::f64, 0);
+      xpmem_allgather(ctx, send[ctx.rank()].data(), gat[ctx.rank()].data(),
+                      c.count, Datatype::f64);
+    });
+    EXPECT_TRUE(check_reduced(recv[0].data(), c.count, Datatype::f64, p,
+                              ReduceOp::sum));
+    for (int r = 0; r < p; ++r)
+      for (int a = 0; a < p; ++a)
+        ASSERT_EQ(0, std::memcmp(gat[r].data() + a * c.count,
+                                 send[a].data(), c.count * 8));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, OtherBaselines,
+                         ::testing::ValuesIn(shape_cases()),
+                         [](const auto& i) { return i.param.name(); });
+
+}  // namespace

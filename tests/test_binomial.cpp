@@ -1,0 +1,107 @@
+// Tests for the binomial-tree broadcast and reduce baselines: every root,
+// both transports, non-power-of-two rank counts, and agreement with the
+// YHCCL collectives.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "yhccl/baselines/baselines.hpp"
+#include "test_util.hpp"
+
+using namespace yhccl;
+using namespace yhccl::base;
+using test::cached_team;
+using test::check_reduced;
+using test::fill_buffer;
+
+namespace {
+
+struct Case {
+  int p;
+  std::size_t count;
+  Transport t;
+  std::string name() const {
+    return "p" + std::to_string(p) + "_n" + std::to_string(count) +
+           (t == Transport::two_copy ? "_twocopy" : "_singlecopy");
+  }
+};
+
+std::vector<Case> cases() {
+  std::vector<Case> cs;
+  for (int p : {1, 2, 3, 5, 8})
+    for (std::size_t n : {std::size_t{1}, std::size_t{777},
+                          std::size_t{40000}})
+      for (Transport t : {Transport::two_copy, Transport::single_copy})
+        cs.push_back({p, n, t});
+  return cs;
+}
+
+class BinomialSweep : public ::testing::TestWithParam<Case> {};
+
+TEST_P(BinomialSweep, BroadcastFromEveryRoot) {
+  const auto c = GetParam();
+  auto& team = cached_team(c.p, 1);
+  for (int root = 0; root < c.p; ++root) {
+    std::vector<std::vector<double>> buf(c.p,
+                                         std::vector<double>(c.count));
+    for (int r = 0; r < c.p; ++r)
+      fill_buffer(buf[r].data(), c.count, Datatype::f64,
+                  r == root ? 42 : r, ReduceOp::sum);
+    team.run([&](rt::RankCtx& ctx) {
+      binomial_broadcast(ctx, buf[ctx.rank()].data(), c.count, Datatype::f64,
+                         root, c.t);
+    });
+    for (int r = 0; r < c.p; ++r)
+      ASSERT_EQ(buf[r], buf[root]) << "root " << root << " rank " << r;
+  }
+}
+
+TEST_P(BinomialSweep, ReduceToEveryRoot) {
+  const auto c = GetParam();
+  auto& team = cached_team(c.p, 1);
+  std::vector<std::vector<double>> send(c.p), recv(c.p);
+  for (int r = 0; r < c.p; ++r) {
+    send[r].resize(c.count);
+    recv[r].assign(c.count, -1);
+    fill_buffer(send[r].data(), c.count, Datatype::f64, r, ReduceOp::sum);
+  }
+  for (int root = 0; root < c.p; ++root) {
+    for (int r = 0; r < c.p; ++r)
+      std::fill(recv[r].begin(), recv[r].end(), -1);
+    team.run([&](rt::RankCtx& ctx) {
+      binomial_reduce(ctx, send[ctx.rank()].data(),
+                      ctx.rank() == root ? recv[ctx.rank()].data() : nullptr,
+                      c.count, Datatype::f64, ReduceOp::sum, root, c.t);
+    });
+    EXPECT_TRUE(check_reduced(recv[root].data(), c.count, Datatype::f64,
+                              c.p, ReduceOp::sum))
+        << "root " << root;
+    for (int r = 0; r < c.p; ++r) {
+      if (r != root) EXPECT_EQ(recv[r][0], -1) << "rank " << r;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BinomialSweep, ::testing::ValuesIn(cases()),
+                         [](const auto& i) { return i.param.name(); });
+
+TEST(Binomial, MaxAndMinOpsToo) {
+  const int p = 6;
+  auto& team = cached_team(p, 1);
+  const std::size_t n = 5000;
+  std::vector<std::vector<std::int64_t>> send(p), recv(p);
+  for (int r = 0; r < p; ++r) {
+    send[r].resize(n);
+    recv[r].assign(n, -1);
+    fill_buffer(send[r].data(), n, Datatype::i64, r, ReduceOp::max);
+  }
+  team.run([&](rt::RankCtx& ctx) {
+    binomial_reduce(ctx, send[ctx.rank()].data(), recv[ctx.rank()].data(),
+                    n, Datatype::i64, ReduceOp::max, 0);
+  });
+  EXPECT_TRUE(
+      check_reduced(recv[0].data(), n, Datatype::i64, p, ReduceOp::max));
+}
+
+}  // namespace

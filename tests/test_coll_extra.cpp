@@ -1,0 +1,164 @@
+// Tests for the extended collectives (scatter, gather, alltoall in its
+// three algorithms) plus the Morton encoding underpinning the
+// cache-oblivious all-to-all.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "yhccl/coll/extra.hpp"
+#include "test_util.hpp"
+
+using namespace yhccl;
+using namespace yhccl::coll;
+using test::cached_team;
+
+namespace {
+
+TEST(Morton, EncodeInterleavesBits) {
+  EXPECT_EQ(morton_encode(0, 0), 0u);
+  EXPECT_EQ(morton_encode(1, 0), 1u);
+  EXPECT_EQ(morton_encode(0, 1), 2u);
+  EXPECT_EQ(morton_encode(1, 1), 3u);
+  EXPECT_EQ(morton_encode(2, 0), 4u);
+  EXPECT_EQ(morton_encode(0xffff, 0xffff), 0xffffffffu);
+}
+
+TEST(Morton, IsABijectionOverSmallGrids) {
+  std::vector<std::uint32_t> seen;
+  for (int x = 0; x < 32; ++x)
+    for (int y = 0; y < 32; ++y)
+      seen.push_back(morton_encode(static_cast<std::uint16_t>(x),
+                                   static_cast<std::uint16_t>(y)));
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::unique(seen.begin(), seen.end()), seen.end());
+}
+
+struct Shape {
+  int p, m;
+  std::size_t count;
+  std::string name() const {
+    return "p" + std::to_string(p) + "m" + std::to_string(m) + "_n" +
+           std::to_string(count);
+  }
+};
+
+std::vector<Shape> shapes() {
+  std::vector<Shape> v;
+  for (auto [p, m] : {std::pair{1, 1}, {2, 1}, {3, 1}, {4, 2}, {8, 2}})
+    for (std::size_t n : {std::size_t{1}, std::size_t{100},
+                          std::size_t{4096}, std::size_t{50000}})
+      v.push_back({p, m, n});
+  return v;
+}
+
+class ExtraSweep : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(ExtraSweep, ScatterDeliversEachBlockToItsOwner) {
+  const auto c = GetParam();
+  auto& team = cached_team(c.p, c.m);
+  const int p = c.p;
+  for (int root = 0; root < std::min(p, 2); ++root) {
+    std::vector<double> rootbuf(c.count * p);
+    for (std::size_t i = 0; i < rootbuf.size(); ++i)
+      rootbuf[i] = static_cast<double>(i % 100000);
+    std::vector<std::vector<double>> recv(p,
+                                          std::vector<double>(c.count, -1));
+    team.run([&](rt::RankCtx& ctx) {
+      scatter(ctx, ctx.rank() == root ? rootbuf.data() : nullptr,
+              recv[ctx.rank()].data(), c.count, Datatype::f64, root);
+    });
+    for (int r = 0; r < p; ++r)
+      ASSERT_EQ(0, std::memcmp(recv[r].data(), rootbuf.data() + r * c.count,
+                               c.count * 8))
+          << "rank " << r << " root " << root;
+  }
+}
+
+TEST_P(ExtraSweep, GatherCollectsBlocksInRankOrder) {
+  const auto c = GetParam();
+  auto& team = cached_team(c.p, c.m);
+  const int p = c.p;
+  const int root = p - 1;
+  std::vector<std::vector<double>> send(p, std::vector<double>(c.count));
+  for (int r = 0; r < p; ++r)
+    for (std::size_t i = 0; i < c.count; ++i)
+      send[r][i] = r * 1000.0 + static_cast<double>(i % 997);
+  std::vector<double> out(c.count * p, -1);
+  team.run([&](rt::RankCtx& ctx) {
+    gather(ctx, send[ctx.rank()].data(),
+           ctx.rank() == root ? out.data() : nullptr, c.count, Datatype::f64,
+           root);
+  });
+  for (int r = 0; r < p; ++r)
+    ASSERT_EQ(0,
+              std::memcmp(out.data() + r * c.count, send[r].data(),
+                          c.count * 8))
+        << "block " << r;
+}
+
+TEST_P(ExtraSweep, AlltoallAllAlgorithmsPermuteBlocks) {
+  const auto c = GetParam();
+  auto& team = cached_team(c.p, c.m);
+  const int p = c.p;
+  std::vector<std::vector<std::int32_t>> send(p), recv(p);
+  for (int r = 0; r < p; ++r) {
+    send[r].resize(c.count * p);
+    for (int b = 0; b < p; ++b)
+      for (std::size_t i = 0; i < c.count; ++i)
+        send[r][b * c.count + i] =
+            r * 100000 + b * 1000 + static_cast<std::int32_t>(i % 997);
+  }
+  for (auto algo : {AlltoallAlgo::staged, AlltoallAlgo::direct,
+                    AlltoallAlgo::direct_morton}) {
+    for (int r = 0; r < p; ++r) recv[r].assign(c.count * p, -1);
+    team.run([&](rt::RankCtx& ctx) {
+      alltoall(ctx, send[ctx.rank()].data(), recv[ctx.rank()].data(),
+               c.count, Datatype::i32, {}, algo);
+    });
+    for (int r = 0; r < p; ++r)
+      for (int a = 0; a < p; ++a)
+        ASSERT_EQ(0, std::memcmp(recv[r].data() + a * c.count,
+                                 send[a].data() + r * c.count, c.count * 4))
+            << "algo " << static_cast<int>(algo) << " rank " << r
+            << " from " << a;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ExtraSweep, ::testing::ValuesIn(shapes()),
+                         [](const auto& i) { return i.param.name(); });
+
+TEST(ExtraEdge, ZeroCountNoOps) {
+  auto& team = cached_team(4, 2);
+  team.run([&](rt::RankCtx& ctx) {
+    scatter(ctx, nullptr, nullptr, 0, Datatype::f64, 0);
+    gather(ctx, nullptr, nullptr, 0, Datatype::f64, 0);
+    alltoall(ctx, nullptr, nullptr, 0, Datatype::f64);
+    ctx.barrier();
+  });
+}
+
+TEST(ExtraEdge, AlltoallPoliciesAgree) {
+  auto& team = cached_team(4, 2);
+  const std::size_t count = 30000;
+  std::vector<std::vector<float>> send(4), a(4), b(4);
+  for (int r = 0; r < 4; ++r) {
+    send[r].resize(count * 4);
+    a[r].resize(count * 4);
+    b[r].resize(count * 4);
+    for (std::size_t i = 0; i < send[r].size(); ++i)
+      send[r][i] = static_cast<float>((r * 31 + i) % 1000);
+  }
+  CollOpts nt, tp;
+  nt.policy = copy::CopyPolicy::always_nt;
+  tp.policy = copy::CopyPolicy::always_temporal;
+  team.run([&](rt::RankCtx& ctx) {
+    alltoall(ctx, send[ctx.rank()].data(), a[ctx.rank()].data(), count,
+             Datatype::f32, nt);
+    alltoall(ctx, send[ctx.rank()].data(), b[ctx.rank()].data(), count,
+             Datatype::f32, tp);
+  });
+  for (int r = 0; r < 4; ++r) EXPECT_EQ(a[r], b[r]);
+}
+
+}  // namespace

@@ -1,0 +1,116 @@
+// Failure-injection tests: a dead or diverged peer rank must surface as a
+// yhccl::Error on the surviving ranks via the sync watchdog — never as a
+// silent hang.  These tests shrink the process-wide timeout, kill one
+// participant in various protocol positions, and verify every survivor
+// throws and the team remains usable afterwards.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "yhccl/coll/coll.hpp"
+#include "yhccl/runtime/process_team.hpp"
+#include "yhccl/runtime/sync_timeout.hpp"
+#include "yhccl/runtime/thread_team.hpp"
+#include "test_util.hpp"
+
+using namespace yhccl;
+using namespace yhccl::coll;
+
+namespace {
+
+// Fresh teams per test: deserted barriers and abandoned collectives leave
+// torn synchronization state behind, which must not leak into other tests
+// through a shared team cache.
+rt::ThreadTeam fresh_team(int p, int m) {
+  rt::TeamConfig cfg;
+  cfg.nranks = p;
+  cfg.nsockets = m;
+  cfg.scratch_bytes = 8u << 20;
+  cfg.shared_heap_bytes = 1u << 20;
+  return rt::ThreadTeam(cfg);
+}
+
+TEST(SyncTimeout, DefaultIsEnabledAndOverridable) {
+  EXPECT_GT(rt::sync_timeout(), 0.0);
+  {
+    rt::ScopedSyncTimeout scoped(1.5);
+    EXPECT_DOUBLE_EQ(rt::sync_timeout(), 1.5);
+  }
+  EXPECT_NE(rt::sync_timeout(), 1.5);
+}
+
+TEST(FailureInjection, DesertedBarrierThrowsOnSurvivors) {
+  rt::ScopedSyncTimeout scoped(0.4);
+  auto team = fresh_team(4, 2);
+  EXPECT_THROW(team.run([&](rt::RankCtx& ctx) {
+                 if (ctx.rank() == 2) return;  // deserter skips the barrier
+                 ctx.barrier();
+               }),
+               Error);
+  // A deserted barrier leaves torn arrival state — recovery means tearing
+  // the team down (as an MPI job would abort), not reusing the barrier.
+  // Mechanisms with monotone state (progress flags, pt2pt) still work:
+  team.run([&](rt::RankCtx& ctx) {
+    const auto seq = ctx.next_seq();
+    ctx.step_publish(rt::RankCtx::step_value(seq, 1));
+    ctx.step_wait((ctx.rank() + 1) % ctx.nranks(),
+                  rt::RankCtx::step_value(seq, 1));
+  });
+}
+
+TEST(FailureInjection, DeadNeighbourInFlagChainThrows) {
+  rt::ScopedSyncTimeout scoped(0.4);
+  auto team = fresh_team(3, 1);
+  EXPECT_THROW(
+      team.run([&](rt::RankCtx& ctx) {
+        const auto seq = ctx.next_seq();
+        if (ctx.rank() == 1) return;  // never publishes
+        ctx.step_wait(1, rt::RankCtx::step_value(seq, 1));
+      }),
+      Error);
+}
+
+TEST(FailureInjection, AbandonedCollectiveThrowsNotHangs) {
+  rt::ScopedSyncTimeout scoped(0.5);
+  auto team = fresh_team(4, 2);
+  const std::size_t n = 100000;
+  std::vector<std::vector<double>> send(4, std::vector<double>(n, 1.0)),
+      recv(4, std::vector<double>(n));
+  EXPECT_THROW(team.run([&](rt::RankCtx& ctx) {
+                 if (ctx.rank() == 3) return;  // dies before the collective
+                 ma_allreduce(ctx, send[ctx.rank()].data(),
+                              recv[ctx.rank()].data(), n, Datatype::f64,
+                              ReduceOp::sum);
+               }),
+               Error);
+}
+
+TEST(FailureInjection, StarvedPt2PtReceiverThrows) {
+  rt::ScopedSyncTimeout scoped(0.4);
+  auto team = fresh_team(2, 1);
+  std::vector<std::uint8_t> buf(1024);
+  EXPECT_THROW(team.run([&](rt::RankCtx& ctx) {
+                 if (ctx.rank() == 1) ctx.recv(0, buf.data(), buf.size());
+                 // rank 0 never sends
+               }),
+               Error);
+}
+
+TEST(FailureInjection, DeadChildProcessSurfacesThroughWaitpid) {
+  rt::ScopedSyncTimeout scoped(0.6);
+  rt::TeamConfig cfg;
+  cfg.nranks = 3;
+  cfg.scratch_bytes = 1 << 20;
+  cfg.shared_heap_bytes = 1 << 20;
+  rt::ProcessTeam team(cfg);
+  // Rank 1 exits mid-protocol; the others time out (child exit code 1),
+  // and the parent reports the failed ranks.
+  EXPECT_THROW(team.run([&](rt::RankCtx& ctx) {
+                 if (ctx.rank() == 1) _exit(0);  // simulated crash... with
+                 // status 0 the parent still counts survivors' timeouts
+                 ctx.barrier();
+               }),
+               Error);
+}
+
+}  // namespace

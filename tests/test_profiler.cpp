@@ -1,0 +1,92 @@
+// Tests for the collective profiler (the paper's PMPI tool analogue):
+// attribution per collective kind, payload accounting, DAV capture that
+// matches the Tables 1-3 models, merging, and report formatting.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "yhccl/coll/profiler.hpp"
+#include "yhccl/model/dav_model.hpp"
+#include "test_util.hpp"
+
+using namespace yhccl;
+using namespace yhccl::coll;
+using test::cached_team;
+using test::fill_buffer;
+
+namespace {
+
+TEST(Profiler, AttributesCallsAndPayloadPerKind) {
+  const int p = 4;
+  auto& team = cached_team(p, 2);
+  const std::size_t count = 10000;
+  std::vector<std::vector<double>> send(p, std::vector<double>(count)),
+      recv(p, std::vector<double>(count * p));
+  std::vector<CollProfiler> prof(p);
+  team.run([&](rt::RankCtx& ctx) {
+    const int r = ctx.rank();
+    auto& pr = prof[r];
+    allreduce(pr, ctx, send[r].data(), recv[r].data(), count, Datatype::f64,
+              ReduceOp::sum);
+    allreduce(pr, ctx, send[r].data(), recv[r].data(), count, Datatype::f64,
+              ReduceOp::sum);
+    broadcast(pr, ctx, recv[r].data(), count, Datatype::f64, 0);
+    allgather(pr, ctx, send[r].data(), recv[r].data(), count / p,
+              Datatype::f64);
+  });
+  for (int r = 0; r < p; ++r) {
+    EXPECT_EQ(prof[r].get(CollKind::allreduce).calls, 2u);
+    EXPECT_EQ(prof[r].get(CollKind::allreduce).payload_bytes,
+              2 * count * 8);
+    EXPECT_EQ(prof[r].get(CollKind::broadcast).calls, 1u);
+    EXPECT_EQ(prof[r].get(CollKind::allgather).calls, 1u);
+    EXPECT_EQ(prof[r].get(CollKind::reduce).calls, 0u);
+    EXPECT_GT(prof[r].get(CollKind::allreduce).seconds, 0.0);
+    EXPECT_EQ(prof[r].total().calls, 4u);
+  }
+}
+
+TEST(Profiler, MergedDavMatchesTable2Model) {
+  const int p = 4;
+  auto& team = cached_team(p, 1);
+  const std::size_t count = 8192 * p;  // divisible geometry -> exact model
+  std::vector<std::vector<double>> send(p, std::vector<double>(count)),
+      recv(p, std::vector<double>(count));
+  for (int r = 0; r < p; ++r)
+    fill_buffer(send[r].data(), count, Datatype::f64, r, ReduceOp::sum);
+  std::vector<CollProfiler> prof(p);
+  CollOpts o;
+  o.algorithm = Algorithm::ma_flat;
+  o.slice_max = 16u << 10;
+  team.run([&](rt::RankCtx& ctx) {
+    allreduce(prof[ctx.rank()], ctx, send[ctx.rank()].data(),
+              recv[ctx.rank()].data(), count, Datatype::f64, ReduceOp::sum,
+              o);
+  });
+  CollProfiler node;
+  for (auto& pr : prof) node += pr;
+  EXPECT_EQ(node.get(CollKind::allreduce).dav.total(),
+            model::impl::ma_allreduce(count * 8, p));
+  EXPECT_GT(node.get(CollKind::allreduce).dab(), 0.0);
+}
+
+TEST(Profiler, ReportListsActiveKindsAndTotal) {
+  CollProfiler prof;
+  prof.add(CollKind::allreduce, 1 << 20, 0.5, copy::Dav{1000, 500});
+  prof.add(CollKind::reduce_scatter, 2 << 20, 0.25, copy::Dav{400, 200});
+  const auto rep = prof.report();
+  EXPECT_NE(rep.find("allreduce"), std::string::npos);
+  EXPECT_NE(rep.find("reduce_scatter"), std::string::npos);
+  EXPECT_EQ(rep.find("broadcast"), std::string::npos);  // inactive: hidden
+  EXPECT_NE(rep.find("TOTAL"), std::string::npos);
+}
+
+TEST(Profiler, ResetClearsEverything) {
+  CollProfiler prof;
+  prof.add(CollKind::broadcast, 123, 1.0, copy::Dav{9, 9});
+  prof.reset();
+  EXPECT_EQ(prof.total().calls, 0u);
+  EXPECT_EQ(prof.total().dav.total(), 0u);
+}
+
+}  // namespace

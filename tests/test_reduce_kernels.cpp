@@ -1,0 +1,161 @@
+// Unit tests for the reduction kernels: every (datatype, op) combination,
+// the streaming-store fast path, the multi-operand chain, and DAV
+// accounting (3 bytes of traffic per payload byte).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "yhccl/common/error.hpp"
+#include "yhccl/copy/dav.hpp"
+#include "yhccl/copy/reduce_kernels.hpp"
+
+using yhccl::Datatype;
+using yhccl::ReduceOp;
+namespace yc = yhccl::copy;
+
+namespace {
+
+struct Combo {
+  Datatype d;
+  ReduceOp op;
+};
+
+class ReduceKernel : public ::testing::TestWithParam<Combo> {};
+
+template <typename T>
+void run_combo(ReduceOp op, Datatype d) {
+  for (std::size_t cnt :
+       {std::size_t{1}, std::size_t{7}, std::size_t{16}, std::size_t{255},
+        std::size_t{4096}, std::size_t{100003}}) {
+    std::vector<T> a(cnt), b(cnt), out(cnt, T{});
+    for (std::size_t i = 0; i < cnt; ++i) {
+      a[i] = static_cast<T>(1 + (i % 5));
+      b[i] = static_cast<T>(2 + (i % 3));
+    }
+    auto expect = [&](std::size_t i) -> T {
+      switch (op) {
+        case ReduceOp::sum: return static_cast<T>(a[i] + b[i]);
+        case ReduceOp::prod: return static_cast<T>(a[i] * b[i]);
+        case ReduceOp::max: return a[i] > b[i] ? a[i] : b[i];
+        case ReduceOp::min: return a[i] < b[i] ? a[i] : b[i];
+        case ReduceOp::band:
+          return static_cast<T>(static_cast<std::int64_t>(a[i]) &
+                                static_cast<std::int64_t>(b[i]));
+        case ReduceOp::bor:
+          return static_cast<T>(static_cast<std::int64_t>(a[i]) |
+                                static_cast<std::int64_t>(b[i]));
+      }
+      return T{};
+    };
+    // reduce_out, temporal stores
+    yc::reduce_out(out.data(), a.data(), b.data(), cnt * sizeof(T), d, op,
+                   /*nt_store=*/false);
+    for (std::size_t i = 0; i < cnt; ++i)
+      ASSERT_EQ(out[i], expect(i)) << "out i=" << i << " cnt=" << cnt;
+    // reduce_out, streaming stores (falls back for unsupported combos)
+    std::fill(out.begin(), out.end(), T{});
+    yc::reduce_out(out.data(), a.data(), b.data(), cnt * sizeof(T), d, op,
+                   /*nt_store=*/true);
+    for (std::size_t i = 0; i < cnt; ++i)
+      ASSERT_EQ(out[i], expect(i)) << "nt out i=" << i << " cnt=" << cnt;
+    // reduce_inplace
+    auto acc = a;
+    yc::reduce_inplace(acc.data(), b.data(), cnt * sizeof(T), d, op);
+    for (std::size_t i = 0; i < cnt; ++i)
+      ASSERT_EQ(acc[i], expect(i)) << "inplace i=" << i << " cnt=" << cnt;
+  }
+}
+
+TEST_P(ReduceKernel, AllShapesProduceElementwiseResults) {
+  const auto [d, op] = GetParam();
+  switch (d) {
+    case Datatype::u8: run_combo<std::uint8_t>(op, d); break;
+    case Datatype::i32: run_combo<std::int32_t>(op, d); break;
+    case Datatype::i64: run_combo<std::int64_t>(op, d); break;
+    case Datatype::f32: run_combo<float>(op, d); break;
+    case Datatype::f64: run_combo<double>(op, d); break;
+  }
+}
+
+std::vector<Combo> all_combos() {
+  std::vector<Combo> cs;
+  for (Datatype d : {Datatype::u8, Datatype::i32, Datatype::i64, Datatype::f32,
+                     Datatype::f64})
+    for (ReduceOp op : {ReduceOp::sum, ReduceOp::prod, ReduceOp::max,
+                        ReduceOp::min, ReduceOp::band, ReduceOp::bor})
+      if (op_valid_for(op, d)) cs.push_back({d, op});
+  return cs;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCombos, ReduceKernel,
+                         ::testing::ValuesIn(all_combos()),
+                         [](const auto& info) {
+                           return std::string(dtype_name(info.param.d)) + "_" +
+                                  std::string(op_name(info.param.op));
+                         });
+
+TEST(ReduceKernelDav, ThreeBytesPerPayloadByte) {
+  const std::size_t n = 64 * 1024;
+  std::vector<float> a(n / 4), b(n / 4), out(n / 4);
+  yc::DavScope s1;
+  yc::reduce_inplace(a.data(), b.data(), n, Datatype::f32, ReduceOp::sum);
+  EXPECT_EQ(s1.delta().loads, 2 * n);
+  EXPECT_EQ(s1.delta().stores, n);
+  yc::DavScope s2;
+  yc::reduce_out(out.data(), a.data(), b.data(), n, Datatype::f32,
+                 ReduceOp::sum, true);
+  EXPECT_EQ(s2.delta().total(), 3 * n);
+}
+
+TEST(ReduceOutMulti, MatchesSequentialChainForEveryFanIn) {
+  const std::size_t cnt = 10007;
+  constexpr int kMaxM = 7;
+  std::vector<std::vector<double>> bufs(kMaxM, std::vector<double>(cnt));
+  for (int m = 0; m < kMaxM; ++m)
+    for (std::size_t i = 0; i < cnt; ++i)
+      bufs[m][i] = static_cast<double>((m + 1) * 3 + i % 11);
+  for (int m = 1; m <= kMaxM; ++m) {
+    std::vector<const void*> srcs;
+    for (int x = 0; x < m; ++x) srcs.push_back(bufs[x].data());
+    std::vector<double> out(cnt, -1);
+    yc::reduce_out_multi(out.data(), srcs.data(), m, cnt * sizeof(double),
+                         Datatype::f64, ReduceOp::sum, m % 2 == 0);
+    for (std::size_t i = 0; i < cnt; ++i) {
+      double expect = 0;
+      for (int x = 0; x < m; ++x) expect += bufs[x][i];
+      ASSERT_DOUBLE_EQ(out[i], expect) << "m=" << m << " i=" << i;
+    }
+  }
+}
+
+TEST(ReduceOutMulti, InPlaceFirstOperandIsSupported) {
+  // The socket stage writes its result over srcs[0]; this must be exact.
+  const std::size_t cnt = 4099;
+  std::vector<float> s0(cnt, 1.0f), s1(cnt, 2.0f), s2(cnt, 4.0f);
+  const void* srcs[] = {s0.data(), s1.data(), s2.data()};
+  yc::reduce_out_multi(s0.data(), srcs, 3, cnt * sizeof(float), Datatype::f32,
+                       ReduceOp::sum, false);
+  for (std::size_t i = 0; i < cnt; ++i) ASSERT_EQ(s0[i], 7.0f);
+}
+
+TEST(ReduceOutMulti, PairwiseChainDavMatchesPaperAccounting) {
+  // (m-1) two-operand reductions of 3 bytes per payload byte each.
+  const std::size_t n = 256 * 1024;
+  std::vector<float> b0(n / 4), b1(n / 4), b2(n / 4), b3(n / 4), out(n / 4);
+  const void* srcs[] = {b0.data(), b1.data(), b2.data(), b3.data()};
+  yc::DavScope scope;
+  yc::reduce_out_multi(out.data(), srcs, 4, n, Datatype::f32, ReduceOp::sum,
+                       false);
+  EXPECT_EQ(scope.delta().total(), 3 * n * 3);
+}
+
+TEST(ReduceOutMulti, SingleSourceDegeneratesToCopy) {
+  std::vector<std::int32_t> src(1000, 42), out(1000, 0);
+  const void* srcs[] = {src.data()};
+  yc::reduce_out_multi(out.data(), srcs, 1, 4000, Datatype::i32,
+                       ReduceOp::sum, true);
+  EXPECT_EQ(out, src);
+}
+
+}  // namespace

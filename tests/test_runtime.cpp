@@ -1,0 +1,307 @@
+// Runtime substrate tests: topology math, shm regions, barriers under
+// stress, progress flags, the shared heap, pt2pt FIFO and rendezvous
+// transfers, the remote-buffer registry, and the fork()-backed team.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "yhccl/copy/kernels.hpp"
+#include "yhccl/runtime/process_team.hpp"
+#include "yhccl/runtime/remote_access.hpp"
+#include "yhccl/runtime/shm_region.hpp"
+#include "yhccl/runtime/thread_team.hpp"
+#include "test_util.hpp"
+
+using namespace yhccl;
+using namespace yhccl::rt;
+
+namespace {
+
+TEST(Topology, BlockPartitionIsExhaustiveAndConsistent) {
+  for (int p = 1; p <= 17; ++p) {
+    for (int m = 1; m <= p; ++m) {
+      Topology t(p, m);
+      int covered = 0;
+      for (int s = 0; s < m; ++s) {
+        const int base = t.socket_base(s), size = t.socket_size(s);
+        EXPECT_GE(size, 1);
+        EXPECT_EQ(base, covered);
+        for (int r = base; r < base + size; ++r) {
+          EXPECT_EQ(t.socket_of(r), s) << "p=" << p << " m=" << m;
+          EXPECT_EQ(t.socket_rank(r), r - base);
+        }
+        covered += size;
+      }
+      EXPECT_EQ(covered, p);
+    }
+  }
+}
+
+TEST(Topology, SocketSizesDifferByAtMostOne) {
+  Topology t(10, 3);
+  EXPECT_EQ(t.socket_size(0), 4);
+  EXPECT_EQ(t.socket_size(1), 3);
+  EXPECT_EQ(t.socket_size(2), 3);
+}
+
+TEST(ShmRegion, AnonymousIsZeroedAndWritable) {
+  auto r = ShmRegion::create_anonymous(1 << 20);
+  ASSERT_TRUE(r.valid());
+  EXPECT_EQ(r.size(), 1u << 20);
+  for (std::size_t i = 0; i < r.size(); i += 4096)
+    EXPECT_EQ(std::to_integer<int>(r.data()[i]), 0);
+  std::memset(r.data(), 0xab, r.size());
+  EXPECT_EQ(std::to_integer<int>(r.data()[12345]), 0xab);
+}
+
+TEST(ShmRegion, NamedCreateOpenRoundTrip) {
+  const std::string name =
+      "/yhccl_test_" + std::to_string(getpid());
+  auto a = ShmRegion::create_named(name, 64 << 10);
+  std::memset(a.data(), 0x5c, 64 << 10);
+  auto b = ShmRegion::open_named(name, 64 << 10);
+  EXPECT_EQ(std::to_integer<int>(b.data()[40000]), 0x5c);
+}
+
+TEST(ShmRegion, NamedCreateRefusesDuplicates) {
+  const std::string name = "/yhccl_dup_" + std::to_string(getpid());
+  auto a = ShmRegion::create_named(name, 4096);
+  EXPECT_THROW(ShmRegion::create_named(name, 4096), Error);
+}
+
+TEST(ThreadTeamBarrier, StressManyIterations) {
+  auto& team = test::cached_team(8, 2);
+  auto* counter = reinterpret_cast<std::atomic<std::uint64_t>*>(
+      team.shared_alloc(sizeof(std::atomic<std::uint64_t>)));
+  counter->store(0);
+  constexpr int kIters = 2000;
+  team.run([&](RankCtx& ctx) {
+    for (int i = 0; i < kIters; ++i) {
+      // Everyone must observe exactly i*p increments after barrier i.
+      counter->fetch_add(1, std::memory_order_relaxed);
+      ctx.barrier();
+      const auto v = counter->load(std::memory_order_relaxed);
+      if (v < static_cast<std::uint64_t>((i + 1) * ctx.nranks()))
+        throw Error("barrier violated: saw " + std::to_string(v));
+      ctx.barrier();
+    }
+  });
+  EXPECT_EQ(counter->load(), static_cast<std::uint64_t>(kIters) * 8);
+}
+
+TEST(ThreadTeamBarrier, SocketBarrierOnlySyncsSocketMembers) {
+  auto& team = test::cached_team(6, 2);
+  auto* sums = reinterpret_cast<std::atomic<int>*>(
+      team.shared_alloc(2 * sizeof(std::atomic<int>)));
+  sums[0].store(0);
+  sums[1].store(0);
+  team.run([&](RankCtx& ctx) {
+    sums[ctx.socket()].fetch_add(1);
+    ctx.socket_barrier();
+    if (sums[ctx.socket()].load() < ctx.socket_size())
+      throw Error("socket barrier violated");
+    ctx.barrier();
+  });
+}
+
+TEST(ThreadTeam, StepFlagsEnforceNeighbourOrdering) {
+  auto& team = test::cached_team(4, 1);
+  constexpr int kSteps = 500;
+  team.run([&](RankCtx& ctx) {
+    const auto seq = ctx.next_seq();
+    const int right = (ctx.rank() + 1) % ctx.nranks();
+    for (int k = 0; k < kSteps; ++k) {
+      if (k > 0)
+        ctx.step_wait(right, RankCtx::step_value(seq, k));
+      ctx.step_publish(RankCtx::step_value(seq, k + 1));
+    }
+    ctx.barrier();
+  });
+}
+
+TEST(ThreadTeam, RunPropagatesRankExceptions) {
+  auto& team = test::cached_team(3, 1);
+  EXPECT_THROW(team.run([&](RankCtx& ctx) {
+                 if (ctx.rank() == 1) throw Error("rank 1 exploded");
+               }),
+               Error);
+  // The team must remain usable afterwards.
+  team.run([](RankCtx& ctx) { ctx.barrier(); });
+}
+
+TEST(ThreadTeam, DavAndTimeAreCapturedPerRank) {
+  auto& team = test::cached_team(2, 1);
+  std::vector<std::uint8_t> a(1 << 16), b(1 << 16);
+  team.run([&](RankCtx& ctx) {
+    if (ctx.rank() == 0) copy::t_copy(b.data(), a.data(), 1 << 16);
+  });
+  EXPECT_EQ(team.last_dav(0).total(), 2u << 16);
+  EXPECT_EQ(team.last_dav(1).total(), 0u);
+  EXPECT_EQ(team.total_dav().total(), 2u << 16);
+  EXPECT_GT(team.max_time(), 0.0);
+}
+
+TEST(SharedHeap, AlignmentAndExhaustion) {
+  rt::TeamConfig cfg;
+  cfg.nranks = 1;
+  cfg.shared_heap_bytes = 1 << 16;
+  cfg.scratch_bytes = 1 << 12;
+  ThreadTeam team(cfg);
+  auto* a = team.shared_alloc(100, 64);
+  auto* b = team.shared_alloc(100, 4096);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a) % 64, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % 4096, 0u);
+  EXPECT_THROW(team.shared_alloc(1 << 20), Error);
+}
+
+TEST(Pt2Pt, EagerSendRecvRoundTripAllSizes) {
+  auto& team = test::cached_team(2, 1);
+  for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{100},
+                        std::size_t{8192},   // == chunk
+                        std::size_t{8193},   // chunk + 1
+                        std::size_t{100000}}) {
+    std::vector<std::uint8_t> payload(n);
+    for (std::size_t i = 0; i < n; ++i)
+      payload[i] = static_cast<std::uint8_t>(i * 7);
+    std::vector<std::uint8_t> got(n, 0);
+    team.run([&](RankCtx& ctx) {
+      if (ctx.rank() == 0)
+        ctx.send(1, payload.data(), n, /*tag=*/5);
+      else
+        ctx.recv(0, got.data(), n, /*tag=*/5);
+    });
+    EXPECT_EQ(got, payload) << "n=" << n;
+  }
+}
+
+TEST(Pt2Pt, BidirectionalExchangeDoesNotDeadlock) {
+  auto& team = test::cached_team(2, 1);
+  const std::size_t n = 200000;  // >> FIFO capacity: exercises pipelining
+  std::vector<std::uint8_t> buf0(n, 1), buf1(n, 2), got0(n), got1(n);
+  team.run([&](RankCtx& ctx) {
+    // Rank 0 sends far more than the FIFO capacity before receiving; the
+    // chunked eager protocol must keep making progress.
+    if (ctx.rank() == 0) {
+      ctx.send(1, buf0.data(), n / 2, 0);
+      ctx.recv(1, got0.data(), n / 2, 0);
+    } else {
+      ctx.recv(0, got1.data(), n / 2, 0);
+      ctx.send(0, buf1.data(), n / 2, 0);
+    }
+  });
+  EXPECT_EQ(got1[100], 1);
+  EXPECT_EQ(got0[100], 2);
+}
+
+TEST(Pt2Pt, RendezvousSingleCopyMovesHalfTheBytes) {
+  auto& team = test::cached_team(2, 1);
+  const std::size_t n = 1 << 20;
+  std::vector<std::uint8_t> src(n, 0x3d), dst(n, 0);
+  team.run([&](RankCtx& ctx) {
+    if (ctx.rank() == 0)
+      ctx.send_zc(1, src.data(), n);
+    else
+      ctx.recv_zc(0, dst.data(), n);
+  });
+  EXPECT_EQ(dst, src);
+  // Receiver did one copy (2n traffic); sender touched nothing.
+  EXPECT_EQ(team.last_dav(1).total(), 2 * n);
+  EXPECT_EQ(team.last_dav(0).total(), 0u);
+}
+
+TEST(RemoteAccess, RegistryPublishLookup) {
+  auto& team = test::cached_team(3, 1);
+  std::vector<double> mine(64);
+  team.run([&](RankCtx& ctx) {
+    std::vector<double> local(16, ctx.rank() + 1.0);
+    ctx.publish_buffer(0, local.data(), local.size() * sizeof(double));
+    ctx.barrier();
+    const int peer = (ctx.rank() + 1) % ctx.nranks();
+    auto rb = ctx.remote_buffer(peer, 0);
+    std::vector<double> got(16);
+    remote_read(got.data(), rb, 0, 16 * sizeof(double), RemoteMode::direct);
+    if (got[7] != peer + 1.0) throw Error("remote_read wrong data");
+    ctx.barrier();  // keep `local` alive until all reads finish
+  });
+}
+
+TEST(RemoteAccess, CmaPagewiseMatchesDirectAndCountsSameDav) {
+  const std::size_t n = 3 * 4096 + 123;
+  std::vector<std::uint8_t> src(n);
+  for (std::size_t i = 0; i < n; ++i)
+    src[i] = static_cast<std::uint8_t>(i * 13);
+  RemoteBuf rb{src.data(), n, getpid()};
+  std::vector<std::uint8_t> direct(n), cma(n);
+  copy::dav_reset();
+  remote_read(direct.data(), rb, 0, n, RemoteMode::direct);
+  const auto dav_direct = copy::dav_read();
+  copy::dav_reset();
+  PageLockTable locks;
+  remote_read(cma.data(), rb, 0, n, RemoteMode::cma_pagewise, &locks);
+  const auto dav_cma = copy::dav_read();
+  EXPECT_EQ(direct, src);
+  EXPECT_EQ(cma, src);
+  EXPECT_EQ(dav_direct.total(), dav_cma.total());
+}
+
+TEST(RemoteAccess, OffsetReadsAndBoundsChecking) {
+  std::vector<std::uint8_t> src(8192, 9);
+  src[5000] = 77;
+  RemoteBuf rb{src.data(), src.size(), getpid()};
+  std::uint8_t out = 0;
+  remote_read(&out, rb, 5000, 1, RemoteMode::direct);
+  EXPECT_EQ(out, 77);
+  EXPECT_THROW(remote_read(&out, rb, 8192, 1, RemoteMode::direct), Error);
+}
+
+// ---- fork()-backed team ----------------------------------------------------
+
+TEST(ProcessTeam, SpmdOverSharedHeapBuffers) {
+  rt::TeamConfig cfg;
+  cfg.nranks = 4;
+  cfg.nsockets = 2;
+  cfg.scratch_bytes = 4 << 20;
+  cfg.shared_heap_bytes = 4 << 20;
+  ProcessTeam team(cfg);
+  auto* out = reinterpret_cast<int*>(team.shared_alloc(4 * sizeof(int)));
+  team.run([&](RankCtx& ctx) { out[ctx.rank()] = 100 + ctx.rank(); });
+  for (int r = 0; r < 4; ++r) EXPECT_EQ(out[r], 100 + r);
+}
+
+TEST(ProcessTeam, BarrierAndPt2PtAcrossProcesses) {
+  rt::TeamConfig cfg;
+  cfg.nranks = 3;
+  cfg.scratch_bytes = 1 << 20;
+  cfg.shared_heap_bytes = 1 << 20;
+  ProcessTeam team(cfg);
+  auto* sink = reinterpret_cast<std::uint8_t*>(team.shared_alloc(1 << 16));
+  team.run([&](RankCtx& ctx) {
+    std::vector<std::uint8_t> priv(1 << 16, static_cast<std::uint8_t>(42));
+    if (ctx.rank() == 0) ctx.send(2, priv.data(), 1 << 16);
+    if (ctx.rank() == 2) {
+      ctx.recv(0, sink, 1 << 16);
+    }
+    ctx.barrier();
+  });
+  EXPECT_EQ(sink[12345], 42);
+}
+
+TEST(ProcessTeam, FailedRankSurfacesAsError) {
+  rt::TeamConfig cfg;
+  cfg.nranks = 2;
+  cfg.scratch_bytes = 1 << 20;
+  cfg.shared_heap_bytes = 1 << 20;
+  ProcessTeam team(cfg);
+  EXPECT_THROW(team.run([](RankCtx& ctx) {
+                 if (ctx.rank() == 1) throw Error("child failure");
+               }),
+               Error);
+  team.run([](RankCtx&) {});  // usable afterwards
+}
+
+}  // namespace

@@ -1,0 +1,151 @@
+// Stress tests: long randomized sequences of *different* collectives on
+// the same team.  This exercises the cross-collective protocol state that
+// single-collective sweeps cannot: monotone step-flag sequencing across
+// calls, scratch-window reuse between algorithms with different layouts,
+// and barrier sense alternation — the classic sources of once-in-a-blue-
+// moon collective corruption.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "yhccl/baselines/baselines.hpp"
+#include "yhccl/coll/coll.hpp"
+#include "yhccl/coll/extra.hpp"
+#include "test_util.hpp"
+
+using namespace yhccl;
+using namespace yhccl::coll;
+using test::cached_team;
+using test::check_reduced;
+using test::fill_buffer;
+
+namespace {
+
+class MixedStress : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(MixedStress, RandomCollectiveSequencesStayCorrect) {
+  std::mt19937 rng(GetParam());
+  const std::pair<int, int> shapes[] = {{2, 1}, {4, 2}, {6, 2}, {8, 4}};
+  const auto [p, m] = shapes[rng() % std::size(shapes)];
+  auto& team = cached_team(p, m);
+  constexpr int kOps = 40;
+
+  // One shared schedule (all ranks must agree on the op sequence).
+  struct Op {
+    int kind;          // 0 ar, 1 rs, 2 bcast, 3 ag, 4 reduce, 5 alltoall
+    std::size_t count;
+    int root;
+    int alg;  // for reductions: 0 auto, 1 ma, 2 socket, 3 dpml
+  };
+  std::vector<Op> schedule;
+  for (int i = 0; i < kOps; ++i)
+    schedule.push_back({static_cast<int>(rng() % 6),
+                        1 + rng() % 20000,
+                        static_cast<int>(rng() % p),
+                        static_cast<int>(rng() % 4)});
+
+  const std::size_t maxn = 20001;
+  std::vector<std::vector<double>> send(p), recv(p), wide(p);
+  for (int r = 0; r < p; ++r) {
+    send[r].resize(maxn * p);
+    recv[r].resize(maxn);
+    wide[r].resize(maxn * p);
+  }
+  std::vector<int> failures(p, 0);
+
+  team.run([&](rt::RankCtx& ctx) {
+    const int r = ctx.rank();
+    for (int i = 0; i < kOps; ++i) {
+      const Op op = schedule[i];
+      CollOpts o;
+      o.slice_max = 8u << 10;
+      o.algorithm = op.alg == 1   ? Algorithm::ma_flat
+                    : op.alg == 2 ? Algorithm::ma_socket_aware
+                    : op.alg == 3 ? Algorithm::dpml_two_level
+                                  : Algorithm::automatic;
+      switch (op.kind) {
+        case 0: {
+          fill_buffer(send[r].data(), op.count, Datatype::f64, r,
+                      ReduceOp::sum);
+          allreduce(ctx, send[r].data(), recv[r].data(), op.count,
+                    Datatype::f64, ReduceOp::sum, o);
+          if (!check_reduced(recv[r].data(), op.count, Datatype::f64, p,
+                             ReduceOp::sum))
+            ++failures[r];
+          break;
+        }
+        case 1: {
+          const std::size_t blk = 1 + op.count / p;
+          fill_buffer(send[r].data(), blk * p, Datatype::f64, r,
+                      ReduceOp::sum);
+          reduce_scatter(ctx, send[r].data(), recv[r].data(), blk,
+                         Datatype::f64, ReduceOp::sum, o);
+          if (!check_reduced(recv[r].data(), blk, Datatype::f64, p,
+                             ReduceOp::sum, blk * r))
+            ++failures[r];
+          break;
+        }
+        case 2: {
+          fill_buffer(recv[r].data(), op.count, Datatype::f64,
+                      r == op.root ? 77 : r, ReduceOp::sum);
+          broadcast(ctx, recv[r].data(), op.count, Datatype::f64, op.root,
+                    o);
+          // spot-check: everyone must now hold the root's pattern
+          std::vector<double> expect(op.count);
+          fill_buffer(expect.data(), op.count, Datatype::f64, 77,
+                      ReduceOp::sum);
+          if (recv[r][op.count / 2] != expect[op.count / 2]) ++failures[r];
+          break;
+        }
+        case 3: {
+          fill_buffer(send[r].data(), op.count, Datatype::f64, r,
+                      ReduceOp::sum);
+          allgather(ctx, send[r].data(), wide[r].data(), op.count,
+                    Datatype::f64, o);
+          std::vector<double> expect(op.count);
+          for (int a = 0; a < p; ++a) {
+            fill_buffer(expect.data(), op.count, Datatype::f64, a,
+                        ReduceOp::sum);
+            if (wide[r][a * op.count + op.count / 2] !=
+                expect[op.count / 2])
+              ++failures[r];
+          }
+          break;
+        }
+        case 4: {
+          fill_buffer(send[r].data(), op.count, Datatype::f64, r,
+                      ReduceOp::sum);
+          reduce(ctx, send[r].data(), r == op.root ? recv[r].data() : nullptr,
+                 op.count, Datatype::f64, ReduceOp::sum, op.root, o);
+          if (r == op.root &&
+              !check_reduced(recv[r].data(), op.count, Datatype::f64, p,
+                             ReduceOp::sum))
+            ++failures[r];
+          break;
+        }
+        case 5: {
+          const std::size_t blk = 1 + op.count / p;
+          for (int b = 0; b < p; ++b)
+            fill_buffer(send[r].data() + b * blk, blk, Datatype::f64,
+                        r * 13 + b, ReduceOp::sum);
+          alltoall(ctx, send[r].data(), wide[r].data(), blk, Datatype::f64,
+                   o, AlltoallAlgo::staged);
+          std::vector<double> expect(blk);
+          for (int a = 0; a < p; ++a) {
+            fill_buffer(expect.data(), blk, Datatype::f64, a * 13 + r,
+                        ReduceOp::sum);
+            if (wide[r][a * blk + blk / 2] != expect[blk / 2])
+              ++failures[r];
+          }
+          break;
+        }
+      }
+    }
+  });
+  for (int r = 0; r < p; ++r) EXPECT_EQ(failures[r], 0) << "rank " << r;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MixedStress, ::testing::Range(100u, 110u));
+
+}  // namespace

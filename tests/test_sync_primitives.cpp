@@ -1,0 +1,112 @@
+// Focused tests for the synchronization primitives: the sense-reversing
+// central barrier, the dissemination barrier, spin-wait helpers, and the
+// monotone step-flag encoding.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "yhccl/runtime/sync.hpp"
+#include "yhccl/runtime/team.hpp"
+#include "test_util.hpp"
+
+using namespace yhccl;
+using namespace yhccl::rt;
+
+namespace {
+
+TEST(SpinWait, GeAndEqReturnOnceSatisfied) {
+  std::atomic<std::uint64_t> f{0};
+  std::thread t([&] {
+    for (int i = 1; i <= 5; ++i) f.store(i, std::memory_order_release);
+  });
+  spin_wait_ge(f, 3);
+  EXPECT_GE(f.load(), 3u);
+  t.join();
+  spin_wait_eq(f, 5);
+  EXPECT_EQ(f.load(), 5u);
+}
+
+TEST(StepValue, MonotoneAcrossSequencesAndSteps) {
+  EXPECT_LT(RankCtx::step_value(1, 0), RankCtx::step_value(1, 1));
+  EXPECT_LT(RankCtx::step_value(1, 0xffffffffull),
+            RankCtx::step_value(2, 0));
+  EXPECT_LT(RankCtx::step_value(7, 123), RankCtx::step_value(8, 0));
+}
+
+class BarrierStress : public ::testing::TestWithParam<int> {};
+
+TEST_P(BarrierStress, CentralBarrierNeverReleasesEarly) {
+  const int n = GetParam();
+  auto state = std::make_unique<BarrierState>();
+  barrier_init(*state, static_cast<std::uint32_t>(n));
+  std::atomic<int> counter{0};
+  std::atomic<bool> violated{false};
+  constexpr int kIters = 1500;
+  std::vector<std::thread> threads;
+  for (int r = 0; r < n; ++r)
+    threads.emplace_back([&] {
+      std::uint32_t sense = 0;
+      for (int i = 0; i < kIters; ++i) {
+        counter.fetch_add(1);
+        barrier_arrive(*state, sense);
+        if (counter.load() < (i + 1) * n) violated = true;
+        barrier_arrive(*state, sense);
+      }
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(violated.load());
+  EXPECT_EQ(counter.load(), kIters * n);
+}
+
+TEST_P(BarrierStress, DisseminationBarrierNeverReleasesEarly) {
+  const int n = GetParam();
+  auto state = std::make_unique<DisseminationBarrierState>();
+  dissemination_init(*state, static_cast<std::uint32_t>(n));
+  std::atomic<int> counter{0};
+  std::atomic<bool> violated{false};
+  constexpr int kIters = 1500;
+  std::vector<std::thread> threads;
+  for (int r = 0; r < n; ++r)
+    threads.emplace_back([&, r] {
+      DisseminationToken tok;
+      for (int i = 0; i < kIters; ++i) {
+        counter.fetch_add(1);
+        dissemination_arrive(*state, r, tok);
+        if (counter.load() < (i + 1) * n) violated = true;
+        dissemination_arrive(*state, r, tok);
+      }
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(violated.load());
+  EXPECT_EQ(counter.load(), kIters * n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BarrierStress,
+                         ::testing::Values(1, 2, 3, 4, 7, 8),
+                         [](const auto& i) {
+                           return "n" + std::to_string(i.param);
+                         });
+
+TEST(PageLocks, SerializeSamePageAllowDifferentPages) {
+  PageLockTable locks;
+  locks.lock(0x1000);
+  // A different page must not block.
+  locks.lock(0x1000 + PageLockTable::kPageBytes * 3);
+  locks.unlock(0x1000 + PageLockTable::kPageBytes * 3);
+  // Contention on the same page from another thread resolves on unlock.
+  std::atomic<bool> acquired{false};
+  std::thread t([&] {
+    locks.lock(0x1fff);  // same 4K page as 0x1000
+    acquired = true;
+    locks.unlock(0x1fff);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(acquired.load());
+  locks.unlock(0x1000);
+  t.join();
+  EXPECT_TRUE(acquired.load());
+}
+
+}  // namespace

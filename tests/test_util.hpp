@@ -1,0 +1,125 @@
+// Shared helpers for the YHCCL test suite: deterministic per-rank input
+// generators, sequential reference reductions, and a cache of thread teams
+// keyed by (nranks, nsockets) so parameterized sweeps don't rebuild teams.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "yhccl/common/types.hpp"
+#include "yhccl/runtime/thread_team.hpp"
+
+namespace yhccl::test {
+
+/// Deterministic element value for (rank, index).  Small non-negative
+/// integers: exactly representable in every datatype, overflow-free for
+/// sum/prod at the scales the tests use, and varied enough that wrong
+/// slice routing changes the result.
+inline std::int64_t gen_value(int rank, std::size_t i, ReduceOp op) {
+  if (op == ReduceOp::prod) return 1 + ((rank + i) % 2);  // {1,2}
+  return ((rank + 3) * 37 + static_cast<std::int64_t>(i % 1009) * 11) % 127;
+}
+
+inline std::int64_t apply_ref(ReduceOp op, std::int64_t a, std::int64_t b) {
+  switch (op) {
+    case ReduceOp::sum: return a + b;
+    case ReduceOp::prod: return a * b;
+    case ReduceOp::max: return a > b ? a : b;
+    case ReduceOp::min: return a < b ? a : b;
+    case ReduceOp::band: return a & b;
+    case ReduceOp::bor: return a | b;
+  }
+  return a;
+}
+
+template <typename T>
+void fill_typed(void* buf, std::size_t count, int rank, ReduceOp op) {
+  auto* p = static_cast<T*>(buf);
+  for (std::size_t i = 0; i < count; ++i)
+    p[i] = static_cast<T>(gen_value(rank, i, op));
+}
+
+inline void fill_buffer(void* buf, std::size_t count, Datatype d, int rank,
+                        ReduceOp op) {
+  switch (d) {
+    case Datatype::u8: fill_typed<std::uint8_t>(buf, count, rank, op); break;
+    case Datatype::i32: fill_typed<std::int32_t>(buf, count, rank, op); break;
+    case Datatype::i64: fill_typed<std::int64_t>(buf, count, rank, op); break;
+    case Datatype::f32: fill_typed<float>(buf, count, rank, op); break;
+    case Datatype::f64: fill_typed<double>(buf, count, rank, op); break;
+  }
+}
+
+/// Reference reduction of element i over p ranks.
+inline std::int64_t reduce_ref(int p, std::size_t i, ReduceOp op,
+                               Datatype d) {
+  std::int64_t acc = gen_value(0, i, op);
+  for (int r = 1; r < p; ++r) acc = apply_ref(op, acc, gen_value(r, i, op));
+  if (d == Datatype::u8) acc &= 0xff;  // u8 sum/prod wrap
+  return acc;
+}
+
+template <typename T>
+::testing::AssertionResult check_typed(const void* buf, std::size_t count,
+                                       int p, ReduceOp op, Datatype d,
+                                       std::size_t index_offset) {
+  const auto* ptr = static_cast<const T*>(buf);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto expect =
+        static_cast<T>(reduce_ref(p, index_offset + i, op, d));
+    if (ptr[i] != expect)
+      return ::testing::AssertionFailure()
+             << "element " << index_offset + i << ": got "
+             << static_cast<double>(ptr[i]) << ", expected "
+             << static_cast<double>(expect);
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// Verify `buf` holds the reduction of elements [index_offset,
+/// index_offset+count) over p ranks.
+inline ::testing::AssertionResult check_reduced(const void* buf,
+                                                std::size_t count, Datatype d,
+                                                int p, ReduceOp op,
+                                                std::size_t index_offset = 0) {
+  switch (d) {
+    case Datatype::u8:
+      return check_typed<std::uint8_t>(buf, count, p, op, d, index_offset);
+    case Datatype::i32:
+      return check_typed<std::int32_t>(buf, count, p, op, d, index_offset);
+    case Datatype::i64:
+      return check_typed<std::int64_t>(buf, count, p, op, d, index_offset);
+    case Datatype::f32:
+      return check_typed<float>(buf, count, p, op, d, index_offset);
+    case Datatype::f64:
+      return check_typed<double>(buf, count, p, op, d, index_offset);
+  }
+  return ::testing::AssertionFailure() << "bad dtype";
+}
+
+/// Thread-team cache so sweeps over message sizes reuse teams.
+inline rt::ThreadTeam& cached_team(int p, int m,
+                                   std::size_t scratch = 24u << 20) {
+  static std::map<std::tuple<int, int, std::size_t>,
+                  std::unique_ptr<rt::ThreadTeam>>
+      cache;
+  auto key = std::make_tuple(p, m, scratch);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    rt::TeamConfig cfg;
+    cfg.nranks = p;
+    cfg.nsockets = m;
+    cfg.scratch_bytes = scratch;
+    cfg.shared_heap_bytes = 4u << 20;
+    cfg.chunk_bytes = 8u << 10;
+    it = cache.emplace(key, std::make_unique<rt::ThreadTeam>(cfg)).first;
+  }
+  return *it->second;
+}
+
+}  // namespace yhccl::test
