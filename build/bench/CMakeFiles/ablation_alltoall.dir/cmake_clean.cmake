@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_alltoall.dir/ablation_alltoall.cpp.o"
+  "CMakeFiles/ablation_alltoall.dir/ablation_alltoall.cpp.o.d"
+  "ablation_alltoall"
+  "ablation_alltoall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_alltoall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

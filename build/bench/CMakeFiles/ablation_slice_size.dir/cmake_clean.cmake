@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_slice_size.dir/ablation_slice_size.cpp.o"
+  "CMakeFiles/ablation_slice_size.dir/ablation_slice_size.cpp.o.d"
+  "ablation_slice_size"
+  "ablation_slice_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_slice_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_switching.dir/ablation_switching.cpp.o"
+  "CMakeFiles/ablation_switching.dir/ablation_switching.cpp.o.d"
+  "ablation_switching"
+  "ablation_switching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_switching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sync_cost.dir/ablation_sync_cost.cpp.o"
+  "CMakeFiles/ablation_sync_cost.dir/ablation_sync_cost.cpp.o.d"
+  "ablation_sync_cost"
+  "ablation_sync_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sync_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

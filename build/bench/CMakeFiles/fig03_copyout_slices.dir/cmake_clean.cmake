@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_copyout_slices.dir/fig03_copyout_slices.cpp.o"
+  "CMakeFiles/fig03_copyout_slices.dir/fig03_copyout_slices.cpp.o.d"
+  "fig03_copyout_slices"
+  "fig03_copyout_slices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_copyout_slices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_reduce_scatter.dir/fig09_reduce_scatter.cpp.o"
+  "CMakeFiles/fig09_reduce_scatter.dir/fig09_reduce_scatter.cpp.o.d"
+  "fig09_reduce_scatter"
+  "fig09_reduce_scatter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_reduce_scatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

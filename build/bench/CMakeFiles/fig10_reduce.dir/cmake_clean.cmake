@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_reduce.dir/fig10_reduce.cpp.o"
+  "CMakeFiles/fig10_reduce.dir/fig10_reduce.cpp.o.d"
+  "fig10_reduce"
+  "fig10_reduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_reduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_allreduce.dir/fig11_allreduce.cpp.o"
+  "CMakeFiles/fig11_allreduce.dir/fig11_allreduce.cpp.o.d"
+  "fig11_allreduce"
+  "fig11_allreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_allreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

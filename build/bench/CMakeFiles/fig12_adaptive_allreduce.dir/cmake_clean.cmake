@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_adaptive_allreduce.dir/fig12_adaptive_allreduce.cpp.o"
+  "CMakeFiles/fig12_adaptive_allreduce.dir/fig12_adaptive_allreduce.cpp.o.d"
+  "fig12_adaptive_allreduce"
+  "fig12_adaptive_allreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_adaptive_allreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_adaptive_bcast.dir/fig13_adaptive_bcast.cpp.o"
+  "CMakeFiles/fig13_adaptive_bcast.dir/fig13_adaptive_bcast.cpp.o.d"
+  "fig13_adaptive_bcast"
+  "fig13_adaptive_bcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_adaptive_bcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

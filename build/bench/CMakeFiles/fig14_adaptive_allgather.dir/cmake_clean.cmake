@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_adaptive_allgather.dir/fig14_adaptive_allgather.cpp.o"
+  "CMakeFiles/fig14_adaptive_allgather.dir/fig14_adaptive_allgather.cpp.o.d"
+  "fig14_adaptive_allgather"
+  "fig14_adaptive_allgather.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_adaptive_allgather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig15_state_of_the_art.cpp" "bench/CMakeFiles/fig15_state_of_the_art.dir/fig15_state_of_the_art.cpp.o" "gcc" "bench/CMakeFiles/fig15_state_of_the_art.dir/fig15_state_of_the_art.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/yhccl_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/coll/CMakeFiles/yhccl_coll.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/yhccl_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/yhccl_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/yhccl_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/yhccl_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/copy/CMakeFiles/yhccl_copy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_state_of_the_art.dir/fig15_state_of_the_art.cpp.o"
+  "CMakeFiles/fig15_state_of_the_art.dir/fig15_state_of_the_art.cpp.o.d"
+  "fig15_state_of_the_art"
+  "fig15_state_of_the_art.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_state_of_the_art.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16a_scalability.dir/fig16a_scalability.cpp.o"
+  "CMakeFiles/fig16a_scalability.dir/fig16a_scalability.cpp.o.d"
+  "fig16a_scalability"
+  "fig16a_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16a_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16b_multinode.dir/fig16b_multinode.cpp.o"
+  "CMakeFiles/fig16b_multinode.dir/fig16b_multinode.cpp.o.d"
+  "fig16b_multinode"
+  "fig16b_multinode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16b_multinode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_miniamr.dir/fig17_miniamr.cpp.o"
+  "CMakeFiles/fig17_miniamr.dir/fig17_miniamr.cpp.o.d"
+  "fig17_miniamr"
+  "fig17_miniamr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_miniamr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

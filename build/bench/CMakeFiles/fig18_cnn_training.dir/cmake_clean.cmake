@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_cnn_training.dir/fig18_cnn_training.cpp.o"
+  "CMakeFiles/fig18_cnn_training.dir/fig18_cnn_training.cpp.o.d"
+  "fig18_cnn_training"
+  "fig18_cnn_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_cnn_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

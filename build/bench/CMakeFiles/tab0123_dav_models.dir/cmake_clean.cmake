@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab0123_dav_models.dir/tab0123_dav_models.cpp.o"
+  "CMakeFiles/tab0123_dav_models.dir/tab0123_dav_models.cpp.o.d"
+  "tab0123_dav_models"
+  "tab0123_dav_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab0123_dav_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

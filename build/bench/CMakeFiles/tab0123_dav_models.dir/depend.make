@@ -1,0 +1,2 @@
+# Empty dependencies file for tab0123_dav_models.
+# This may be replaced when dependencies are built.

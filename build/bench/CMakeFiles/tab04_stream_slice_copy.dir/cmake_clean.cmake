@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab04_stream_slice_copy.dir/tab04_stream_slice_copy.cpp.o"
+  "CMakeFiles/tab04_stream_slice_copy.dir/tab04_stream_slice_copy.cpp.o.d"
+  "tab04_stream_slice_copy"
+  "tab04_stream_slice_copy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab04_stream_slice_copy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab05_cma_vs_adaptive.dir/tab05_cma_vs_adaptive.cpp.o"
+  "CMakeFiles/tab05_cma_vs_adaptive.dir/tab05_cma_vs_adaptive.cpp.o.d"
+  "tab05_cma_vs_adaptive"
+  "tab05_cma_vs_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab05_cma_vs_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

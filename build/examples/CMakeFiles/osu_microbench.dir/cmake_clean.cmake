@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osu_microbench.dir/osu_microbench.cpp.o"
+  "CMakeFiles/osu_microbench.dir/osu_microbench.cpp.o.d"
+  "osu_microbench"
+  "osu_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osu_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

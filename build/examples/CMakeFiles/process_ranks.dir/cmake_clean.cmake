@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/process_ranks.dir/process_ranks.cpp.o"
+  "CMakeFiles/process_ranks.dir/process_ranks.cpp.o.d"
+  "process_ranks"
+  "process_ranks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/process_ranks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

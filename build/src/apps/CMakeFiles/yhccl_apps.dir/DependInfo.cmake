@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/dnn.cpp" "src/apps/CMakeFiles/yhccl_apps.dir/dnn.cpp.o" "gcc" "src/apps/CMakeFiles/yhccl_apps.dir/dnn.cpp.o.d"
+  "/root/repo/src/apps/miniamr.cpp" "src/apps/CMakeFiles/yhccl_apps.dir/miniamr.cpp.o" "gcc" "src/apps/CMakeFiles/yhccl_apps.dir/miniamr.cpp.o.d"
+  "/root/repo/src/apps/stream.cpp" "src/apps/CMakeFiles/yhccl_apps.dir/stream.cpp.o" "gcc" "src/apps/CMakeFiles/yhccl_apps.dir/stream.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/yhccl_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/copy/CMakeFiles/yhccl_copy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

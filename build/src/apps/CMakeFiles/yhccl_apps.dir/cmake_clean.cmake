@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yhccl_apps.dir/dnn.cpp.o"
+  "CMakeFiles/yhccl_apps.dir/dnn.cpp.o.d"
+  "CMakeFiles/yhccl_apps.dir/miniamr.cpp.o"
+  "CMakeFiles/yhccl_apps.dir/miniamr.cpp.o.d"
+  "CMakeFiles/yhccl_apps.dir/stream.cpp.o"
+  "CMakeFiles/yhccl_apps.dir/stream.cpp.o.d"
+  "libyhccl_apps.a"
+  "libyhccl_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yhccl_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/binomial.cpp" "src/baselines/CMakeFiles/yhccl_baselines.dir/binomial.cpp.o" "gcc" "src/baselines/CMakeFiles/yhccl_baselines.dir/binomial.cpp.o.d"
+  "/root/repo/src/baselines/dpml.cpp" "src/baselines/CMakeFiles/yhccl_baselines.dir/dpml.cpp.o" "gcc" "src/baselines/CMakeFiles/yhccl_baselines.dir/dpml.cpp.o.d"
+  "/root/repo/src/baselines/rabenseifner.cpp" "src/baselines/CMakeFiles/yhccl_baselines.dir/rabenseifner.cpp.o" "gcc" "src/baselines/CMakeFiles/yhccl_baselines.dir/rabenseifner.cpp.o.d"
+  "/root/repo/src/baselines/rg_tree.cpp" "src/baselines/CMakeFiles/yhccl_baselines.dir/rg_tree.cpp.o" "gcc" "src/baselines/CMakeFiles/yhccl_baselines.dir/rg_tree.cpp.o.d"
+  "/root/repo/src/baselines/ring.cpp" "src/baselines/CMakeFiles/yhccl_baselines.dir/ring.cpp.o" "gcc" "src/baselines/CMakeFiles/yhccl_baselines.dir/ring.cpp.o.d"
+  "/root/repo/src/baselines/xpmem_direct.cpp" "src/baselines/CMakeFiles/yhccl_baselines.dir/xpmem_direct.cpp.o" "gcc" "src/baselines/CMakeFiles/yhccl_baselines.dir/xpmem_direct.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/coll/CMakeFiles/yhccl_coll.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/yhccl_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/copy/CMakeFiles/yhccl_copy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yhccl_baselines.dir/binomial.cpp.o"
+  "CMakeFiles/yhccl_baselines.dir/binomial.cpp.o.d"
+  "CMakeFiles/yhccl_baselines.dir/dpml.cpp.o"
+  "CMakeFiles/yhccl_baselines.dir/dpml.cpp.o.d"
+  "CMakeFiles/yhccl_baselines.dir/rabenseifner.cpp.o"
+  "CMakeFiles/yhccl_baselines.dir/rabenseifner.cpp.o.d"
+  "CMakeFiles/yhccl_baselines.dir/rg_tree.cpp.o"
+  "CMakeFiles/yhccl_baselines.dir/rg_tree.cpp.o.d"
+  "CMakeFiles/yhccl_baselines.dir/ring.cpp.o"
+  "CMakeFiles/yhccl_baselines.dir/ring.cpp.o.d"
+  "CMakeFiles/yhccl_baselines.dir/xpmem_direct.cpp.o"
+  "CMakeFiles/yhccl_baselines.dir/xpmem_direct.cpp.o.d"
+  "libyhccl_baselines.a"
+  "libyhccl_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yhccl_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

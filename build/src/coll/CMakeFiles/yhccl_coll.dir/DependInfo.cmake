@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coll/dpml_two_level.cpp" "src/coll/CMakeFiles/yhccl_coll.dir/dpml_two_level.cpp.o" "gcc" "src/coll/CMakeFiles/yhccl_coll.dir/dpml_two_level.cpp.o.d"
+  "/root/repo/src/coll/extra.cpp" "src/coll/CMakeFiles/yhccl_coll.dir/extra.cpp.o" "gcc" "src/coll/CMakeFiles/yhccl_coll.dir/extra.cpp.o.d"
+  "/root/repo/src/coll/ma_reduce.cpp" "src/coll/CMakeFiles/yhccl_coll.dir/ma_reduce.cpp.o" "gcc" "src/coll/CMakeFiles/yhccl_coll.dir/ma_reduce.cpp.o.d"
+  "/root/repo/src/coll/pipelined.cpp" "src/coll/CMakeFiles/yhccl_coll.dir/pipelined.cpp.o" "gcc" "src/coll/CMakeFiles/yhccl_coll.dir/pipelined.cpp.o.d"
+  "/root/repo/src/coll/profiler.cpp" "src/coll/CMakeFiles/yhccl_coll.dir/profiler.cpp.o" "gcc" "src/coll/CMakeFiles/yhccl_coll.dir/profiler.cpp.o.d"
+  "/root/repo/src/coll/socket_ma.cpp" "src/coll/CMakeFiles/yhccl_coll.dir/socket_ma.cpp.o" "gcc" "src/coll/CMakeFiles/yhccl_coll.dir/socket_ma.cpp.o.d"
+  "/root/repo/src/coll/switching.cpp" "src/coll/CMakeFiles/yhccl_coll.dir/switching.cpp.o" "gcc" "src/coll/CMakeFiles/yhccl_coll.dir/switching.cpp.o.d"
+  "/root/repo/src/coll/trace.cpp" "src/coll/CMakeFiles/yhccl_coll.dir/trace.cpp.o" "gcc" "src/coll/CMakeFiles/yhccl_coll.dir/trace.cpp.o.d"
+  "/root/repo/src/coll/vcoll.cpp" "src/coll/CMakeFiles/yhccl_coll.dir/vcoll.cpp.o" "gcc" "src/coll/CMakeFiles/yhccl_coll.dir/vcoll.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/yhccl_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/copy/CMakeFiles/yhccl_copy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yhccl_coll.dir/dpml_two_level.cpp.o"
+  "CMakeFiles/yhccl_coll.dir/dpml_two_level.cpp.o.d"
+  "CMakeFiles/yhccl_coll.dir/extra.cpp.o"
+  "CMakeFiles/yhccl_coll.dir/extra.cpp.o.d"
+  "CMakeFiles/yhccl_coll.dir/ma_reduce.cpp.o"
+  "CMakeFiles/yhccl_coll.dir/ma_reduce.cpp.o.d"
+  "CMakeFiles/yhccl_coll.dir/pipelined.cpp.o"
+  "CMakeFiles/yhccl_coll.dir/pipelined.cpp.o.d"
+  "CMakeFiles/yhccl_coll.dir/profiler.cpp.o"
+  "CMakeFiles/yhccl_coll.dir/profiler.cpp.o.d"
+  "CMakeFiles/yhccl_coll.dir/socket_ma.cpp.o"
+  "CMakeFiles/yhccl_coll.dir/socket_ma.cpp.o.d"
+  "CMakeFiles/yhccl_coll.dir/switching.cpp.o"
+  "CMakeFiles/yhccl_coll.dir/switching.cpp.o.d"
+  "CMakeFiles/yhccl_coll.dir/trace.cpp.o"
+  "CMakeFiles/yhccl_coll.dir/trace.cpp.o.d"
+  "CMakeFiles/yhccl_coll.dir/vcoll.cpp.o"
+  "CMakeFiles/yhccl_coll.dir/vcoll.cpp.o.d"
+  "libyhccl_coll.a"
+  "libyhccl_coll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yhccl_coll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

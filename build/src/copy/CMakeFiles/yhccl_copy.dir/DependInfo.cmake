@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/copy/cache_model.cpp" "src/copy/CMakeFiles/yhccl_copy.dir/cache_model.cpp.o" "gcc" "src/copy/CMakeFiles/yhccl_copy.dir/cache_model.cpp.o.d"
+  "/root/repo/src/copy/kernels.cpp" "src/copy/CMakeFiles/yhccl_copy.dir/kernels.cpp.o" "gcc" "src/copy/CMakeFiles/yhccl_copy.dir/kernels.cpp.o.d"
+  "/root/repo/src/copy/reduce_kernels.cpp" "src/copy/CMakeFiles/yhccl_copy.dir/reduce_kernels.cpp.o" "gcc" "src/copy/CMakeFiles/yhccl_copy.dir/reduce_kernels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

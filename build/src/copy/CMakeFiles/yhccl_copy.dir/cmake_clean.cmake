@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yhccl_copy.dir/cache_model.cpp.o"
+  "CMakeFiles/yhccl_copy.dir/cache_model.cpp.o.d"
+  "CMakeFiles/yhccl_copy.dir/kernels.cpp.o"
+  "CMakeFiles/yhccl_copy.dir/kernels.cpp.o.d"
+  "CMakeFiles/yhccl_copy.dir/reduce_kernels.cpp.o"
+  "CMakeFiles/yhccl_copy.dir/reduce_kernels.cpp.o.d"
+  "libyhccl_copy.a"
+  "libyhccl_copy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yhccl_copy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yhccl_model.dir/dav_model.cpp.o"
+  "CMakeFiles/yhccl_model.dir/dav_model.cpp.o.d"
+  "libyhccl_model.a"
+  "libyhccl_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yhccl_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

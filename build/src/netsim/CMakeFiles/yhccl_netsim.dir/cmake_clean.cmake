@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yhccl_netsim.dir/netsim.cpp.o"
+  "CMakeFiles/yhccl_netsim.dir/netsim.cpp.o.d"
+  "libyhccl_netsim.a"
+  "libyhccl_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yhccl_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

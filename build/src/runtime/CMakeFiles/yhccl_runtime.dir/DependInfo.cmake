@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/process_team.cpp" "src/runtime/CMakeFiles/yhccl_runtime.dir/process_team.cpp.o" "gcc" "src/runtime/CMakeFiles/yhccl_runtime.dir/process_team.cpp.o.d"
+  "/root/repo/src/runtime/remote_access.cpp" "src/runtime/CMakeFiles/yhccl_runtime.dir/remote_access.cpp.o" "gcc" "src/runtime/CMakeFiles/yhccl_runtime.dir/remote_access.cpp.o.d"
+  "/root/repo/src/runtime/shm_region.cpp" "src/runtime/CMakeFiles/yhccl_runtime.dir/shm_region.cpp.o" "gcc" "src/runtime/CMakeFiles/yhccl_runtime.dir/shm_region.cpp.o.d"
+  "/root/repo/src/runtime/sync.cpp" "src/runtime/CMakeFiles/yhccl_runtime.dir/sync.cpp.o" "gcc" "src/runtime/CMakeFiles/yhccl_runtime.dir/sync.cpp.o.d"
+  "/root/repo/src/runtime/team.cpp" "src/runtime/CMakeFiles/yhccl_runtime.dir/team.cpp.o" "gcc" "src/runtime/CMakeFiles/yhccl_runtime.dir/team.cpp.o.d"
+  "/root/repo/src/runtime/thread_team.cpp" "src/runtime/CMakeFiles/yhccl_runtime.dir/thread_team.cpp.o" "gcc" "src/runtime/CMakeFiles/yhccl_runtime.dir/thread_team.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/copy/CMakeFiles/yhccl_copy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yhccl_runtime.dir/process_team.cpp.o"
+  "CMakeFiles/yhccl_runtime.dir/process_team.cpp.o.d"
+  "CMakeFiles/yhccl_runtime.dir/remote_access.cpp.o"
+  "CMakeFiles/yhccl_runtime.dir/remote_access.cpp.o.d"
+  "CMakeFiles/yhccl_runtime.dir/shm_region.cpp.o"
+  "CMakeFiles/yhccl_runtime.dir/shm_region.cpp.o.d"
+  "CMakeFiles/yhccl_runtime.dir/sync.cpp.o"
+  "CMakeFiles/yhccl_runtime.dir/sync.cpp.o.d"
+  "CMakeFiles/yhccl_runtime.dir/team.cpp.o"
+  "CMakeFiles/yhccl_runtime.dir/team.cpp.o.d"
+  "CMakeFiles/yhccl_runtime.dir/thread_team.cpp.o"
+  "CMakeFiles/yhccl_runtime.dir/thread_team.cpp.o.d"
+  "libyhccl_runtime.a"
+  "libyhccl_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yhccl_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libyhccl_runtime.a"
+)

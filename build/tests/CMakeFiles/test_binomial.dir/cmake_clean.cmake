@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_binomial.dir/test_binomial.cpp.o"
+  "CMakeFiles/test_binomial.dir/test_binomial.cpp.o.d"
+  "test_binomial"
+  "test_binomial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_binomial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

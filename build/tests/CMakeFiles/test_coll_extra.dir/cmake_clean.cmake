@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coll_extra.dir/test_coll_extra.cpp.o"
+  "CMakeFiles/test_coll_extra.dir/test_coll_extra.cpp.o.d"
+  "test_coll_extra"
+  "test_coll_extra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coll_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

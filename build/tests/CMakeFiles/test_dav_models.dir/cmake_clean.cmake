@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dav_models.dir/test_dav_models.cpp.o"
+  "CMakeFiles/test_dav_models.dir/test_dav_models.cpp.o.d"
+  "test_dav_models"
+  "test_dav_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dav_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reduce_kernels.dir/test_reduce_kernels.cpp.o"
+  "CMakeFiles/test_reduce_kernels.dir/test_reduce_kernels.cpp.o.d"
+  "test_reduce_kernels"
+  "test_reduce_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reduce_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stress_mixed.dir/test_stress_mixed.cpp.o"
+  "CMakeFiles/test_stress_mixed.dir/test_stress_mixed.cpp.o.d"
+  "test_stress_mixed"
+  "test_stress_mixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stress_mixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vcoll.dir/test_vcoll.cpp.o"
+  "CMakeFiles/test_vcoll.dir/test_vcoll.cpp.o.d"
+  "test_vcoll"
+  "test_vcoll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vcoll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
