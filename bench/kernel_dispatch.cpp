@@ -1,0 +1,168 @@
+// Kernel-dispatch benchmark: single-pass m-ary fused reduction vs the
+// pairwise chain it replaced, swept over ISA tiers (scalar / AVX2 /
+// AVX-512, whichever the host runs) and fan-in m.
+//
+// For each (tier, m, size) cell it reports wall time for
+//   * fused    — one reduce_out_multi call, (m+1)*n bytes of traffic;
+//   * fused-nt — the same with streaming stores;
+//   * chain    — reduce_out + (m-2) reduce_inplace, 3n(m-1) bytes;
+// plus the measured DAV of both shapes.  Results land in
+// BENCH_kernels.json for the plotting scripts.
+//
+// Knobs: YHCCL_BENCH_SCALE scales the size sweep; YHCCL_ISA caps the tier
+// sweep the same way it caps production dispatch.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "yhccl/common/time.hpp"
+#include "yhccl/copy/dav.hpp"
+#include "yhccl/copy/isa.hpp"
+#include "yhccl/copy/reduce_kernels.hpp"
+#include "bench_util.hpp"
+
+using yhccl::Datatype;
+using yhccl::ReduceOp;
+using yhccl::Timer;
+namespace yc = yhccl::copy;
+
+namespace {
+
+constexpr int kMaxM = 8;
+
+struct Cell {
+  yc::IsaTier tier;
+  int m;
+  std::size_t bytes;
+  double fused_s, fused_nt_s, chain_s;
+  std::uint64_t fused_dav, chain_dav;
+};
+
+/// Median seconds for `fn`, rewriting the first source between iterations
+/// so no arm benefits from cache-resident inputs.
+template <typename Fn>
+double time_median(std::vector<float>& src0, const Fn& fn,
+                   double budget_s = 0.25, int min_iters = 5,
+                   int max_iters = 30) {
+  std::vector<double> samples;
+  double spent = 0;
+  for (int it = 0; it < max_iters; ++it) {
+    for (std::size_t i = 0; i < src0.size(); i += 128)
+      src0[i] = static_cast<float>(it + 1);
+    const Timer t;
+    fn();
+    const double s = t.elapsed();
+    if (it > 0) samples.push_back(s);  // drop warm-up
+    spent += s;
+    if (static_cast<int>(samples.size()) >= min_iters && spent > budget_s)
+      break;
+  }
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+std::vector<yc::IsaTier> tier_sweep() {
+  std::vector<yc::IsaTier> ts;
+  for (int t = 0; t <= static_cast<int>(yc::active_isa()); ++t)
+    ts.push_back(static_cast<yc::IsaTier>(t));
+  return ts;
+}
+
+}  // namespace
+
+int main() {
+  const double scale = yhccl::bench::bench_scale();
+  std::vector<std::size_t> sizes;
+  for (std::size_t s : {std::size_t{256} << 10, std::size_t{4} << 20,
+                        std::size_t{16} << 20})
+    sizes.push_back(static_cast<std::size_t>(s * scale) & ~std::size_t{63});
+  const std::vector<int> fanins = {2, 4, 8};
+
+  std::vector<std::vector<float>> bufs(kMaxM);
+  std::vector<float> out;
+  std::vector<Cell> cells;
+
+  const auto initial = yc::active_isa();
+  for (yc::IsaTier tier : tier_sweep()) {
+    yc::force_isa(tier);
+    for (int m : fanins) {
+      for (std::size_t bytes : sizes) {
+        const std::size_t cnt = bytes / sizeof(float);
+        for (int k = 0; k < m; ++k)
+          bufs[k].assign(cnt, static_cast<float>(k + 1));
+        out.assign(cnt, 0.0f);
+        std::vector<const void*> srcs;
+        for (int k = 0; k < m; ++k) srcs.push_back(bufs[k].data());
+
+        auto fused = [&](bool nt) {
+          yc::reduce_out_multi(out.data(), srcs.data(), m, bytes,
+                               Datatype::f32, ReduceOp::sum, nt);
+        };
+        auto chain = [&] {
+          yc::reduce_out(out.data(), srcs[0], srcs[1], bytes, Datatype::f32,
+                         ReduceOp::sum, false);
+          for (int k = 2; k < m; ++k)
+            yc::reduce_inplace(out.data(), srcs[k], bytes, Datatype::f32,
+                               ReduceOp::sum);
+        };
+
+        Cell c;
+        c.tier = tier;
+        c.m = m;
+        c.bytes = bytes;
+        {
+          yc::DavScope d;
+          fused(false);
+          c.fused_dav = d.delta().total();
+        }
+        {
+          yc::DavScope d;
+          chain();
+          c.chain_dav = d.delta().total();
+        }
+        c.fused_s = time_median(bufs[0], [&] { fused(false); });
+        c.fused_nt_s = time_median(bufs[0], [&] { fused(true); });
+        c.chain_s = time_median(bufs[0], [&] { chain(); });
+        cells.push_back(c);
+      }
+    }
+  }
+  yc::force_isa(initial);
+
+  std::printf("%-8s %3s %8s %12s %12s %12s %8s %10s %10s\n", "tier", "m",
+              "size", "fused(us)", "fused-nt(us)", "chain(us)", "speedup",
+              "fusedDAV", "chainDAV");
+  for (const auto& c : cells)
+    std::printf("%-8s %3d %8s %12.1f %12.1f %12.1f %8.2f %10.1f %10.1f\n",
+                yc::isa_name(c.tier), c.m,
+                yhccl::bench::human_size(c.bytes).c_str(), c.fused_s * 1e6,
+                c.fused_nt_s * 1e6, c.chain_s * 1e6,
+                c.fused_s > 0 ? c.chain_s / c.fused_s : 0.0,
+                c.fused_dav / 1e6, c.chain_dav / 1e6);
+
+  FILE* f = std::fopen("BENCH_kernels.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_kernels.json\n");
+    return 1;
+  }
+  std::fprintf(f, "[\n");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto& c = cells[i];
+    std::fprintf(
+        f,
+        "  {\"tier\": \"%s\", \"m\": %d, \"bytes\": %zu, "
+        "\"fused_us\": %.2f, \"fused_nt_us\": %.2f, \"chain_us\": %.2f, "
+        "\"fused_dav\": %llu, \"chain_dav\": %llu}%s\n",
+        yc::isa_name(c.tier), c.m, c.bytes, c.fused_s * 1e6,
+        c.fused_nt_s * 1e6, c.chain_s * 1e6,
+        static_cast<unsigned long long>(c.fused_dav),
+        static_cast<unsigned long long>(c.chain_dav),
+        i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("\nwrote BENCH_kernels.json (%zu cells)\n", cells.size());
+  return 0;
+}

@@ -1,7 +1,8 @@
 // Collective profiling (the paper ships a PMPI-based profiling tool with
 // YHCCL, §5.1).  Each rank keeps a CollProfiler; wrappers time every
-// collective call and attribute its wall time, payload bytes and measured
-// data-access volume (DAV) per collective kind.  Per-rank profiles merge
+// collective call and attribute its wall time, payload bytes, measured
+// data-access volume (DAV) and dispatched ISA kernel tier per collective
+// kind.  Per-rank profiles merge
 // into a node view whose achieved DAB (DAV / time) can be compared with
 // the machine's memory bandwidth — the paper's §5.4 analysis in tool form.
 #pragma once
@@ -12,6 +13,7 @@
 
 #include "yhccl/coll/coll.hpp"
 #include "yhccl/copy/dav.hpp"
+#include "yhccl/copy/isa.hpp"
 
 namespace yhccl::coll {
 
@@ -42,6 +44,7 @@ class CollProfiler {
     std::uint64_t payload_bytes = 0;  ///< message bytes (user-visible)
     double seconds = 0;               ///< wall time inside the collective
     copy::Dav dav;                    ///< measured memory traffic
+    copy::KernelCounts kernels;       ///< dispatched kernel calls per ISA tier
 
     /// Achieved data-access bandwidth, bytes/s.
     double dab() const noexcept {
@@ -50,7 +53,8 @@ class CollProfiler {
   };
 
   void add(CollKind k, std::size_t payload, double seconds,
-           const copy::Dav& dav) noexcept;
+           const copy::Dav& dav,
+           const copy::KernelCounts& kernels = {}) noexcept;
   const Record& get(CollKind k) const noexcept;
   Record total() const noexcept;
 

@@ -7,12 +7,14 @@
 namespace yhccl::coll {
 
 void CollProfiler::add(CollKind k, std::size_t payload, double seconds,
-                       const copy::Dav& dav) noexcept {
+                       const copy::Dav& dav,
+                       const copy::KernelCounts& kernels) noexcept {
   auto& r = records_[static_cast<int>(k)];
   ++r.calls;
   r.payload_bytes += payload;
   r.seconds += seconds;
   r.dav += dav;
+  r.kernels += kernels;
 }
 
 const CollProfiler::Record& CollProfiler::get(CollKind k) const noexcept {
@@ -26,6 +28,7 @@ CollProfiler::Record CollProfiler::total() const noexcept {
     t.payload_bytes += r.payload_bytes;
     t.seconds += r.seconds;
     t.dav += r.dav;
+    t.kernels += r.kernels;
   }
   return t;
 }
@@ -36,6 +39,7 @@ CollProfiler& CollProfiler::operator+=(const CollProfiler& o) noexcept {
     records_[k].payload_bytes += o.records_[k].payload_bytes;
     records_[k].seconds += o.records_[k].seconds;
     records_[k].dav += o.records_[k].dav;
+    records_[k].kernels += o.records_[k].kernels;
   }
   return *this;
 }
@@ -43,25 +47,31 @@ CollProfiler& CollProfiler::operator+=(const CollProfiler& o) noexcept {
 std::string CollProfiler::report() const {
   char line[160];
   std::string out;
-  std::snprintf(line, sizeof line, "%-16s %8s %12s %10s %12s %10s\n",
+  std::snprintf(line, sizeof line, "%-16s %8s %12s %10s %12s %10s %8s\n",
                 "collective", "calls", "payload(MB)", "time(s)", "DAV(MB)",
-                "DAB(GB/s)");
+                "DAB(GB/s)", "kernel");
   out += line;
   for (int k = 0; k < static_cast<int>(CollKind::kCount_); ++k) {
     const auto& r = records_[k];
     if (r.calls == 0) continue;
-    std::snprintf(line, sizeof line, "%-16s %8llu %12.1f %10.4f %12.1f %10.2f\n",
+    std::snprintf(line, sizeof line,
+                  "%-16s %8llu %12.1f %10.4f %12.1f %10.2f %8s\n",
                   coll_kind_name(static_cast<CollKind>(k)),
                   static_cast<unsigned long long>(r.calls),
                   r.payload_bytes / 1e6, r.seconds, r.dav.total() / 1e6,
-                  r.dab() / 1e9);
+                  r.dab() / 1e9,
+                  r.kernels.total() ? copy::isa_name(r.kernels.dominant())
+                                    : "-");
     out += line;
   }
   const auto t = total();
-  std::snprintf(line, sizeof line, "%-16s %8llu %12.1f %10.4f %12.1f %10.2f\n",
-                "TOTAL", static_cast<unsigned long long>(t.calls),
+  std::snprintf(line, sizeof line,
+                "%-16s %8llu %12.1f %10.4f %12.1f %10.2f %8s\n", "TOTAL",
+                static_cast<unsigned long long>(t.calls),
                 t.payload_bytes / 1e6, t.seconds, t.dav.total() / 1e6,
-                t.dab() / 1e9);
+                t.dab() / 1e9,
+                t.kernels.total() ? copy::isa_name(t.kernels.dominant())
+                                  : "-");
   out += line;
   return out;
 }
@@ -72,9 +82,10 @@ template <typename Fn>
 void profiled(CollProfiler& prof, CollKind k, std::size_t payload,
               const Fn& fn) {
   const copy::DavScope dav;
+  const copy::KernelCountScope kernels;
   const Timer timer;
   fn();
-  prof.add(k, payload, timer.elapsed(), dav.delta());
+  prof.add(k, payload, timer.elapsed(), dav.delta(), kernels.delta());
 }
 
 }  // namespace

@@ -6,10 +6,12 @@
 //   per-socket shared buffer.  Only neighbour synchronization inside the
 //   socket: p/m - 1 syncs instead of p - 1.
 // Stage 2: rank r combines its final slice r across the m socket buffers
-//   (m-1 two-operand reductions) and delivers it.  One node barrier.
+//   with one single-pass m-ary fused reduction and delivers it.  One node
+//   barrier.
 //
-// DAV: s*(3p - m) + 3s*(m - 1) = s*(3p + 2m - 3) — slightly more traffic
-// than flat MA, traded for fewer synchronizations (Table 1 discussion).
+// DAV: s*(3p - m) + s*(m + 1) = s*(3p + 1), independent of m — below the
+// paper's s*(3p + 2m - 3), which assumed a pairwise stage-2 chain; the
+// fewer-synchronizations trade (Table 1 discussion) still applies.
 //
 // Falls back to the flat MA algorithm when the topology has one socket or
 // the ranks do not divide evenly across sockets.

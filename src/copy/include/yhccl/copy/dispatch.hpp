@@ -1,0 +1,45 @@
+// The kernel table behind the runtime ISA dispatch (see isa.hpp).
+//
+// Each tier TU (kernels_scalar.cpp / kernels_avx2.cpp / kernels_avx512.cpp)
+// compiles the same generic implementation (kernel_impl.hpp) under its own
+// -m flags and exports one KernelTable.  The public entry points in
+// kernels.cpp / reduce_kernels.cpp fetch the active table once per call,
+// so the hot loops never branch on the tier.
+//
+// The m-ary `reduce` entry is the paper-critical kernel: a *single pass*
+// that reads all m source slices once, folds them in registers and stores
+// the result once — (m+1)·n bytes of traffic instead of the ~3n·(m-1) a
+// pairwise chain pays (§3, Thm 3.1 applied to the innermost loop).
+#pragma once
+
+#include <cstddef>
+
+#include "yhccl/common/types.hpp"
+#include "yhccl/copy/isa.hpp"
+
+namespace yhccl::copy {
+
+struct KernelTable {
+  IsaTier tier;
+
+  /// Temporal copy: prefetched loads + regular (write-allocating) stores.
+  void (*copy_t)(void* dst, const void* src, std::size_t n);
+  /// Streaming copy: non-temporal stores + fence (scalar tier: temporal).
+  void (*copy_nt)(void* dst, const void* src, std::size_t n);
+
+  /// Single-pass fused m-ary reduction (m >= 2):
+  ///   out[i] = srcs[0][i] op srcs[1][i] op ... op srcs[m-1][i]
+  /// `out` may alias srcs[0] exactly (the in-place accumulate shape).
+  /// `nt_store` streams the result when the tier supports it.
+  void (*reduce)(void* out, const void* const* srcs, int m, std::size_t n,
+                 Datatype d, ReduceOp op, bool nt_store);
+};
+
+/// The table for active_isa().  Cheap (one atomic load).
+const KernelTable& kernels() noexcept;
+
+/// Per-tier tables, for direct comparison in tests and benches.  Tiers the
+/// binary was built without fall back to the next lower tier's table.
+const KernelTable& kernel_table(IsaTier t) noexcept;
+
+}  // namespace yhccl::copy

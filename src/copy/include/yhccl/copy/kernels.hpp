@@ -9,6 +9,11 @@
 //  * memmove_model_copy — models the C library behaviour the paper compares
 //               against: switch to NT stores purely on copy *size*.
 //
+// t_copy and nt_copy dispatch through the runtime ISA kernel table
+// (dispatch.hpp): scalar / AVX2 / AVX-512 variants selected by cpuid and
+// cappable with YHCCL_ISA.  On the scalar tier nt_copy degrades to
+// temporal stores (the baseline ISA has no streaming-store path).
+//
 // All kernels handle arbitrary alignment and length, may not overlap, and
 // account their traffic to the DAV counters (2 bytes moved per payload byte).
 #pragma once

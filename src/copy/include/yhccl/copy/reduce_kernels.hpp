@@ -1,14 +1,22 @@
 // Reduction kernels used by every reduction collective.
 //
-// Two shapes, matching the paper's operations (Fig. 6):
-//   A += B          reduce_inplace  — accumulate src into dst (temporal)
-//   C  = A (+) B    reduce_out      — fused final reduction; the result
-//                    store may use non-temporal streaming stores, which is
-//                    what lets the MA algorithms stream the last step
-//                    straight into the receive buffer.
+// Three shapes, matching the paper's operations (Fig. 6):
+//   A += B            reduce_inplace   — accumulate src into dst (temporal)
+//   C  = A (+) B      reduce_out       — fused two-operand reduction
+//   C  = B0 (+) ... (+) Bm-1
+//                     reduce_out_multi — fused single-pass m-ary reduction:
+//                     all m source slices are read once, folded in
+//                     registers and stored once.
 //
-// Buffers are raw bytes; `n` is a byte count that must be a multiple of the
-// element size.  All kernels account DAV (3 bytes moved per payload byte).
+// All three route through the runtime ISA kernel table (dispatch.hpp):
+// scalar / AVX2 / AVX-512 tiers, each with temporal and streaming store
+// variants for every (op, dtype) combination.  Results are bit-identical
+// across tiers and store types — the elementwise fold order is fixed.
+//
+// Buffers are raw bytes; `n` is a byte count that must be a multiple of
+// the element size.  DAV accounting is uniform: a reduction of m operands
+// books (m+1)·n bytes — m·n loaded, n stored.  (m = 2 for reduce_inplace
+// and reduce_out, i.e. the familiar 3 bytes per payload byte.)
 #pragma once
 
 #include <cstddef>
@@ -25,8 +33,12 @@ void reduce_inplace(void* dst, const void* src, std::size_t n, Datatype d,
 void reduce_out(void* out, const void* a, const void* b, std::size_t n,
                 Datatype d, ReduceOp op, bool nt_store) noexcept;
 
-/// out[i] = op over m buffers:  srcs[0][i] op srcs[1][i] op ...  (m >= 1).
-/// Used by the socket-combination stage of the socket-aware MA reduction.
+/// out[i] = op over m buffers:  srcs[0][i] op srcs[1][i] op ...  (m >= 1),
+/// in one pass: (m+1)·n bytes of traffic instead of a pairwise chain's
+/// ~3n·(m-1).  `out` may alias srcs[0] exactly (and no other source).
+/// Used wherever a rank combines several partials at once: the socket-
+/// combination stage of the socket-aware MA reduction, DPML's partitioned
+/// stages, the RG tree's child fold and the XPMEM direct reduction.
 void reduce_out_multi(void* out, const void* const* srcs, int m,
                       std::size_t n, Datatype d, ReduceOp op,
                       bool nt_store);

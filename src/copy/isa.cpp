@@ -1,0 +1,121 @@
+// Runtime ISA tier detection and kernel-table selection.
+//
+// Selection order, resolved once on first use:
+//   1. cpuid (__builtin_cpu_supports) picks the best tier the host runs;
+//   2. the build clamps to the tiers actually compiled in (a toolchain
+//      without AVX-512 support still produces a working binary);
+//   3. YHCCL_ISA=scalar|avx2|avx512 caps — never raises — the result, so a
+//      forced tier is always safe to execute.
+// force_isa() applies the same clamping for tests and benches.
+#include "yhccl/copy/isa.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "yhccl/copy/dispatch.hpp"
+
+namespace yhccl::copy {
+
+// Defined in the per-tier TUs; see CMakeLists for which are compiled in.
+const KernelTable& scalar_table() noexcept;
+#if YHCCL_HAVE_AVX2_TU
+const KernelTable& avx2_table() noexcept;
+#endif
+#if YHCCL_HAVE_AVX512_TU
+const KernelTable& avx512_table() noexcept;
+#endif
+
+namespace {
+
+IsaTier best_built(IsaTier t) noexcept {
+#if !YHCCL_HAVE_AVX512_TU
+  if (t == IsaTier::avx512) t = IsaTier::avx2;
+#endif
+#if !YHCCL_HAVE_AVX2_TU
+  if (t == IsaTier::avx2) t = IsaTier::scalar;
+#endif
+  return t;
+}
+
+IsaTier detect() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_cpu_init();
+  if (__builtin_cpu_supports("avx512f") && __builtin_cpu_supports("avx512bw"))
+    return best_built(IsaTier::avx512);
+  if (__builtin_cpu_supports("avx2")) return best_built(IsaTier::avx2);
+#endif
+  return IsaTier::scalar;
+}
+
+const KernelTable& table_for(IsaTier t) noexcept {
+  switch (best_built(t)) {
+#if YHCCL_HAVE_AVX512_TU
+    case IsaTier::avx512: return avx512_table();
+#endif
+#if YHCCL_HAVE_AVX2_TU
+    case IsaTier::avx2: return avx2_table();
+#endif
+    default: return scalar_table();
+  }
+}
+
+/// Initial tier: detection capped by the YHCCL_ISA environment override.
+IsaTier initial_isa() noexcept {
+  IsaTier t = detect();
+  const char* e = std::getenv("YHCCL_ISA");
+  if (e != nullptr && *e != '\0') {
+    IsaTier req;
+    if (!isa_from_string(e, req)) {
+      std::fprintf(stderr,
+                   "yhccl: ignoring unknown YHCCL_ISA=%s "
+                   "(expected scalar|avx2|avx512)\n",
+                   e);
+    } else if (static_cast<int>(req) < static_cast<int>(t)) {
+      t = req;  // caps only: requesting above the host's support is unsafe
+    }
+  }
+  return t;
+}
+
+std::atomic<const KernelTable*>& active_table() noexcept {
+  static std::atomic<const KernelTable*> tbl{&table_for(initial_isa())};
+  return tbl;
+}
+
+}  // namespace
+
+IsaTier detected_isa() noexcept {
+  static const IsaTier t = detect();
+  return t;
+}
+
+IsaTier active_isa() noexcept {
+  return active_table().load(std::memory_order_acquire)->tier;
+}
+
+IsaTier force_isa(IsaTier t) noexcept {
+  if (static_cast<int>(t) > static_cast<int>(detected_isa()))
+    t = detected_isa();
+  const KernelTable& tbl = table_for(t);
+  active_table().store(&tbl, std::memory_order_release);
+  return tbl.tier;
+}
+
+bool isa_from_string(const char* s, IsaTier& out) noexcept {
+  if (s == nullptr) return false;
+  if (std::strcmp(s, "scalar") == 0) out = IsaTier::scalar;
+  else if (std::strcmp(s, "avx2") == 0) out = IsaTier::avx2;
+  else if (std::strcmp(s, "avx512") == 0) out = IsaTier::avx512;
+  else return false;
+  return true;
+}
+
+const KernelTable& kernels() noexcept {
+  return *active_table().load(std::memory_order_acquire);
+}
+
+const KernelTable& kernel_table(IsaTier t) noexcept { return table_for(t); }
+
+}  // namespace yhccl::copy

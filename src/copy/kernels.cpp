@@ -1,25 +1,12 @@
 #include "yhccl/copy/kernels.hpp"
 
-#include <immintrin.h>
-
 #include <cstdint>
 #include <cstring>
 
 #include "yhccl/copy/dav.hpp"
+#include "yhccl/copy/dispatch.hpp"
 
 namespace yhccl::copy {
-
-namespace {
-
-constexpr std::size_t kVec = 32;             // AVX2 vector width
-constexpr std::size_t kPrefetchAhead = 256;  // bytes of lookahead
-
-inline void copy_small(std::uint8_t* d, const std::uint8_t* s,
-                       std::size_t n) noexcept {
-  std::memcpy(d, s, n);
-}
-
-}  // namespace
 
 void scalar_copy(void* dst, const void* src, std::size_t n) noexcept {
   std::memcpy(dst, src, n);
@@ -27,78 +14,28 @@ void scalar_copy(void* dst, const void* src, std::size_t n) noexcept {
 }
 
 void t_copy(void* dst, const void* src, std::size_t n) noexcept {
-  auto* d = static_cast<std::uint8_t*>(dst);
-  const auto* s = static_cast<const std::uint8_t*>(src);
-  std::size_t i = 0;
-  // Main loop: 4 vectors (128 B) per iteration with software prefetch.
-  for (; i + 4 * kVec <= n; i += 4 * kVec) {
-    _mm_prefetch(reinterpret_cast<const char*>(s + i + kPrefetchAhead),
-                 _MM_HINT_T0);
-    _mm_prefetch(reinterpret_cast<const char*>(s + i + kPrefetchAhead + 64),
-                 _MM_HINT_T0);
-    const __m256i v0 =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s + i));
-    const __m256i v1 =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s + i + kVec));
-    const __m256i v2 =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s + i + 2 * kVec));
-    const __m256i v3 =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s + i + 3 * kVec));
-    _mm256_storeu_si256(reinterpret_cast<__m256i*>(d + i), v0);
-    _mm256_storeu_si256(reinterpret_cast<__m256i*>(d + i + kVec), v1);
-    _mm256_storeu_si256(reinterpret_cast<__m256i*>(d + i + 2 * kVec), v2);
-    _mm256_storeu_si256(reinterpret_cast<__m256i*>(d + i + 3 * kVec), v3);
-  }
-  if (i < n) copy_small(d + i, s + i, n - i);
+  const KernelTable& k = kernels();
+  k.copy_t(dst, src, n);
+  kernel_count_add(k.tier);
   dav_add(n, n);
 }
 
 void nt_copy(void* dst, const void* src, std::size_t n) noexcept {
-  auto* d = static_cast<std::uint8_t*>(dst);
-  const auto* s = static_cast<const std::uint8_t*>(src);
-  std::size_t i = 0;
-
-  // Streaming stores require 32-byte-aligned destinations: peel the head.
-  const std::size_t mis = reinterpret_cast<std::uintptr_t>(d) & (kVec - 1);
-  if (mis != 0) {
-    const std::size_t head = kVec - mis < n ? kVec - mis : n;
-    copy_small(d, s, head);
-    i = head;
-  }
-  for (; i + 4 * kVec <= n; i += 4 * kVec) {
-    _mm_prefetch(reinterpret_cast<const char*>(s + i + kPrefetchAhead),
-                 _MM_HINT_NTA);
-    _mm_prefetch(reinterpret_cast<const char*>(s + i + kPrefetchAhead + 64),
-                 _MM_HINT_NTA);
-    const __m256i v0 =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s + i));
-    const __m256i v1 =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s + i + kVec));
-    const __m256i v2 =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s + i + 2 * kVec));
-    const __m256i v3 =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s + i + 3 * kVec));
-    _mm256_stream_si256(reinterpret_cast<__m256i*>(d + i), v0);
-    _mm256_stream_si256(reinterpret_cast<__m256i*>(d + i + kVec), v1);
-    _mm256_stream_si256(reinterpret_cast<__m256i*>(d + i + 2 * kVec), v2);
-    _mm256_stream_si256(reinterpret_cast<__m256i*>(d + i + 3 * kVec), v3);
-  }
-  for (; i + kVec <= n; i += kVec) {
-    const __m256i v =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s + i));
-    _mm256_stream_si256(reinterpret_cast<__m256i*>(d + i), v);
-  }
-  if (i < n) copy_small(d + i, s + i, n - i);
-  // Streaming stores are weakly ordered; fence before any flag publish.
-  _mm_sfence();
+  const KernelTable& k = kernels();
+  k.copy_nt(dst, src, n);
+  kernel_count_add(k.tier);
   dav_add(n, n);
 }
 
 void erms_copy(void* dst, const void* src, std::size_t n) noexcept {
+#if defined(__x86_64__) || defined(__i386__)
   auto* d = static_cast<std::uint8_t*>(dst);
   const auto* s = static_cast<const std::uint8_t*>(src);
   std::size_t cnt = n;
   asm volatile("rep movsb" : "+D"(d), "+S"(s), "+c"(cnt) : : "memory");
+#else
+  std::memcpy(dst, src, n);
+#endif
   dav_add(n, n);
 }
 

@@ -1,0 +1,34 @@
+// AVX2 kernel tier.  This TU (and only this TU) is compiled with -mavx2,
+// so the generic loops in kernel_impl.hpp auto-vectorize to 256-bit code
+// and the stream policy uses vmovntdq.  Never called unless cpuid reports
+// AVX2 (see isa.cpp).
+#include <immintrin.h>
+
+#include "kernel_impl.hpp"
+
+namespace yhccl::copy {
+
+namespace {
+
+struct Avx2Stream {
+  static constexpr bool kHasStream = true;
+  static void stream_line(void* dst, const void* src) noexcept {
+    const __m256i lo =
+        _mm256_loadu_si256(static_cast<const __m256i*>(src));
+    const __m256i hi = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(static_cast<const char*>(src) + 32));
+    _mm256_stream_si256(static_cast<__m256i*>(dst), lo);
+    _mm256_stream_si256(
+        reinterpret_cast<__m256i*>(static_cast<char*>(dst) + 32), hi);
+  }
+  static void fence() noexcept { _mm_sfence(); }
+};
+
+}  // namespace
+
+const KernelTable& avx2_table() noexcept {
+  static const KernelTable t = kimpl::make_table<Avx2Stream>(IsaTier::avx2);
+  return t;
+}
+
+}  // namespace yhccl::copy

@@ -1,0 +1,30 @@
+// AVX-512 kernel tier.  Compiled with -mavx512f -mavx512bw (BW for the
+// byte/word integer ops of the u8 kernels); one full cacheline per
+// streaming store.  Never called unless cpuid reports AVX-512F+BW (see
+// isa.cpp).
+#include <immintrin.h>
+
+#include "kernel_impl.hpp"
+
+namespace yhccl::copy {
+
+namespace {
+
+struct Avx512Stream {
+  static constexpr bool kHasStream = true;
+  static void stream_line(void* dst, const void* src) noexcept {
+    _mm512_stream_si512(static_cast<__m512i*>(dst),
+                        _mm512_loadu_si512(src));
+  }
+  static void fence() noexcept { _mm_sfence(); }
+};
+
+}  // namespace
+
+const KernelTable& avx512_table() noexcept {
+  static const KernelTable t =
+      kimpl::make_table<Avx512Stream>(IsaTier::avx512);
+  return t;
+}
+
+}  // namespace yhccl::copy

@@ -1,0 +1,27 @@
+// Scalar (baseline ISA) kernel tier.  Compiled without any -m flags so the
+// binary stays runnable on hosts without AVX2/AVX-512; "streaming" falls
+// back to ordinary temporal stores since the baseline has no usable NT
+// store path.
+#include "kernel_impl.hpp"
+
+namespace yhccl::copy {
+
+namespace {
+
+struct ScalarStream {
+  static constexpr bool kHasStream = false;
+  static void stream_line(void* dst, const void* src) noexcept {
+    std::memcpy(dst, src, kimpl::kLineBytes);
+  }
+  static void fence() noexcept {}
+};
+
+}  // namespace
+
+const KernelTable& scalar_table() noexcept {
+  static const KernelTable t =
+      kimpl::make_table<ScalarStream>(IsaTier::scalar);
+  return t;
+}
+
+}  // namespace yhccl::copy

@@ -1,198 +1,31 @@
 #include "yhccl/copy/reduce_kernels.hpp"
 
-#include <immintrin.h>
-
-#include <cstdint>
-#include <type_traits>
-
 #include "yhccl/common/error.hpp"
 #include "yhccl/copy/dav.hpp"
+#include "yhccl/copy/dispatch.hpp"
 #include "yhccl/copy/kernels.hpp"
 
 namespace yhccl::copy {
 
-namespace {
-
-template <typename T>
-inline T apply(ReduceOp op, T a, T b) noexcept {
-  switch (op) {
-    case ReduceOp::sum: return static_cast<T>(a + b);
-    case ReduceOp::prod: return static_cast<T>(a * b);
-    case ReduceOp::max: return a > b ? a : b;
-    case ReduceOp::min: return a < b ? a : b;
-    case ReduceOp::band:
-      if constexpr (std::is_integral_v<T>) return static_cast<T>(a & b);
-      break;
-    case ReduceOp::bor:
-      if constexpr (std::is_integral_v<T>) return static_cast<T>(a | b);
-      break;
-  }
-  return a;  // unreachable: validated by op_valid_for at the API boundary
-}
-
-// Simple per-op loops; gcc auto-vectorizes these with -mavx2.
-template <typename T>
-void rin(T* dst, const T* src, std::size_t cnt, ReduceOp op) noexcept {
-  switch (op) {
-    case ReduceOp::sum:
-      for (std::size_t i = 0; i < cnt; ++i) dst[i] += src[i];
-      break;
-    case ReduceOp::prod:
-      for (std::size_t i = 0; i < cnt; ++i) dst[i] *= src[i];
-      break;
-    case ReduceOp::max:
-      for (std::size_t i = 0; i < cnt; ++i)
-        dst[i] = dst[i] > src[i] ? dst[i] : src[i];
-      break;
-    case ReduceOp::min:
-      for (std::size_t i = 0; i < cnt; ++i)
-        dst[i] = dst[i] < src[i] ? dst[i] : src[i];
-      break;
-    default:
-      for (std::size_t i = 0; i < cnt; ++i) dst[i] = apply(op, dst[i], src[i]);
-      break;
-  }
-}
-
-template <typename T>
-void rout(T* out, const T* a, const T* b, std::size_t cnt,
-          ReduceOp op) noexcept {
-  switch (op) {
-    case ReduceOp::sum:
-      for (std::size_t i = 0; i < cnt; ++i) out[i] = a[i] + b[i];
-      break;
-    case ReduceOp::prod:
-      for (std::size_t i = 0; i < cnt; ++i) out[i] = a[i] * b[i];
-      break;
-    case ReduceOp::max:
-      for (std::size_t i = 0; i < cnt; ++i)
-        out[i] = a[i] > b[i] ? a[i] : b[i];
-      break;
-    case ReduceOp::min:
-      for (std::size_t i = 0; i < cnt; ++i)
-        out[i] = a[i] < b[i] ? a[i] : b[i];
-      break;
-    default:
-      for (std::size_t i = 0; i < cnt; ++i) out[i] = apply(op, a[i], b[i]);
-      break;
-  }
-}
-
-// ---- Non-temporal fused "out = a (+) b" kernels ---------------------------
-//
-// AVX2 traits per element type.  Only ReduceOp::sum gets a streaming-store
-// fast path (the hot case for all-reduce benchmarks); the other ops fall
-// back to temporal stores, which is what production libraries do as well.
-
-struct TraitsF32 {
-  using T = float;
-  using V = __m256;
-  static constexpr std::size_t W = 8;
-  static V load(const T* p) noexcept { return _mm256_loadu_ps(p); }
-  static V add(V a, V b) noexcept { return _mm256_add_ps(a, b); }
-  static void stream(T* p, V v) noexcept { _mm256_stream_ps(p, v); }
-};
-struct TraitsF64 {
-  using T = double;
-  using V = __m256d;
-  static constexpr std::size_t W = 4;
-  static V load(const T* p) noexcept { return _mm256_loadu_pd(p); }
-  static V add(V a, V b) noexcept { return _mm256_add_pd(a, b); }
-  static void stream(T* p, V v) noexcept { _mm256_stream_pd(p, v); }
-};
-struct TraitsI32 {
-  using T = std::int32_t;
-  using V = __m256i;
-  static constexpr std::size_t W = 8;
-  static V load(const T* p) noexcept {
-    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
-  }
-  static V add(V a, V b) noexcept { return _mm256_add_epi32(a, b); }
-  static void stream(T* p, V v) noexcept {
-    _mm256_stream_si256(reinterpret_cast<__m256i*>(p), v);
-  }
-};
-struct TraitsI64 {
-  using T = std::int64_t;
-  using V = __m256i;
-  static constexpr std::size_t W = 4;
-  static V load(const T* p) noexcept {
-    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
-  }
-  static V add(V a, V b) noexcept { return _mm256_add_epi64(a, b); }
-  static void stream(T* p, V v) noexcept {
-    _mm256_stream_si256(reinterpret_cast<__m256i*>(p), v);
-  }
-};
-
-template <class Tr>
-void sum_out_nt(typename Tr::T* out, const typename Tr::T* a,
-                const typename Tr::T* b, std::size_t cnt) noexcept {
-  std::size_t i = 0;
-  // Peel until `out` is 32-byte aligned (streaming stores require it).
-  while (i < cnt &&
-         (reinterpret_cast<std::uintptr_t>(out + i) & 31u) != 0) {
-    out[i] = a[i] + b[i];
-    ++i;
-  }
-  for (; i + Tr::W <= cnt; i += Tr::W)
-    Tr::stream(out + i, Tr::add(Tr::load(a + i), Tr::load(b + i)));
-  for (; i < cnt; ++i) out[i] = a[i] + b[i];
-  _mm_sfence();
-}
-
-template <typename T>
-void rout_dispatch(void* out, const void* a, const void* b, std::size_t n,
-                   ReduceOp op, bool nt_store) noexcept {
-  const std::size_t cnt = n / sizeof(T);
-  auto* o = static_cast<T*>(out);
-  const auto* pa = static_cast<const T*>(a);
-  const auto* pb = static_cast<const T*>(b);
-  if (nt_store && op == ReduceOp::sum) {
-    if constexpr (std::is_same_v<T, float>)
-      return sum_out_nt<TraitsF32>(o, pa, pb, cnt);
-    else if constexpr (std::is_same_v<T, double>)
-      return sum_out_nt<TraitsF64>(o, pa, pb, cnt);
-    else if constexpr (std::is_same_v<T, std::int32_t>)
-      return sum_out_nt<TraitsI32>(o, pa, pb, cnt);
-    else if constexpr (std::is_same_v<T, std::int64_t>)
-      return sum_out_nt<TraitsI64>(o, pa, pb, cnt);
-  }
-  rout(o, pa, pb, cnt, op);
-}
-
-template <typename T>
-void rin_dispatch(void* dst, const void* src, std::size_t n,
-                  ReduceOp op) noexcept {
-  rin(static_cast<T*>(dst), static_cast<const T*>(src), n / sizeof(T), op);
-}
-
-}  // namespace
+// All three entry points funnel into the tier table's single-pass m-ary
+// kernel, so every (op, dtype, tier, store-type) combination shares one
+// code path and one DAV accounting rule: (m+1)·n bytes for m operands.
 
 void reduce_inplace(void* dst, const void* src, std::size_t n, Datatype d,
                     ReduceOp op) noexcept {
-  switch (d) {
-    case Datatype::u8: rin_dispatch<std::uint8_t>(dst, src, n, op); break;
-    case Datatype::i32: rin_dispatch<std::int32_t>(dst, src, n, op); break;
-    case Datatype::i64: rin_dispatch<std::int64_t>(dst, src, n, op); break;
-    case Datatype::f32: rin_dispatch<float>(dst, src, n, op); break;
-    case Datatype::f64: rin_dispatch<double>(dst, src, n, op); break;
-  }
+  const void* srcs[2] = {dst, src};
+  const KernelTable& k = kernels();
+  k.reduce(dst, srcs, 2, n, d, op, /*nt_store=*/false);
+  kernel_count_add(k.tier);
   dav_add(2 * n, n);  // two operand loads, one store
 }
 
 void reduce_out(void* out, const void* a, const void* b, std::size_t n,
                 Datatype d, ReduceOp op, bool nt_store) noexcept {
-  switch (d) {
-    case Datatype::u8:
-      rout(static_cast<std::uint8_t*>(out), static_cast<const std::uint8_t*>(a),
-           static_cast<const std::uint8_t*>(b), n, op);
-      break;
-    case Datatype::i32: rout_dispatch<std::int32_t>(out, a, b, n, op, nt_store); break;
-    case Datatype::i64: rout_dispatch<std::int64_t>(out, a, b, n, op, nt_store); break;
-    case Datatype::f32: rout_dispatch<float>(out, a, b, n, op, nt_store); break;
-    case Datatype::f64: rout_dispatch<double>(out, a, b, n, op, nt_store); break;
-  }
+  const void* srcs[2] = {a, b};
+  const KernelTable& k = kernels();
+  k.reduce(out, srcs, 2, n, d, op, nt_store);
+  kernel_count_add(k.tier);
   dav_add(2 * n, n);
 }
 
@@ -201,22 +34,18 @@ void reduce_out_multi(void* out, const void* const* srcs, int m,
                       bool nt_store) {
   YHCCL_REQUIRE(m >= 1, "reduce_out_multi needs at least one source");
   if (m == 1) {
-    // Degenerate "reduction" over one socket: just move the data.
+    // Degenerate "reduction" over one operand: just move the data.  The
+    // copy books 2n == (m+1)·n, consistent with the m >= 2 accounting.
     if (nt_store)
       nt_copy(out, srcs[0], n);
     else
       t_copy(out, srcs[0], n);
     return;
   }
-  if (m == 2) {
-    reduce_out(out, srcs[0], srcs[1], n, d, op, nt_store);
-    return;
-  }
-  // Pairwise chain: matches the paper's DAV accounting of (m-1) two-operand
-  // reductions (3*n bytes each).  Only the last one may stream.
-  reduce_out(out, srcs[0], srcs[1], n, d, op, /*nt_store=*/false);
-  for (int k = 2; k < m - 1; ++k) reduce_inplace(out, srcs[k], n, d, op);
-  reduce_out(out, out, srcs[m - 1], n, d, op, nt_store);
+  const KernelTable& k = kernels();
+  k.reduce(out, srcs, m, n, d, op, nt_store);
+  kernel_count_add(k.tier);
+  dav_add(static_cast<std::uint64_t>(m) * n, n);  // m loads, one store
 }
 
 }  // namespace yhccl::copy

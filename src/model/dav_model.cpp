@@ -90,25 +90,37 @@ namespace impl {
 u64 ma_reduce_scatter(std::size_t s, int p) {
   return paper::ma_reduce_scatter(s, p);
 }
-u64 socket_ma_reduce_scatter(std::size_t s, int p, int m) {
-  return paper::socket_ma_reduce_scatter(s, p, m);
-}
 u64 ma_allreduce(std::size_t s, int p) { return paper::ma_allreduce(s, p); }
-u64 socket_ma_allreduce(std::size_t s, int p, int m) {
-  return paper::socket_ma_allreduce(s, p, m);
-}
 u64 ma_reduce(std::size_t s, int p) { return paper::ma_reduce(s, p); }
+
+// The socket-combination stage fuses the m per-socket partials in a single
+// pass — (m+1)·(s/p) per rank instead of the pairwise chain's 3(m-1)·(s/p)
+// the paper's tables assume.  Stage 1 is unchanged at s(3p-m); the total
+// therefore loses its m-dependence:
+//   s(3p-m) + s(m+1) = s(3p+1).
+u64 socket_ma_reduce_scatter(std::size_t s, int p, int m) {
+  (void)m;
+  return static_cast<u64>(s) * (3 * static_cast<u64>(p) + 1);
+}
+u64 socket_ma_allreduce(std::size_t s, int p, int m) {
+  // reduce-scatter + the 2sp copy-out of the full result on every rank.
+  return socket_ma_reduce_scatter(s, p, m) + 2 * static_cast<u64>(s) * p;
+}
 u64 socket_ma_reduce(std::size_t s, int p, int m) {
-  return paper::socket_ma_reduce(s, p, m);
+  // reduce-scatter + the root's 2s copy-out.
+  return socket_ma_reduce_scatter(s, p, m) + 2 * static_cast<u64>(s);
 }
 
 // Our DPML delivers the scatter blocks / copy-out directly from the staged
-// partials, so it moves one copy less than the paper's bookkeeping.
+// partials (one copy less than the paper's bookkeeping) and fuses the
+// partitioned reduction of the p staged buffers into one (p+1)·(s/p)-byte
+// pass per block: copy-in 2sp + fused stage s(p+1) = s(3p+1) for the
+// scatter shape (flat/single-socket grouping, as the baseline runs it).
 u64 dpml_reduce_scatter(std::size_t s, int p) {
-  return static_cast<u64>(s) * (5 * static_cast<u64>(p) - 3);
+  return static_cast<u64>(s) * (3 * static_cast<u64>(p) + 1);
 }
 u64 dpml_allreduce(std::size_t s, int p) {
-  return static_cast<u64>(s) * (7 * static_cast<u64>(p) - 3);
+  return dpml_reduce_scatter(s, p) + 2 * static_cast<u64>(s) * p;
 }
 
 u64 ring_reduce_scatter_single_copy(std::size_t s, int p) {
@@ -131,7 +143,8 @@ u64 rabenseifner_allreduce_single_copy(std::size_t s, int p) {
 }
 
 u64 xpmem_allreduce(std::size_t s, int p) {
-  return static_cast<u64>(s) * 5 * (p - 1);  // 3s(p-1) reduce + 2s(p-1) copy
+  // Fused p-ary direct reduction s(p+1) + 2s(p-1) block gather.
+  return static_cast<u64>(s) * (3 * static_cast<u64>(p) - 1);
 }
 
 u64 pipelined_broadcast(std::size_t s, int p) {

@@ -5,10 +5,13 @@
 //  * `paper::` — the formulas exactly as printed in the paper's tables.
 //  * `impl::`  — the byte-exact accounting of *this repository's*
 //    implementations, validated against the instrumented kernels in
-//    tests/test_dav_models.cpp.  They differ from `paper::` only in
-//    constant bookkeeping terms (e.g. the paper ignores Rabenseifner's
-//    working-copy initialization and counts one extra copy for DPML);
-//    the asymptotic p- and m-dependence is identical.
+//    tests/test_dav_models.cpp.  They differ from `paper::` in constant
+//    bookkeeping terms (e.g. the paper ignores Rabenseifner's working-copy
+//    initialization and counts one extra copy for DPML) and — since the
+//    single-pass m-ary fused reduction kernels — in the socket-combination
+//    term: fusing m partials costs (m+1)·n instead of the pairwise chain's
+//    3n(m-1), which removes the 2m-dependence from the socket-aware
+//    formulas entirely.  The asymptotic p-dependence is identical.
 //
 // All functions take the message size `s` in bytes and return bytes moved
 // per node (summed over the p ranks).
@@ -50,19 +53,19 @@ namespace impl {
 // Byte-exact models of this repo's implementations (divisible geometry:
 // blocks a multiple of the slice, slice cacheline-aligned).
 std::uint64_t ma_reduce_scatter(std::size_t s, int p);  // s(3p-1), exact
-std::uint64_t socket_ma_reduce_scatter(std::size_t s, int p, int m);
+std::uint64_t socket_ma_reduce_scatter(std::size_t s, int p, int m);  // s(3p+1)
 std::uint64_t ma_allreduce(std::size_t s, int p);  // s(5p-1), exact
-std::uint64_t socket_ma_allreduce(std::size_t s, int p, int m);
+std::uint64_t socket_ma_allreduce(std::size_t s, int p, int m);  // s(5p+1)
 std::uint64_t ma_reduce(std::size_t s, int p);  // s(3p+1), exact
-std::uint64_t socket_ma_reduce(std::size_t s, int p, int m);
-std::uint64_t dpml_reduce_scatter(std::size_t s, int p);  // s(5p-3)
-std::uint64_t dpml_allreduce(std::size_t s, int p);       // s(7p-3)
+std::uint64_t socket_ma_reduce(std::size_t s, int p, int m);  // s(3p+3)
+std::uint64_t dpml_reduce_scatter(std::size_t s, int p);  // s(3p+1), fused
+std::uint64_t dpml_allreduce(std::size_t s, int p);       // s(5p+1), fused
 std::uint64_t ring_reduce_scatter_single_copy(std::size_t s, int p);
 std::uint64_t ring_reduce_scatter_two_copy(std::size_t s, int p);
 std::uint64_t ring_allreduce_single_copy(std::size_t s, int p);
 std::uint64_t ring_allreduce_two_copy(std::size_t s, int p);
 std::uint64_t rabenseifner_allreduce_single_copy(std::size_t s, int p);
-std::uint64_t xpmem_allreduce(std::size_t s, int p);  // 5s(p-1), exact
+std::uint64_t xpmem_allreduce(std::size_t s, int p);  // s(3p-1), fused
 std::uint64_t pipelined_broadcast(std::size_t s, int p);   // 2s + 2s(p-1)
 std::uint64_t pipelined_allgather(std::size_t s, int p);   // p(2s + 2sp)
 

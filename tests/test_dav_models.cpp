@@ -70,7 +70,10 @@ TEST(DavModel, MaReduceScatterIsExactlyS3pMinus1) {
   }
 }
 
-TEST(DavModel, SocketMaReduceScatterIsExactlyS3pPlus2mMinus3) {
+TEST(DavModel, SocketMaReduceScatterIsExactlyS3pPlus1) {
+  // The fused socket-combination stage costs (m+1)(s/p) instead of the
+  // pairwise chain's 3(m-1)(s/p): the total is s(3p+1) independent of m,
+  // at or below the paper's s(3p+2m-3) for every m >= 2.
   for (auto [p, m] : {std::pair{4, 2}, {8, 2}, {8, 4}}) {
     Fixture f(p, m, 8192);
     auto& team = cached_team(p, m);
@@ -81,6 +84,8 @@ TEST(DavModel, SocketMaReduceScatterIsExactlyS3pPlus2mMinus3) {
                                Datatype::f64, ReduceOp::sum, o);
     });
     EXPECT_EQ(dav, md::impl::socket_ma_reduce_scatter(f.total(), p, m))
+        << "p=" << p << " m=" << m;
+    EXPECT_LE(dav, md::paper::socket_ma_reduce_scatter(f.total(), p, m))
         << "p=" << p << " m=" << m;
   }
 }
@@ -121,7 +126,9 @@ TEST(DavModel, SocketMaAllreduceMatchesTable2) {
                           ReduceOp::sum, o);
     });
     EXPECT_EQ(dav, md::impl::socket_ma_allreduce(count * 8, p, m));
-    EXPECT_EQ(dav, md::paper::socket_ma_allreduce(count * 8, p, m));
+    // Paper's Table 2 assumes a pairwise socket-combination chain
+    // (s(5p+2m-3)); the fused kernel lands at s(5p+1), <= for m >= 2.
+    EXPECT_LE(dav, md::paper::socket_ma_allreduce(count * 8, p, m));
   }
 }
 
@@ -145,7 +152,7 @@ TEST(DavModel, MaReduceMatchesTable3) {
   }
 }
 
-TEST(DavModel, DpmlAllreduceWithinOneCopyOfPaperTable) {
+TEST(DavModel, DpmlAllreduceMatchesFusedModelAndBeatsPaperTable) {
   for (int p : {2, 4, 8}) {
     const std::size_t count = 8192 * static_cast<std::size_t>(p);
     std::vector<std::vector<double>> send(p), recv(p);
@@ -161,9 +168,9 @@ TEST(DavModel, DpmlAllreduceWithinOneCopyOfPaperTable) {
     });
     const std::size_t s = count * 8;
     EXPECT_EQ(dav, md::impl::dpml_allreduce(s, p));
-    // Paper's table says s(7p-1); our delivery saves one copy: s(7p-3).
+    // Paper's table says s(7p-1) (pairwise staged reduction + extra copy);
+    // direct delivery plus the fused p-ary stage lands at s(5p+1).
     EXPECT_LE(dav, md::paper::dpml_allreduce(s, p));
-    EXPECT_GE(dav, md::paper::dpml_allreduce(s, p) - 2 * s);
   }
 }
 
@@ -219,6 +226,9 @@ TEST(DavModel, XpmemAllreduceMatchesHashmisModel) {
                       count, Datatype::f64, ReduceOp::sum);
     });
     EXPECT_EQ(dav, md::impl::xpmem_allreduce(count * 8, p)) << p;
+    // Hashmi's model (5s(p-1)) assumed a pairwise reduction loop; the
+    // fused p-ary direct reduction moves s(3p-1).
+    EXPECT_LE(dav, md::paper::xpmem_allreduce(count * 8, p)) << p;
   }
 }
 

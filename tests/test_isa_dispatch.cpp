@@ -1,0 +1,128 @@
+// Tests for the runtime ISA tier selection (isa.hpp / dispatch.hpp):
+// detection, forcing/clamping, name parsing, per-tier kernel-call counters
+// and the copy entry points under every runnable tier.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "yhccl/copy/dav.hpp"
+#include "yhccl/copy/dispatch.hpp"
+#include "yhccl/copy/isa.hpp"
+#include "yhccl/copy/kernels.hpp"
+
+namespace yc = yhccl::copy;
+
+namespace {
+
+class ScopedIsa {
+ public:
+  explicit ScopedIsa(yc::IsaTier t) : prev_(yc::active_isa()) {
+    yc::force_isa(t);
+  }
+  ~ScopedIsa() { yc::force_isa(prev_); }
+
+ private:
+  yc::IsaTier prev_;
+};
+
+std::vector<yc::IsaTier> runnable_tiers() {
+  std::vector<yc::IsaTier> ts;
+  for (int t = 0; t <= static_cast<int>(yc::detected_isa()); ++t)
+    ts.push_back(static_cast<yc::IsaTier>(t));
+  return ts;
+}
+
+TEST(IsaDispatch, DetectionAndActiveAreWithinRange) {
+  const auto det = yc::detected_isa();
+  EXPECT_GE(static_cast<int>(det), static_cast<int>(yc::IsaTier::scalar));
+  EXPECT_LE(static_cast<int>(det), static_cast<int>(yc::IsaTier::avx512));
+  EXPECT_LE(static_cast<int>(yc::active_isa()), static_cast<int>(det));
+}
+
+TEST(IsaDispatch, ForceClampsToDetectedAndRestores) {
+  const auto prev = yc::active_isa();
+  const auto got = yc::force_isa(yc::IsaTier::avx512);
+  // Never activates more than the host supports...
+  EXPECT_LE(static_cast<int>(got), static_cast<int>(yc::detected_isa()));
+  EXPECT_EQ(got, yc::active_isa());
+  // ...and scalar is always available.
+  EXPECT_EQ(yc::force_isa(yc::IsaTier::scalar), yc::IsaTier::scalar);
+  EXPECT_EQ(yc::active_isa(), yc::IsaTier::scalar);
+  yc::force_isa(prev);
+  EXPECT_EQ(yc::active_isa(), prev);
+}
+
+TEST(IsaDispatch, NamesRoundTrip) {
+  for (yc::IsaTier t : {yc::IsaTier::scalar, yc::IsaTier::avx2,
+                        yc::IsaTier::avx512}) {
+    yc::IsaTier parsed;
+    ASSERT_TRUE(yc::isa_from_string(yc::isa_name(t), parsed));
+    EXPECT_EQ(parsed, t);
+  }
+  yc::IsaTier dummy;
+  EXPECT_FALSE(yc::isa_from_string("sse9", dummy));
+  EXPECT_FALSE(yc::isa_from_string("", dummy));
+  EXPECT_FALSE(yc::isa_from_string(nullptr, dummy));
+}
+
+TEST(IsaDispatch, KernelTableReportsItsOwnTier) {
+  // For tiers the build compiled in and the request clamps to, the table's
+  // tag must match what dispatch will count.
+  for (yc::IsaTier t : runnable_tiers()) {
+    const auto& tbl = yc::kernel_table(t);
+    EXPECT_EQ(tbl.tier, t);
+    EXPECT_NE(tbl.copy_t, nullptr);
+    EXPECT_NE(tbl.copy_nt, nullptr);
+    EXPECT_NE(tbl.reduce, nullptr);
+  }
+}
+
+TEST(IsaDispatch, KernelCountsAttributeToActiveTier) {
+  std::vector<std::uint8_t> src(4096, 7), dst(4096, 0);
+  for (yc::IsaTier t : runnable_tiers()) {
+    ScopedIsa scoped(t);
+    yc::KernelCountScope counts;
+    yc::t_copy(dst.data(), src.data(), src.size());
+    yc::nt_copy(dst.data(), src.data(), src.size());
+    const auto d = counts.delta();
+    EXPECT_EQ(d.total(), 2u) << isa_name(t);
+    EXPECT_EQ(d.calls[static_cast<int>(t)], 2u) << isa_name(t);
+    EXPECT_EQ(d.dominant(), t);
+  }
+}
+
+TEST(IsaDispatch, CopiesAreExactUnderEveryTierAndAlignment) {
+  for (yc::IsaTier t : runnable_tiers()) {
+    ScopedIsa scoped(t);
+    for (std::size_t n : {std::size_t{1}, std::size_t{63}, std::size_t{64},
+                          std::size_t{4097}, std::size_t{262147}}) {
+      std::vector<std::uint8_t> src(n + 3), dst(n + 5, 0);
+      for (std::size_t i = 0; i < n; ++i)
+        src[3 + i] = static_cast<std::uint8_t>(i * 13 + 5);
+      yc::t_copy(dst.data() + 5, src.data() + 3, n);
+      ASSERT_EQ(0, std::memcmp(dst.data() + 5, src.data() + 3, n))
+          << isa_name(t) << " t_copy n=" << n;
+      std::fill(dst.begin(), dst.end(), 0);
+      yc::nt_copy(dst.data() + 5, src.data() + 3, n);
+      ASSERT_EQ(0, std::memcmp(dst.data() + 5, src.data() + 3, n))
+          << isa_name(t) << " nt_copy n=" << n;
+    }
+  }
+}
+
+TEST(IsaDispatch, KernelCountDeltasComposeLikeDav) {
+  yc::KernelCounts a, b;
+  a.calls[0] = 3;
+  b.calls[0] = 1;
+  b.calls[2] = 5;
+  auto sum = a;
+  sum += b;
+  EXPECT_EQ(sum.total(), 9u);
+  EXPECT_EQ((sum - a).calls[2], 5u);
+  EXPECT_EQ(sum.dominant(), yc::IsaTier::avx512);
+  EXPECT_EQ(yc::KernelCounts{}.dominant(), yc::IsaTier::scalar);
+}
+
+}  // namespace

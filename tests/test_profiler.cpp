@@ -81,6 +81,28 @@ TEST(Profiler, ReportListsActiveKindsAndTotal) {
   EXPECT_NE(rep.find("TOTAL"), std::string::npos);
 }
 
+TEST(Profiler, RecordsDispatchedKernelTier) {
+  const int p = 4;
+  auto& team = cached_team(p, 1);
+  const std::size_t count = 8192 * p;
+  std::vector<std::vector<double>> send(p, std::vector<double>(count)),
+      recv(p, std::vector<double>(count));
+  for (int r = 0; r < p; ++r)
+    fill_buffer(send[r].data(), count, Datatype::f64, r, ReduceOp::sum);
+  std::vector<CollProfiler> prof(p);
+  team.run([&](rt::RankCtx& ctx) {
+    allreduce(prof[ctx.rank()], ctx, send[ctx.rank()].data(),
+              recv[ctx.rank()].data(), count, Datatype::f64, ReduceOp::sum);
+  });
+  CollProfiler node;
+  for (auto& pr : prof) node += pr;
+  const auto& r = node.get(CollKind::allreduce);
+  EXPECT_GT(r.kernels.total(), 0u);
+  EXPECT_EQ(r.kernels.dominant(), copy::active_isa());
+  EXPECT_NE(node.report().find(copy::isa_name(copy::active_isa())),
+            std::string::npos);
+}
+
 TEST(Profiler, ResetClearsEverything) {
   CollProfiler prof;
   prof.add(CollKind::broadcast, 123, 1.0, copy::Dav{9, 9});

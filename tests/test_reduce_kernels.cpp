@@ -1,13 +1,30 @@
-// Unit tests for the reduction kernels: every (datatype, op) combination,
-// the streaming-store fast path, the multi-operand chain, and DAV
-// accounting (3 bytes of traffic per payload byte).
+// Unit tests for the reduction kernels.
+//
+// The kernels dispatch through a runtime-selected ISA tier (scalar / AVX2 /
+// AVX-512), so every correctness property is checked under *each* tier the
+// host can run, via force_isa():
+//   * elementwise parity with an in-test scalar reference for every
+//     (op, dtype) combination, fan-in m = 1..9 (crossing the fixed-arity /
+//     generic-path boundary at m = 8), unaligned sources and destinations,
+//     odd lengths, and both temporal and streaming stores;
+//   * bit-identical float results across tiers and store types (the fold
+//     order is fixed; vectorization only runs across the element index);
+//   * single-pass DAV accounting: a fused m-ary reduction books exactly
+//     (m+1)*n bytes — m*n loaded, n stored — vs the 3n(m-1) of the
+//     pairwise chain it replaced.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
 #include <vector>
 
 #include "yhccl/common/error.hpp"
 #include "yhccl/copy/dav.hpp"
+#include "yhccl/copy/isa.hpp"
 #include "yhccl/copy/reduce_kernels.hpp"
 
 using yhccl::Datatype;
@@ -16,6 +33,64 @@ namespace yc = yhccl::copy;
 
 namespace {
 
+/// Forces a tier for the scope, restoring the previous one on exit.
+class ScopedIsa {
+ public:
+  explicit ScopedIsa(yc::IsaTier t) : prev_(yc::active_isa()) {
+    active_ = yc::force_isa(t);
+  }
+  ~ScopedIsa() { yc::force_isa(prev_); }
+  yc::IsaTier active() const { return active_; }
+
+ private:
+  yc::IsaTier prev_, active_;
+};
+
+std::vector<yc::IsaTier> runnable_tiers() {
+  std::vector<yc::IsaTier> ts;
+  for (int t = 0; t <= static_cast<int>(yc::detected_isa()); ++t)
+    ts.push_back(static_cast<yc::IsaTier>(t));
+  return ts;
+}
+
+/// Deterministic operand value.  Small: overflow-free for sum at m <= 9 in
+/// every dtype except u8, where both kernel and reference wrap identically.
+/// Products stay in {1,2}^m.
+template <typename T>
+T gen(int k, std::size_t i, ReduceOp op) {
+  if (op == ReduceOp::prod) return static_cast<T>(1 + ((k + i) % 2));
+  return static_cast<T>(((k + 3) * 29 + static_cast<int>(i % 257) * 13) % 101);
+}
+
+template <typename T>
+T ref_apply(ReduceOp op, T a, T b) {
+  switch (op) {
+    case ReduceOp::sum: return static_cast<T>(a + b);
+    case ReduceOp::prod: return static_cast<T>(a * b);
+    case ReduceOp::max: return a > b ? a : b;
+    case ReduceOp::min: return a < b ? a : b;
+    case ReduceOp::band:
+      if constexpr (std::is_integral_v<T>) return static_cast<T>(a & b);
+      break;
+    case ReduceOp::bor:
+      if constexpr (std::is_integral_v<T>) return static_cast<T>(a | b);
+      break;
+  }
+  return a;
+}
+
+/// Sequential fold srcs[0] op srcs[1] op ... — the order every tier must
+/// reproduce exactly.
+template <typename T>
+void ref_reduce(T* out, const std::vector<const T*>& srcs, int m,
+                std::size_t cnt, ReduceOp op) {
+  for (std::size_t i = 0; i < cnt; ++i) {
+    T acc = srcs[0][i];
+    for (int k = 1; k < m; ++k) acc = ref_apply(op, acc, srcs[k][i]);
+    out[i] = acc;
+  }
+}
+
 struct Combo {
   Datatype d;
   ReduceOp op;
@@ -23,51 +98,63 @@ struct Combo {
 
 class ReduceKernel : public ::testing::TestWithParam<Combo> {};
 
+/// The exhaustive parity sweep: tiers x m x lengths x alignment x store
+/// type, all against the scalar reference.
 template <typename T>
 void run_combo(ReduceOp op, Datatype d) {
-  for (std::size_t cnt :
-       {std::size_t{1}, std::size_t{7}, std::size_t{16}, std::size_t{255},
-        std::size_t{4096}, std::size_t{100003}}) {
-    std::vector<T> a(cnt), b(cnt), out(cnt, T{});
-    for (std::size_t i = 0; i < cnt; ++i) {
-      a[i] = static_cast<T>(1 + (i % 5));
-      b[i] = static_cast<T>(2 + (i % 3));
-    }
-    auto expect = [&](std::size_t i) -> T {
-      switch (op) {
-        case ReduceOp::sum: return static_cast<T>(a[i] + b[i]);
-        case ReduceOp::prod: return static_cast<T>(a[i] * b[i]);
-        case ReduceOp::max: return a[i] > b[i] ? a[i] : b[i];
-        case ReduceOp::min: return a[i] < b[i] ? a[i] : b[i];
-        case ReduceOp::band:
-          return static_cast<T>(static_cast<std::int64_t>(a[i]) &
-                                static_cast<std::int64_t>(b[i]));
-        case ReduceOp::bor:
-          return static_cast<T>(static_cast<std::int64_t>(a[i]) |
-                                static_cast<std::int64_t>(b[i]));
+  constexpr int kMaxM = 9;  // crosses the fixed-arity limit (8)
+  for (yc::IsaTier tier : runnable_tiers()) {
+    ScopedIsa scoped(tier);
+    ASSERT_EQ(scoped.active(), tier);
+    for (std::size_t cnt :
+         {std::size_t{1}, std::size_t{17}, std::size_t{255},
+          std::size_t{5003}}) {
+      // Sources at varying element offsets from a vector-aligned base so
+      // the kernels see unaligned pointers; 64B-block peel paths get both
+      // aligned and misaligned heads.
+      std::vector<std::vector<T>> bufs(kMaxM);
+      std::vector<const T*> srcs;
+      for (int k = 0; k < kMaxM; ++k) {
+        const std::size_t off = static_cast<std::size_t>(k % 3);
+        bufs[k].resize(cnt + off + 8);
+        for (std::size_t i = 0; i < cnt; ++i)
+          bufs[k][off + i] = gen<T>(k, i, op);
+        srcs.push_back(bufs[k].data() + off);
       }
-      return T{};
-    };
-    // reduce_out, temporal stores
-    yc::reduce_out(out.data(), a.data(), b.data(), cnt * sizeof(T), d, op,
-                   /*nt_store=*/false);
-    for (std::size_t i = 0; i < cnt; ++i)
-      ASSERT_EQ(out[i], expect(i)) << "out i=" << i << " cnt=" << cnt;
-    // reduce_out, streaming stores (falls back for unsupported combos)
-    std::fill(out.begin(), out.end(), T{});
-    yc::reduce_out(out.data(), a.data(), b.data(), cnt * sizeof(T), d, op,
-                   /*nt_store=*/true);
-    for (std::size_t i = 0; i < cnt; ++i)
-      ASSERT_EQ(out[i], expect(i)) << "nt out i=" << i << " cnt=" << cnt;
-    // reduce_inplace
-    auto acc = a;
-    yc::reduce_inplace(acc.data(), b.data(), cnt * sizeof(T), d, op);
-    for (std::size_t i = 0; i < cnt; ++i)
-      ASSERT_EQ(acc[i], expect(i)) << "inplace i=" << i << " cnt=" << cnt;
+      for (int m = 1; m <= kMaxM; ++m) {
+        std::vector<T> ref(cnt);
+        ref_reduce(ref.data(), srcs, m, cnt, op);
+        for (bool nt : {false, true}) {
+          std::vector<T> outbuf(cnt + 9, T{});
+          T* out = outbuf.data() + 1;  // misaligned destination
+          std::vector<const void*> vsrcs(srcs.begin(), srcs.begin() + m);
+          yc::reduce_out_multi(out, vsrcs.data(), m, cnt * sizeof(T), d, op,
+                               nt);
+          for (std::size_t i = 0; i < cnt; ++i)
+            ASSERT_EQ(out[i], ref[i])
+                << isa_name(tier) << " m=" << m << " cnt=" << cnt
+                << " nt=" << nt << " i=" << i;
+        }
+      }
+      // Two-operand entry points against the same reference (m = 2).
+      if (cnt >= 2) {
+        std::vector<T> ref(cnt);
+        ref_reduce(ref.data(), srcs, 2, cnt, op);
+        std::vector<T> out(cnt, T{});
+        yc::reduce_out(out.data(), srcs[0], srcs[1], cnt * sizeof(T), d, op,
+                       /*nt_store=*/true);
+        for (std::size_t i = 0; i < cnt; ++i)
+          ASSERT_EQ(out[i], ref[i]) << isa_name(tier) << " out-nt i=" << i;
+        std::vector<T> acc(srcs[0], srcs[0] + cnt);
+        yc::reduce_inplace(acc.data(), srcs[1], cnt * sizeof(T), d, op);
+        for (std::size_t i = 0; i < cnt; ++i)
+          ASSERT_EQ(acc[i], ref[i]) << isa_name(tier) << " inplace i=" << i;
+      }
+    }
   }
 }
 
-TEST_P(ReduceKernel, AllShapesProduceElementwiseResults) {
+TEST_P(ReduceKernel, ParityWithScalarReferenceUnderEveryTier) {
   const auto [d, op] = GetParam();
   switch (d) {
     case Datatype::u8: run_combo<std::uint8_t>(op, d); break;
@@ -95,7 +182,38 @@ INSTANTIATE_TEST_SUITE_P(AllCombos, ReduceKernel,
                                   std::string(op_name(info.param.op));
                          });
 
-TEST(ReduceKernelDav, ThreeBytesPerPayloadByte) {
+TEST(ReduceKernelTiers, FloatSumsAreBitIdenticalAcrossTiersAndStoreTypes) {
+  // Mixed-magnitude values make float addition order-sensitive: if any
+  // tier or store path reassociated the fold, some lane would differ.
+  const std::size_t cnt = 4099;
+  constexpr int m = 5;
+  std::vector<std::vector<double>> bufs(m, std::vector<double>(cnt));
+  for (int k = 0; k < m; ++k)
+    for (std::size_t i = 0; i < cnt; ++i)
+      bufs[k][i] = (1.0 + static_cast<double>((i * 7 + k) % 97)) *
+                   std::pow(10.0, static_cast<double>((k * 5 + i) % 13) - 6);
+  std::vector<const void*> srcs;
+  for (auto& b : bufs) srcs.push_back(b.data());
+
+  std::vector<double> first;
+  for (yc::IsaTier tier : runnable_tiers()) {
+    ScopedIsa scoped(tier);
+    for (bool nt : {false, true}) {
+      std::vector<double> out(cnt, -1.0);
+      yc::reduce_out_multi(out.data(), srcs.data(), m, cnt * sizeof(double),
+                           Datatype::f64, ReduceOp::sum, nt);
+      if (first.empty()) {
+        first = out;
+      } else {
+        ASSERT_EQ(0, std::memcmp(out.data(), first.data(),
+                                 cnt * sizeof(double)))
+            << isa_name(tier) << " nt=" << nt;
+      }
+    }
+  }
+}
+
+TEST(ReduceKernelDav, TwoOperandIsThreeBytesPerPayloadByte) {
   const std::size_t n = 64 * 1024;
   std::vector<float> a(n / 4), b(n / 4), out(n / 4);
   yc::DavScope s1;
@@ -108,46 +226,69 @@ TEST(ReduceKernelDav, ThreeBytesPerPayloadByte) {
   EXPECT_EQ(s2.delta().total(), 3 * n);
 }
 
-TEST(ReduceOutMulti, MatchesSequentialChainForEveryFanIn) {
-  const std::size_t cnt = 10007;
-  constexpr int kMaxM = 7;
-  std::vector<std::vector<double>> bufs(kMaxM, std::vector<double>(cnt));
-  for (int m = 0; m < kMaxM; ++m)
-    for (std::size_t i = 0; i < cnt; ++i)
-      bufs[m][i] = static_cast<double>((m + 1) * 3 + i % 11);
+TEST(ReduceKernelDav, SinglePassMultiBooksMPlus1BytesPerPayloadByte) {
+  // The single-pass kernel reads each of the m sources once and stores
+  // once: exactly (m+1)*n for every fan-in, including the generic m > 8
+  // path and the m = 1 copy degenerate.
+  const std::size_t n = 256 * 1024;
+  constexpr int kMaxM = 9;
+  std::vector<std::vector<float>> bufs(kMaxM,
+                                       std::vector<float>(n / 4, 1.0f));
+  std::vector<float> out(n / 4);
   for (int m = 1; m <= kMaxM; ++m) {
     std::vector<const void*> srcs;
-    for (int x = 0; x < m; ++x) srcs.push_back(bufs[x].data());
-    std::vector<double> out(cnt, -1);
-    yc::reduce_out_multi(out.data(), srcs.data(), m, cnt * sizeof(double),
-                         Datatype::f64, ReduceOp::sum, m % 2 == 0);
-    for (std::size_t i = 0; i < cnt; ++i) {
-      double expect = 0;
-      for (int x = 0; x < m; ++x) expect += bufs[x][i];
-      ASSERT_DOUBLE_EQ(out[i], expect) << "m=" << m << " i=" << i;
-    }
+    for (int k = 0; k < m; ++k) srcs.push_back(bufs[k].data());
+    yc::DavScope scope;
+    yc::reduce_out_multi(out.data(), srcs.data(), m, n, Datatype::f32,
+                         ReduceOp::sum, false);
+    EXPECT_EQ(scope.delta().loads, static_cast<std::uint64_t>(m) * n) << m;
+    EXPECT_EQ(scope.delta().stores, n) << m;
+    EXPECT_EQ(scope.delta().total(), static_cast<std::uint64_t>(m + 1) * n)
+        << m;
   }
 }
 
-TEST(ReduceOutMulti, InPlaceFirstOperandIsSupported) {
-  // The socket stage writes its result over srcs[0]; this must be exact.
-  const std::size_t cnt = 4099;
-  std::vector<float> s0(cnt, 1.0f), s1(cnt, 2.0f), s2(cnt, 4.0f);
-  const void* srcs[] = {s0.data(), s1.data(), s2.data()};
-  yc::reduce_out_multi(s0.data(), srcs, 3, cnt * sizeof(float), Datatype::f32,
+TEST(ReduceKernelDav, SinglePassBeatsPairwiseChain) {
+  // The pairwise chain this kernel replaced costs 3n(m-1); at m = 4 that
+  // is 9n vs the fused 5n.
+  const std::size_t n = 256 * 1024;
+  constexpr int m = 4;
+  std::vector<std::vector<float>> bufs(m, std::vector<float>(n / 4, 1.0f));
+  std::vector<float> out(n / 4);
+
+  std::vector<const void*> srcs;
+  for (auto& b : bufs) srcs.push_back(b.data());
+  yc::DavScope fused;
+  yc::reduce_out_multi(out.data(), srcs.data(), m, n, Datatype::f32,
                        ReduceOp::sum, false);
-  for (std::size_t i = 0; i < cnt; ++i) ASSERT_EQ(s0[i], 7.0f);
+  const auto fused_total = fused.delta().total();
+
+  yc::DavScope chain;
+  yc::reduce_out(out.data(), bufs[0].data(), bufs[1].data(), n, Datatype::f32,
+                 ReduceOp::sum, false);
+  for (int k = 2; k < m; ++k)
+    yc::reduce_inplace(out.data(), bufs[k].data(), n, Datatype::f32,
+                       ReduceOp::sum);
+  const auto chain_total = chain.delta().total();
+
+  EXPECT_EQ(fused_total, 5 * n);
+  EXPECT_EQ(chain_total, 9 * n);
+  EXPECT_LT(fused_total, chain_total);
 }
 
-TEST(ReduceOutMulti, PairwiseChainDavMatchesPaperAccounting) {
-  // (m-1) two-operand reductions of 3 bytes per payload byte each.
-  const std::size_t n = 256 * 1024;
-  std::vector<float> b0(n / 4), b1(n / 4), b2(n / 4), b3(n / 4), out(n / 4);
-  const void* srcs[] = {b0.data(), b1.data(), b2.data(), b3.data()};
-  yc::DavScope scope;
-  yc::reduce_out_multi(out.data(), srcs, 4, n, Datatype::f32, ReduceOp::sum,
-                       false);
-  EXPECT_EQ(scope.delta().total(), 3 * n * 3);
+TEST(ReduceOutMulti, InPlaceFirstOperandIsSupported) {
+  // The socket stage writes its result over srcs[0]; this must be exact
+  // under every tier.
+  for (yc::IsaTier tier : runnable_tiers()) {
+    ScopedIsa scoped(tier);
+    const std::size_t cnt = 4099;
+    std::vector<float> s0(cnt, 1.0f), s1(cnt, 2.0f), s2(cnt, 4.0f);
+    const void* srcs[] = {s0.data(), s1.data(), s2.data()};
+    yc::reduce_out_multi(s0.data(), srcs, 3, cnt * sizeof(float),
+                         Datatype::f32, ReduceOp::sum, false);
+    for (std::size_t i = 0; i < cnt; ++i)
+      ASSERT_EQ(s0[i], 7.0f) << isa_name(tier) << " i=" << i;
+  }
 }
 
 TEST(ReduceOutMulti, SingleSourceDegeneratesToCopy) {
@@ -156,6 +297,24 @@ TEST(ReduceOutMulti, SingleSourceDegeneratesToCopy) {
   yc::reduce_out_multi(out.data(), srcs, 1, 4000, Datatype::i32,
                        ReduceOp::sum, true);
   EXPECT_EQ(out, src);
+}
+
+TEST(ReduceOutMulti, U8StreamingStorePathIsExact) {
+  // Regression: the u8 path used to drop the nt_store flag instead of
+  // routing it through the dispatch table.
+  for (yc::IsaTier tier : runnable_tiers()) {
+    ScopedIsa scoped(tier);
+    const std::size_t cnt = 100003;
+    std::vector<std::uint8_t> a(cnt), b(cnt), out(cnt, 0);
+    for (std::size_t i = 0; i < cnt; ++i) {
+      a[i] = static_cast<std::uint8_t>(i * 31 + 7);
+      b[i] = static_cast<std::uint8_t>(i * 17 + 3);
+    }
+    yc::reduce_out(out.data(), a.data(), b.data(), cnt, Datatype::u8,
+                   ReduceOp::max, /*nt_store=*/true);
+    for (std::size_t i = 0; i < cnt; ++i)
+      ASSERT_EQ(out[i], std::max(a[i], b[i])) << isa_name(tier) << " " << i;
+  }
 }
 
 }  // namespace
