@@ -1,0 +1,294 @@
+#include "yhccl/analysis/hb.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#include "yhccl/common/error.hpp"
+
+namespace yhccl::analysis {
+
+namespace detail {
+thread_local HbContext tl_hb;
+}  // namespace detail
+
+void hb_set_context(HbChecker* chk, int rank) noexcept {
+  detail::tl_hb.chk = chk;
+  detail::tl_hb.rank = rank;
+}
+
+bool hb_env_enabled() noexcept {
+  const char* v = std::getenv("YHCCL_CHECK");
+  return v != nullptr && std::strstr(v, "hb") != nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Locking: tiny test-and-set spinlocks.  They guard only checker metadata
+// (a sync-object clock or one shadow cell), held for a handful of word
+// operations — contention is negligible next to the copies being checked.
+// ---------------------------------------------------------------------------
+
+class HbChecker::SpinLockGuard {
+ public:
+  explicit SpinLockGuard(std::atomic<std::uint32_t>& l) noexcept : l_(l) {
+    std::uint32_t expect = 0;
+    while (!l_.compare_exchange_weak(expect, 1, std::memory_order_acquire,
+                                     std::memory_order_relaxed)) {
+      expect = 0;
+#if defined(__x86_64__) || defined(__i386__)
+      __builtin_ia32_pause();
+#endif
+    }
+  }
+  ~SpinLockGuard() { l_.store(0, std::memory_order_release); }
+  SpinLockGuard(const SpinLockGuard&) = delete;
+  SpinLockGuard& operator=(const SpinLockGuard&) = delete;
+
+ private:
+  std::atomic<std::uint32_t>& l_;
+};
+
+// ---------------------------------------------------------------------------
+// Sizing / construction
+// ---------------------------------------------------------------------------
+
+std::size_t HbChecker::cell_shift_for(std::size_t region_bytes) noexcept {
+  // Cacheline cells by default (collective slices are cacheline-aligned,
+  // so concurrent same-cell writers genuinely false-share); widen only
+  // when a region is so large the cell table would blow the arena cap.
+  std::size_t shift = 6;
+  while ((region_bytes >> shift) > kMaxCellsPerRegion) ++shift;
+  return shift;
+}
+
+std::size_t HbChecker::ncells_for(std::size_t region_bytes) noexcept {
+  if (region_bytes == 0) return 0;
+  const std::size_t shift = cell_shift_for(region_bytes);
+  return ((region_bytes - 1) >> shift) + 1;
+}
+
+std::size_t HbChecker::required_bytes(std::size_t total_cells) noexcept {
+  return sizeof(HbChecker) + total_cells * sizeof(ShadowCell);
+}
+
+HbChecker::HbChecker(int nranks, std::size_t total_cells)
+    : nranks_(nranks), total_cells_(total_cells) {
+  // Epoch clk 0 means "no access recorded", so every rank starts at 1.
+  for (int r = 0; r < kMaxHbRanks; ++r) {
+    std::memset(rank_vc_[r].c, 0, sizeof(rank_vc_[r].c));
+    rank_vc_[r].c[r] = 1;
+  }
+  for (auto& l : cell_locks_) l.store(0, std::memory_order_relaxed);
+}
+
+HbChecker* HbChecker::create(void* mem, std::size_t bytes, int nranks,
+                             std::size_t total_cells) {
+  YHCCL_REQUIRE(nranks >= 1 && nranks <= kMaxHbRanks,
+                "hb checker rank count out of range");
+  YHCCL_REQUIRE(bytes >= required_bytes(total_cells),
+                "hb checker arena too small");
+  auto* chk = new (mem) HbChecker(nranks, total_cells);
+  // Shadow cells are zero-initialised lazily by the kernel (fresh
+  // MAP_ANONYMOUS pages), which is exactly the "no access" encoding.
+  return chk;
+}
+
+void HbChecker::add_region(const void* base, std::size_t len,
+                           const char* name) {
+  if (len == 0) return;
+  const std::size_t need = ncells_for(len);
+  if (nregions_ >= kMaxRegions || cells_used_ + need > total_cells_) {
+    std::fprintf(stderr,
+                 "[yhccl hb] warning: shadow arena exhausted, region '%s' "
+                 "(%zu bytes) is NOT race-checked\n",
+                 name, len);
+    return;
+  }
+  Region& r = regions_[nregions_];
+  r.base = static_cast<const std::byte*>(base);
+  r.len = len;
+  r.shift = static_cast<std::uint32_t>(cell_shift_for(len));
+  r.first_cell = cells_used_;
+  r.ncells = need;
+  std::snprintf(r.name, sizeof(r.name), "%s", name);
+  cells_used_ += need;
+  ++nregions_;  // ordinary store: regions are added before ranks start
+}
+
+// ---------------------------------------------------------------------------
+// Vector-clock plumbing
+// ---------------------------------------------------------------------------
+
+void HbChecker::vc_join(VectorClock& into, const VectorClock& from,
+                        int n) noexcept {
+  for (int i = 0; i < n; ++i)
+    if (from.c[i] > into.c[i]) into.c[i] = from.c[i];
+}
+
+HbChecker::SyncClock* HbChecker::sync_slot(const void* obj) {
+  const auto key = reinterpret_cast<std::uintptr_t>(obj);
+  // Fibonacci hash of the address, then linear probing.
+  std::size_t idx =
+      (key * 0x9E3779B97F4A7C15ull >> 32) & (kSyncSlots - 1);
+  for (std::size_t probe = 0; probe < kSyncSlots; ++probe) {
+    SyncClock& s = sync_[idx];
+    std::uintptr_t cur = s.key.load(std::memory_order_acquire);
+    if (cur == key) return &s;
+    if (cur == 0) {
+      std::uintptr_t expect = 0;
+      if (s.key.compare_exchange_strong(expect, key,
+                                        std::memory_order_acq_rel))
+        return &s;
+      if (expect == key) return &s;
+    }
+    idx = (idx + 1) & (kSyncSlots - 1);
+  }
+  // Table full: further edges cannot be modelled, so any race report from
+  // here on could be a false positive.  Disable reporting, loudly.
+  if (!degraded_.exchange(true, std::memory_order_acq_rel))
+    std::fprintf(stderr,
+                 "[yhccl hb] warning: sync-object table full (%zu); race "
+                 "checking disabled for this team\n",
+                 kSyncSlots);
+  return nullptr;
+}
+
+void HbChecker::on_release(int rank, const void* obj) {
+  SyncClock* s = sync_slot(obj);
+  if (s == nullptr) return;
+  VectorClock& mine = rank_vc_[rank];
+  {
+    SpinLockGuard g(s->lock);
+    vc_join(s->vc, mine, nranks_);
+  }
+  ++mine.c[rank];
+}
+
+void HbChecker::on_acquire(int rank, const void* obj) {
+  SyncClock* s = sync_slot(obj);
+  if (s == nullptr) return;
+  VectorClock& mine = rank_vc_[rank];
+  SpinLockGuard g(s->lock);
+  vc_join(mine, s->vc, nranks_);
+}
+
+void HbChecker::on_acq_rel(int rank, const void* obj) {
+  SyncClock* s = sync_slot(obj);
+  if (s == nullptr) return;
+  VectorClock& mine = rank_vc_[rank];
+  {
+    SpinLockGuard g(s->lock);
+    vc_join(mine, s->vc, nranks_);
+    vc_join(s->vc, mine, nranks_);
+  }
+  ++mine.c[rank];
+}
+
+// ---------------------------------------------------------------------------
+// Data-access checking
+// ---------------------------------------------------------------------------
+
+const HbChecker::Region* HbChecker::find_region(
+    const void* p) const noexcept {
+  const auto* b = static_cast<const std::byte*>(p);
+  for (std::size_t i = 0; i < nregions_; ++i) {
+    const Region& r = regions_[i];
+    if (b >= r.base && b < r.base + r.len) return &r;
+  }
+  return nullptr;
+}
+
+void HbChecker::report_race(const Region& reg, std::size_t cell_index,
+                            int rank, std::uint32_t clk, const char* site,
+                            bool cur_is_write, Epoch prev, bool prev_is_write,
+                            const char* prev_site, std::size_t lo,
+                            std::size_t hi) {
+  race_count_.fetch_add(1, std::memory_order_acq_rel);
+  SpinLockGuard g(report_lock_);
+  if (report_[0] != '\0') return;  // keep the first report only
+  const std::size_t cell_bytes = std::size_t{1} << reg.shift;
+  const std::size_t off = (cell_index - reg.first_cell) * cell_bytes;
+  std::snprintf(
+      report_, sizeof(report_),
+      "happens-before violation in region '%s': bytes [+0x%zx,+0x%zx) "
+      "(shadow cell %zu, %zu B granularity)\n"
+      "  current:  rank %d epoch %u %s at %s\n"
+      "  previous: rank %u epoch %u %s at %s\n"
+      "  no release/acquire edge orders these accesses "
+      "(missing flag publish/wait, fence, or barrier)",
+      reg.name, off + lo, off + hi, cell_index - reg.first_cell, cell_bytes,
+      rank, clk, cur_is_write ? "write" : "read", site, prev.rank, prev.clk,
+      prev_is_write ? "write" : "read", prev_site);
+  std::fprintf(stderr, "[yhccl hb] %s\n", report_);
+}
+
+void HbChecker::on_access(int rank, const void* p, std::size_t n,
+                          bool is_write, const char* site) {
+  if (n == 0 || degraded_.load(std::memory_order_relaxed)) return;
+  const Region* reg = find_region(p);
+  if (reg == nullptr) return;
+  const auto* b = static_cast<const std::byte*>(p);
+  // Clamp to the region (an access may straddle its end; the overflow part
+  // is someone else's problem — likely another region or untracked).
+  const std::size_t o0 = static_cast<std::size_t>(b - reg->base);
+  const std::size_t o1 = o0 + n < reg->len ? o0 + n : reg->len;
+  const std::size_t cell_bytes = std::size_t{1} << reg->shift;
+  VectorClock& mine = rank_vc_[rank];
+  const std::uint32_t my_clk = mine.c[rank];
+
+  for (std::size_t c = o0 >> reg->shift; c <= (o1 - 1) >> reg->shift; ++c) {
+    const std::size_t cell_start = c << reg->shift;
+    const std::size_t lo = o0 > cell_start ? o0 - cell_start : 0;
+    const std::size_t hi =
+        (o1 < cell_start + cell_bytes ? o1 - cell_start : cell_bytes);
+    const std::size_t ci = reg->first_cell + c;
+    ShadowCell& cell = cells()[ci];
+    SpinLockGuard g(cell_locks_[ci & (kStripes - 1)]);
+
+    // Any access conflicts with an unordered previous *write*.
+    const Epoch w = cell.write;
+    if (w.clk != 0 && w.rank != static_cast<std::uint32_t>(rank) &&
+        w.clk > mine.c[w.rank] && lo < cell.whi && cell.wlo < hi) {
+      report_race(*reg, ci, rank, my_clk, site, is_write, w,
+                  /*prev_is_write=*/true, cell.wsite, lo, hi);
+    }
+    if (is_write) {
+      // A write additionally conflicts with every unordered previous read.
+      for (int r = 0; r < nranks_; ++r) {
+        if (r == rank) continue;
+        const ReadRec rr = cell.reads[r];
+        if (rr.clk != 0 && rr.clk > mine.c[r] && lo < rr.hi && rr.lo < hi) {
+          report_race(*reg, ci, rank, my_clk, site, true,
+                      Epoch{static_cast<std::uint32_t>(r), rr.clk},
+                      /*prev_is_write=*/false, cell.rsite, lo, hi);
+          break;  // one read-conflict report per cell is plenty
+        }
+      }
+      cell.write = Epoch{static_cast<std::uint32_t>(rank), my_clk};
+      cell.wlo = static_cast<std::uint16_t>(lo);
+      cell.whi = static_cast<std::uint16_t>(hi);
+      cell.wsite = site;
+    } else {
+      ReadRec& rr = cell.reads[rank];
+      if (rr.clk == my_clk) {
+        // Same epoch: merge ranges so split reads keep their footprint.
+        if (lo < rr.lo) rr.lo = static_cast<std::uint16_t>(lo);
+        if (hi > rr.hi) rr.hi = static_cast<std::uint16_t>(hi);
+      } else {
+        rr = ReadRec{my_clk, static_cast<std::uint16_t>(lo),
+                     static_cast<std::uint16_t>(hi)};
+      }
+      cell.rsite = site;
+    }
+  }
+}
+
+std::string HbChecker::first_report() const {
+  // const_cast: the lock is mutable state guarding the report buffer.
+  auto& lock = const_cast<std::atomic<std::uint32_t>&>(report_lock_);
+  SpinLockGuard g(lock);
+  return std::string(report_);
+}
+
+}  // namespace yhccl::analysis

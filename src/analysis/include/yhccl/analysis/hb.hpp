@@ -1,0 +1,209 @@
+// Vector-clock happens-before checker for the shared-memory protocols.
+//
+// TSan cannot see across fork(): its shadow state is process-private, so a
+// ProcessTeam (the paper's real deployment model) gets zero race coverage
+// from it.  This checker closes that gap: every byte of its state lives in
+// the team's shared mapping, so release/acquire edges established by one
+// rank *process* are visible to the others exactly like the protocol data
+// they guard.
+//
+// The model is classic FastTrack-style vector clocks:
+//   * every rank r owns a vector clock C_r; C_r[r] is its current epoch,
+//   * a release on sync object o joins C_r into o's clock L_o and bumps
+//     C_r[r]; an acquire joins L_o into C_r; an acq_rel RMW does both
+//     (matching the release-sequence semantics of fetch_add),
+//   * tracked data regions (the collective scratch arena and the shared
+//     heap) carry region-level shadow cells: each cell remembers the last
+//     write epoch and, per rank, the last read epoch, plus the byte range
+//     inside the cell each access touched.  A new access races iff it
+//     byte-overlaps a recorded conflicting access whose epoch is NOT
+//     ordered before the accessor's clock.
+//
+// Everything is a deliberate over-approximation in the sound direction
+// where it matters for this codebase: sync-object clocks only accumulate
+// (extra happens-before edges are never invented — a joined edge always
+// corresponds to a real release/acquire pair on that object), while shadow
+// cells keep only the most recent write and one read per rank (older
+// accesses can be forgotten → missed races, never false alarms).
+//
+// Enabling: set YHCCL_CHECK=hb in the environment (read at Team
+// construction) or force TeamConfig::hb_check.  Disabled, every hook is a
+// single thread-local load + predicted-not-taken branch — nothing else.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace yhccl::analysis {
+
+class HbChecker;
+
+namespace detail {
+/// Per-thread (and, post-fork, per-process) checker context installed by
+/// Team::run for the duration of the SPMD function.  Null ⇒ every hook is
+/// a no-op.
+struct HbContext {
+  HbChecker* chk = nullptr;
+  int rank = 0;
+};
+extern thread_local HbContext tl_hb;
+}  // namespace detail
+
+/// Shared-memory happens-before checker.  Placement-constructed by Team
+/// inside the team mapping via create(); never instantiated directly.
+class HbChecker {
+ public:
+  /// Ranks the checker can model.  Teams larger than this run with the
+  /// checker disabled (a one-line warning is printed).
+  static constexpr int kMaxHbRanks = 32;
+  /// Cap on shadow cells per tracked region; granularity widens above it.
+  static constexpr std::size_t kMaxCellsPerRegion = std::size_t{1} << 18;
+  static constexpr std::size_t kMaxRegions = 8;
+  static constexpr std::size_t kSyncSlots = 4096;
+
+  // ---- sizing (all callable before construction) --------------------------
+  static std::size_t cell_shift_for(std::size_t region_bytes) noexcept;
+  static std::size_t ncells_for(std::size_t region_bytes) noexcept;
+  static std::size_t required_bytes(std::size_t total_cells) noexcept;
+
+  /// Placement-construct a checker in `mem` (inside a MAP_SHARED mapping,
+  /// before fork) with room for `total_cells` shadow cells.
+  static HbChecker* create(void* mem, std::size_t bytes, int nranks,
+                           std::size_t total_cells);
+
+  /// Register a data region for shadow tracking.  Silently ignored (with a
+  /// warning) once kMaxRegions or the cell arena is exhausted.
+  void add_region(const void* base, std::size_t len, const char* name);
+
+  // ---- event hooks (called via the free functions below) -------------------
+  void on_release(int rank, const void* obj);
+  void on_acquire(int rank, const void* obj);
+  void on_acq_rel(int rank, const void* obj);
+  void on_access(int rank, const void* p, std::size_t n, bool is_write,
+                 const char* site);
+
+  /// Total races recorded since construction (monotone, cross-process).
+  std::uint64_t races() const noexcept {
+    return race_count_.load(std::memory_order_acquire);
+  }
+  /// Human-readable report of the first race (empty if none).
+  std::string first_report() const;
+
+  int nranks() const noexcept { return nranks_; }
+
+ private:
+  HbChecker(int nranks, std::size_t total_cells);
+
+  struct VectorClock {
+    std::uint32_t c[kMaxHbRanks];
+  };
+
+  /// (rank, clock) pair identifying one access.  clk == 0 ⇒ empty.
+  struct Epoch {
+    std::uint32_t rank;
+    std::uint32_t clk;
+  };
+
+  /// Last-read record for one rank inside one cell.
+  struct ReadRec {
+    std::uint32_t clk;  // 0 ⇒ none
+    std::uint16_t lo, hi;
+  };
+
+  /// Shadow state for one cell (2^shift bytes) of a tracked region.
+  struct ShadowCell {
+    Epoch write;             // last write
+    std::uint16_t wlo, whi;  // byte range of that write within the cell
+    const char* wsite;
+    const char* rsite;  // site of the most recent read (any rank)
+    ReadRec reads[kMaxHbRanks];
+  };
+
+  /// Open-addressed clock table entry for one sync object (keyed by its
+  /// address — stable across fork because the mapping precedes it).
+  struct SyncClock {
+    std::atomic<std::uintptr_t> key{0};
+    std::atomic<std::uint32_t> lock{0};
+    VectorClock vc{};
+  };
+
+  struct Region {
+    const std::byte* base = nullptr;
+    std::size_t len = 0;
+    std::uint32_t shift = 0;
+    std::size_t first_cell = 0;  // index into the cell arena
+    std::size_t ncells = 0;
+    char name[24] = {};
+  };
+
+  static void vc_join(VectorClock& into, const VectorClock& from,
+                      int n) noexcept;
+
+  SyncClock* sync_slot(const void* obj);
+  const Region* find_region(const void* p) const noexcept;
+  void report_race(const Region& reg, std::size_t cell_index, int rank,
+                   std::uint32_t clk, const char* site, bool cur_is_write,
+                   Epoch prev, bool prev_is_write, const char* prev_site,
+                   std::size_t lo, std::size_t hi);
+
+  class SpinLockGuard;
+
+  int nranks_ = 0;
+  std::size_t total_cells_ = 0;
+  std::size_t cells_used_ = 0;
+  std::size_t nregions_ = 0;
+  std::atomic<bool> degraded_{false};  ///< sync table full: stop reporting
+  std::atomic<std::uint64_t> race_count_{0};
+  std::atomic<std::uint32_t> report_lock_{0};
+  char report_[1024] = {};
+
+  alignas(64) VectorClock rank_vc_[kMaxHbRanks];
+  Region regions_[kMaxRegions];
+  SyncClock sync_[kSyncSlots];
+  static constexpr std::size_t kStripes = 1024;
+  std::atomic<std::uint32_t> cell_locks_[kStripes];
+  // Flexible tail: total_cells_ ShadowCells follow the struct.
+  ShadowCell* cells() noexcept { return reinterpret_cast<ShadowCell*>(this + 1); }
+};
+
+/// Install/clear the calling thread's checker context (Team::run does this
+/// around the SPMD function; tests may use it directly).
+void hb_set_context(HbChecker* chk, int rank) noexcept;
+
+// ---- instrumentation entry points -----------------------------------------
+// One thread-local load + branch when the checker is off; safe to call from
+// noexcept code (race reports are recorded, never thrown from here).
+
+inline void hb_release(const void* obj) noexcept {
+  auto& t = detail::tl_hb;
+  if (t.chk != nullptr) t.chk->on_release(t.rank, obj);
+}
+
+inline void hb_acquire(const void* obj) noexcept {
+  auto& t = detail::tl_hb;
+  if (t.chk != nullptr) t.chk->on_acquire(t.rank, obj);
+}
+
+/// For fetch_add-style RMWs with acq_rel ordering (joins both ways).
+inline void hb_acq_rel(const void* obj) noexcept {
+  auto& t = detail::tl_hb;
+  if (t.chk != nullptr) t.chk->on_acq_rel(t.rank, obj);
+}
+
+inline void hb_read(const void* p, std::size_t n, const char* site) noexcept {
+  auto& t = detail::tl_hb;
+  if (t.chk != nullptr) t.chk->on_access(t.rank, p, n, /*is_write=*/false, site);
+}
+
+inline void hb_write(const void* p, std::size_t n, const char* site) noexcept {
+  auto& t = detail::tl_hb;
+  if (t.chk != nullptr) t.chk->on_access(t.rank, p, n, /*is_write=*/true, site);
+}
+
+/// Does the process environment ask for the checker (YHCCL_CHECK contains
+/// "hb")?  Re-read on every call so tests can setenv() between teams.
+bool hb_env_enabled() noexcept;
+
+}  // namespace yhccl::analysis

@@ -1,5 +1,6 @@
 #include "yhccl/copy/reduce_kernels.hpp"
 
+#include "yhccl/analysis/hb.hpp"
 #include "yhccl/common/error.hpp"
 #include "yhccl/copy/dav.hpp"
 #include "yhccl/copy/dispatch.hpp"
@@ -13,6 +14,8 @@ namespace yhccl::copy {
 
 void reduce_inplace(void* dst, const void* src, std::size_t n, Datatype d,
                     ReduceOp op) noexcept {
+  analysis::hb_read(src, n, "reduce_inplace(src)");
+  analysis::hb_write(dst, n, "reduce_inplace(dst)");
   const void* srcs[2] = {dst, src};
   const KernelTable& k = kernels();
   k.reduce(dst, srcs, 2, n, d, op, /*nt_store=*/false);
@@ -22,6 +25,9 @@ void reduce_inplace(void* dst, const void* src, std::size_t n, Datatype d,
 
 void reduce_out(void* out, const void* a, const void* b, std::size_t n,
                 Datatype d, ReduceOp op, bool nt_store) noexcept {
+  analysis::hb_read(a, n, "reduce_out(a)");
+  analysis::hb_read(b, n, "reduce_out(b)");
+  analysis::hb_write(out, n, "reduce_out(out)");
   const void* srcs[2] = {a, b};
   const KernelTable& k = kernels();
   k.reduce(out, srcs, 2, n, d, op, nt_store);
@@ -42,6 +48,9 @@ void reduce_out_multi(void* out, const void* const* srcs, int m,
       t_copy(out, srcs[0], n);
     return;
   }
+  for (int i = 0; i < m; ++i)
+    analysis::hb_read(srcs[i], n, "reduce_out_multi(src)");
+  analysis::hb_write(out, n, "reduce_out_multi(out)");
   const KernelTable& k = kernels();
   k.reduce(out, srcs, m, n, d, op, nt_store);
   kernel_count_add(k.tier);

@@ -29,12 +29,28 @@ struct RemoteBuf {
   int pid = 0;  ///< owning process (== getpid() for thread-backed teams)
 };
 
-/// Registry entry living in team shared memory.
+/// Registry entry living in team shared memory: a single-writer seqlock
+/// (Boehm, "Can seqlocks get along with programming language memory
+/// models?").  Only the owning rank ever writes its entry; concurrent
+/// readers take a consistent snapshot without blocking the writer:
+///
+///   writer: seq = odd (relaxed)          readers: s1 = seq (acquire)
+///           fence(release)                        retry while s1 is odd
+///           fields    (relaxed)                   read fields (relaxed)
+///           seq = even (release)                  fence(acquire)
+///                                                 retry unless seq == s1
+///
+/// The begin-store + release fence order the odd marker before the field
+/// stores, so a reader that observes any new field value must also observe
+/// an odd or advanced seq and retry; the final release store publishes the
+/// fields to any reader whose first load returns the new even value.  The
+/// previous revision had no odd/even protocol at all — a reader could
+/// return a half-updated descriptor (caught by the hb checker audit).
 struct RemoteWindow {
-  std::atomic<std::uint64_t> seq{0};
-  const void* ptr = nullptr;
-  std::size_t bytes = 0;
-  int pid = 0;
+  std::atomic<std::uint64_t> seq{0};  ///< odd ⇔ write in progress
+  std::atomic<const void*> ptr{nullptr};
+  std::atomic<std::size_t> bytes{0};
+  std::atomic<int> pid{0};
 };
 
 enum class RemoteMode {

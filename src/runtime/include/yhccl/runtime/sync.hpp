@@ -12,6 +12,8 @@
 #include <atomic>
 #include <cstdint>
 
+#include "yhccl/analysis/hb.hpp"
+#include "yhccl/common/error.hpp"
 #include "yhccl/common/types.hpp"
 #include "yhccl/runtime/sync_timeout.hpp"
 
@@ -51,6 +53,7 @@ inline void spin_wait_ge(const std::atomic<std::uint64_t>& f,
                          std::uint64_t target) {
   SpinGuard guard("progress-flag wait");
   while (f.load(std::memory_order_acquire) < target) guard.relax();
+  analysis::hb_acquire(&f);
 }
 
 /// Spin until `f == target` (acquire).
@@ -58,6 +61,7 @@ inline void spin_wait_eq(const std::atomic<std::uint64_t>& f,
                          std::uint64_t target) {
   SpinGuard guard("progress-flag wait");
   while (f.load(std::memory_order_acquire) != target) guard.relax();
+  analysis::hb_acquire(&f);
 }
 
 /// Sense-reversing central barrier.  Construct in shared memory; each
@@ -78,14 +82,24 @@ inline void barrier_init(BarrierState& b, std::uint32_t n) noexcept {
 /// starts at 0 and is only ever passed to this barrier.
 inline void barrier_arrive(BarrierState& b, std::uint32_t& local_sense) {
   local_sense ^= 1u;
+  // HB model: the acq_rel RMW joins this rank with every earlier arriver
+  // (release sequence on `arrived`); the winner thus carries the join of
+  // all participants into `sense`, which every waiter acquires.  The model
+  // release must precede the real fetch_add (so whoever observes the count
+  // also finds the clock), and the winner re-acquires after observing the
+  // full count to pick up ranks whose model release ran after its own.
+  analysis::hb_acq_rel(&b.arrived);
   if (b.arrived.fetch_add(1, std::memory_order_acq_rel) + 1 ==
       b.nparticipants) {
+    analysis::hb_acquire(&b.arrived);
     b.arrived.store(0, std::memory_order_relaxed);
+    analysis::hb_release(&b.sense);
     b.sense.store(local_sense, std::memory_order_release);
   } else {
     SpinGuard guard("barrier wait");
     while (b.sense.load(std::memory_order_acquire) != local_sense)
       guard.relax();
+    analysis::hb_acquire(&b.sense);
   }
 }
 
@@ -94,19 +108,34 @@ inline void barrier_arrive(BarrierState& b, std::uint32_t& local_sense) {
 /// high rank counts (the synchronization cost the socket-aware MA design
 /// amortizes, §3.3).  State lives in shared memory; each participant keeps
 /// a private round-trip counter in its token.
+/// Most ranks any barrier (central or dissemination) can serve.  Kept in
+/// this header (rather than using rt::kMaxRanks from team.hpp) to avoid a
+/// header cycle; team.hpp static_asserts the two stay compatible.
+inline constexpr std::uint32_t kMaxBarrierRanks = 256;
+
 struct DisseminationBarrierState {
-  static constexpr int kMaxRounds = 9;  // 2^9 = 512 >= kMaxRanks
+  static constexpr int kMaxRounds = 9;
   /// flags[round][rank]: monotone counters.
-  PaddedFlag flags[kMaxRounds][256];
+  PaddedFlag flags[kMaxRounds][kMaxBarrierRanks];
   std::uint32_t nparticipants = 0;
 };
+
+// ceil(log2 n) rounds must fit: every participant count up to
+// kMaxBarrierRanks needs at most kMaxRounds pairwise-signal rounds.
+static_assert((1u << DisseminationBarrierState::kMaxRounds) >=
+                  kMaxBarrierRanks,
+              "dissemination round count does not cover kMaxBarrierRanks");
 
 struct DisseminationToken {
   std::uint64_t epoch = 0;
 };
 
 inline void dissemination_init(DisseminationBarrierState& b,
-                               std::uint32_t n) noexcept {
+                               std::uint32_t n) {
+  // n > kMaxBarrierRanks would pass silently here and overflow
+  // flags[round][kMaxBarrierRanks] during arrive — reject up front.
+  YHCCL_REQUIRE(n >= 1 && n <= kMaxBarrierRanks,
+                "dissemination barrier participant count out of range");
   b.nparticipants = n;
 }
 
@@ -117,6 +146,9 @@ inline void dissemination_arrive(DisseminationBarrierState& b, int rank,
   int round = 0;
   for (std::uint32_t dist = 1; dist < n; dist *= 2, ++round) {
     const auto peer = (static_cast<std::uint32_t>(rank) + dist) % n;
+    // acq_rel RMW: releases my clock into the peer's flag (the acquire
+    // side happens in spin_wait_ge below / on the peer).
+    analysis::hb_acq_rel(&b.flags[round][peer].v);
     b.flags[round][peer].v.fetch_add(1, std::memory_order_acq_rel);
     spin_wait_ge(b.flags[round][rank].v, tok.epoch);
   }

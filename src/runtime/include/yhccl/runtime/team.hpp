@@ -13,7 +13,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <string>
 
+#include "yhccl/analysis/hb.hpp"
 #include "yhccl/common/types.hpp"
 #include "yhccl/copy/cache_model.hpp"
 #include "yhccl/copy/dav.hpp"
@@ -28,6 +30,18 @@ inline constexpr int kMaxRanks = 256;
 inline constexpr int kMaxSockets = 16;
 inline constexpr int kRegistrySlots = 4;
 
+// The barriers in sync.hpp size their flag arrays independently (header
+// cycle); a team must never exceed what they can serve.
+static_assert(kMaxRanks <= static_cast<int>(kMaxBarrierRanks),
+              "barrier flag arrays cannot serve kMaxRanks participants");
+
+/// Whether a team runs the happens-before race checker (analysis/hb.hpp).
+enum class HbMode : std::uint8_t {
+  env,  ///< enabled iff YHCCL_CHECK contains "hb" (read at construction)
+  off,
+  on,
+};
+
 struct TeamConfig {
   int nranks = 4;
   int nsockets = 1;
@@ -35,6 +49,7 @@ struct TeamConfig {
   std::size_t scratch_bytes = 64u << 20;     ///< collective scratch (shm)
   std::size_t shared_heap_bytes = 48u << 20; ///< persistent user shm heap
   std::size_t chunk_bytes = 16u << 10;       ///< pt2pt eager chunk size
+  HbMode hb_check = HbMode::env;             ///< race-checker activation
 };
 
 /// Eager FIFO + rendezvous descriptor for one directed rank pair.
@@ -103,6 +118,15 @@ class Team {
   /// Max of the per-rank wall times (collectives finish at the slowest rank).
   double max_time() const;
 
+  // ---- happens-before race checker (YHCCL_CHECK=hb) -----------------------
+  /// Non-null when this team runs with the vector-clock checker.
+  analysis::HbChecker* hb_checker() noexcept { return hb_; }
+  /// Races recorded so far (0 when the checker is off).  Works from the
+  /// parent of a ProcessTeam too: the counter lives in the shared mapping.
+  std::uint64_t hb_races() const;
+  /// First race report, empty if none.
+  std::string hb_report() const;
+
   // -- internals used by RankCtx and the collectives ------------------------
   TeamShared& shared() noexcept { return *shared_; }
   std::byte* scratch_base() noexcept { return region_.data() + off_scratch_; }
@@ -121,7 +145,9 @@ class Team {
   std::size_t off_chan_data_ = 0;
   std::size_t off_heap_ = 0;
   std::size_t off_scratch_ = 0;
+  std::size_t off_hb_ = 0;
   TeamShared* shared_ = nullptr;
+  analysis::HbChecker* hb_ = nullptr;
 };
 
 /// Per-rank handle passed to SPMD functions; everything a collective needs.

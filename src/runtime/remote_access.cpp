@@ -6,6 +6,7 @@
 
 #include <cstring>
 
+#include "yhccl/analysis/hb.hpp"
 #include "yhccl/common/error.hpp"
 #include "yhccl/copy/dav.hpp"
 #include "yhccl/copy/kernels.hpp"
@@ -19,20 +20,27 @@ void PageLockTable::lock(std::uintptr_t src_page) {
   for (;;) {
     std::uint32_t expect = 0;
     if (l.compare_exchange_weak(expect, 1, std::memory_order_acquire,
-                                std::memory_order_relaxed))
+                                std::memory_order_relaxed)) {
+      analysis::hb_acquire(&l);
       return;
+    }
     guard.relax();
   }
 }
 
 void PageLockTable::unlock(std::uintptr_t src_page) noexcept {
-  locks_[(src_page / kPageBytes) % kLocks].v.store(
-      0, std::memory_order_release);
+  auto& l = locks_[(src_page / kPageBytes) % kLocks].v;
+  analysis::hb_release(&l);
+  l.store(0, std::memory_order_release);
 }
 
 namespace {
 
 void cross_process_read(void* dst, int pid, const void* src, std::size_t n) {
+  // Shared-mapping addresses are identical in every rank process, so the
+  // checker can validate the remote side of the syscall copy too.
+  analysis::hb_read(src, n, "process_vm_readv(src)");
+  analysis::hb_write(dst, n, "process_vm_readv(dst)");
   iovec local{dst, n};
   iovec remote{const_cast<void*>(src), n};
   const ssize_t got = process_vm_readv(pid, &local, 1, &remote, 1, 0);

@@ -3,8 +3,10 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <new>
 
+#include "yhccl/analysis/hb.hpp"
 #include "yhccl/common/error.hpp"
 #include "yhccl/common/time.hpp"
 #include "yhccl/copy/kernels.hpp"
@@ -13,7 +15,42 @@ namespace yhccl::rt {
 
 namespace {
 constexpr std::size_t kPageAlign = 4096;
+
+bool want_hb_checker(const TeamConfig& cfg) {
+  switch (cfg.hb_check) {
+    case HbMode::off: return false;
+    case HbMode::on: return true;
+    case HbMode::env: return analysis::hb_env_enabled();
+  }
+  return false;
 }
+
+/// Installs the checker context for the duration of one rank function and
+/// raises if that run recorded new happens-before violations.
+class HbRunScope {
+ public:
+  HbRunScope(analysis::HbChecker* chk, int rank) noexcept : chk_(chk) {
+    if (chk_ != nullptr) {
+      races_before_ = chk_->races();
+      analysis::hb_set_context(chk_, rank);
+    }
+  }
+  ~HbRunScope() { analysis::hb_set_context(nullptr, 0); }
+  HbRunScope(const HbRunScope&) = delete;
+  HbRunScope& operator=(const HbRunScope&) = delete;
+
+  /// Call on the success path only (failing ranks already throw).
+  void check() const {
+    if (chk_ != nullptr && chk_->races() > races_before_)
+      raise("hb checker: " + chk_->first_report());
+  }
+
+ private:
+  analysis::HbChecker* chk_;
+  std::uint64_t races_before_ = 0;
+};
+
+}  // namespace
 
 Team::Team(TeamConfig cfg) : cfg_(cfg), topo_(cfg.nranks, cfg.nsockets) {
   YHCCL_REQUIRE(cfg_.nranks >= 1 && cfg_.nranks <= kMaxRanks,
@@ -26,6 +63,22 @@ Team::Team(TeamConfig cfg) : cfg_(cfg), topo_(cfg.nranks, cfg.nsockets) {
   const std::size_t nchan = p * p;
   const std::size_t chan_data = FifoChannel::kSlots * cfg_.chunk_bytes;
 
+  bool with_hb = want_hb_checker(cfg_);
+  if (with_hb && cfg_.nranks > analysis::HbChecker::kMaxHbRanks) {
+    std::fprintf(stderr,
+                 "[yhccl hb] warning: team of %d ranks exceeds the "
+                 "checker's %d-rank model; running unchecked\n",
+                 cfg_.nranks, analysis::HbChecker::kMaxHbRanks);
+    with_hb = false;
+  }
+  // The checker shadows the two regions collective data flows through:
+  // the scratch arena (slice buffers) and the persistent shared heap.
+  const std::size_t hb_cells =
+      analysis::HbChecker::ncells_for(cfg_.scratch_bytes) +
+      analysis::HbChecker::ncells_for(cfg_.shared_heap_bytes);
+  const std::size_t hb_bytes =
+      with_hb ? analysis::HbChecker::required_bytes(hb_cells) : 0;
+
   std::size_t off = round_up(sizeof(TeamShared), kPageAlign);
   off_channels_ = off;
   off = round_up(off + nchan * sizeof(FifoChannel), kPageAlign);
@@ -35,6 +88,8 @@ Team::Team(TeamConfig cfg) : cfg_(cfg), topo_(cfg.nranks, cfg.nsockets) {
   off = round_up(off + cfg_.shared_heap_bytes, kPageAlign);
   off_scratch_ = off;
   off = round_up(off + cfg_.scratch_bytes, kPageAlign);
+  off_hb_ = off;
+  off = round_up(off + hb_bytes, kPageAlign);
 
   region_ = ShmRegion::create_anonymous(off);
   shared_ = new (region_.data()) TeamShared();
@@ -44,6 +99,15 @@ Team::Team(TeamConfig cfg) : cfg_(cfg), topo_(cfg.nranks, cfg.nsockets) {
                  static_cast<std::uint32_t>(topo_.socket_size(s)));
   auto* chans = reinterpret_cast<FifoChannel*>(region_.data() + off_channels_);
   for (std::size_t c = 0; c < nchan; ++c) new (chans + c) FifoChannel();
+
+  if (with_hb) {
+    hb_ = analysis::HbChecker::create(region_.data() + off_hb_, hb_bytes,
+                                      cfg_.nranks, hb_cells);
+    hb_->add_region(region_.data() + off_scratch_, cfg_.scratch_bytes,
+                    "coll-scratch");
+    hb_->add_region(region_.data() + off_heap_, cfg_.shared_heap_bytes,
+                    "shared-heap");
+  }
 }
 
 FifoChannel& Team::channel(int src, int dst) noexcept {
@@ -75,13 +139,23 @@ std::byte* Team::shared_alloc(std::size_t bytes, std::size_t align) {
 void Team::run(const std::function<void(RankCtx&)>& fn) {
   run_ranks([&](int rank) {
     RankCtx ctx(*this, rank);
+    HbRunScope hb_scope(hb_, rank);
     copy::dav_reset();
     const double t0 = wall_seconds();
     fn(ctx);
     const double t1 = wall_seconds();
     shared_->dav_out[rank] = copy::dav_read();
     shared_->time_out[rank] = t1 - t0;
+    // Surface races as a per-rank failure: the ThreadTeam rethrows it, the
+    // ProcessTeam turns it into a non-zero child exit.
+    hb_scope.check();
   });
+}
+
+std::uint64_t Team::hb_races() const { return hb_ != nullptr ? hb_->races() : 0; }
+
+std::string Team::hb_report() const {
+  return hb_ != nullptr ? hb_->first_report() : std::string();
 }
 
 copy::Dav Team::total_dav() const {
@@ -121,6 +195,7 @@ void RankCtx::socket_barrier() {
 std::uint64_t RankCtx::next_seq() { return ++persist_->coll_seq; }
 
 void RankCtx::step_publish(std::uint64_t v) noexcept {
+  analysis::hb_release(&team_->shared().step[rank_].v);
   team_->shared().step[rank_].v.store(v, std::memory_order_release);
 }
 
@@ -131,17 +206,37 @@ void RankCtx::step_wait(int peer, std::uint64_t v) {
 void RankCtx::publish_buffer(int slot, const void* p, std::size_t bytes) {
   YHCCL_REQUIRE(slot >= 0 && slot < kRegistrySlots, "registry slot");
   auto& w = team_->shared().registry[rank_][slot];
-  w.ptr = p;
-  w.bytes = bytes;
-  w.pid = getpid();
-  w.seq.fetch_add(1, std::memory_order_release);
+  // Single-writer seqlock (see RemoteWindow): only this rank writes its own
+  // registry row, so the unsynchronized seq read-modify-write is safe.
+  const std::uint64_t s0 = w.seq.load(std::memory_order_relaxed);
+  w.seq.store(s0 + 1, std::memory_order_relaxed);  // odd: write in progress
+  std::atomic_thread_fence(std::memory_order_release);
+  w.ptr.store(p, std::memory_order_relaxed);
+  w.bytes.store(bytes, std::memory_order_relaxed);
+  w.pid.store(getpid(), std::memory_order_relaxed);
+  analysis::hb_release(&w.seq);
+  w.seq.store(s0 + 2, std::memory_order_release);  // even: stable
 }
 
 RemoteBuf RankCtx::remote_buffer(int peer, int slot) const {
   YHCCL_REQUIRE(slot >= 0 && slot < kRegistrySlots, "registry slot");
   const auto& w = team_->shared().registry[peer][slot];
-  (void)w.seq.load(std::memory_order_acquire);
-  return RemoteBuf{w.ptr, w.bytes, w.pid};
+  SpinGuard guard("remote-buffer seqlock read");
+  for (;;) {
+    const std::uint64_t s1 = w.seq.load(std::memory_order_acquire);
+    if ((s1 & 1) == 0) {
+      RemoteBuf rb{w.ptr.load(std::memory_order_relaxed),
+                   w.bytes.load(std::memory_order_relaxed),
+                   w.pid.load(std::memory_order_relaxed)};
+      // Order the field loads before the recheck (Boehm seqlock reader).
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (w.seq.load(std::memory_order_relaxed) == s1) {
+        analysis::hb_acquire(&w.seq);
+        return rb;
+      }
+    }
+    guard.relax();
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -160,10 +255,12 @@ void RankCtx::send(int dst, const void* p, std::size_t n, int tag) {
     SpinGuard guard("pt2pt send slot wait");
     while (t - ch.head.load(std::memory_order_acquire) >= FifoChannel::kSlots)
       guard.relax();
+    analysis::hb_acquire(&ch.head);  // slot reuse: consumer freed it
     const auto slot = static_cast<std::size_t>(t % FifoChannel::kSlots);
     const std::size_t len = std::min(chunk, n - off);
     if (len > 0) copy::t_copy(data + slot * chunk, src + off, len);
     ch.meta[slot] = {static_cast<std::uint32_t>(len), tag};
+    analysis::hb_release(&ch.tail);
     ch.tail.store(t + 1, std::memory_order_release);
     off += len;
   } while (off < n);
@@ -184,6 +281,7 @@ void RankCtx::recv(int src, void* p, std::size_t n, int tag) {
     YHCCL_REQUIRE(mtag == tag, "pt2pt tag mismatch");
     YHCCL_REQUIRE(off + len <= n, "pt2pt recv overflow");
     if (len > 0) copy::t_copy(dst + off, data + slot * chunk, len);
+    analysis::hb_release(&ch.head);
     ch.head.store(h + 1, std::memory_order_release);
     off += len;
   } while (off < n);
@@ -211,10 +309,12 @@ void RankCtx::sendrecv(int dst, const void* sbuf, std::size_t sn, int src,
       const std::uint64_t t = out.tail.load(std::memory_order_relaxed);
       if (t - out.head.load(std::memory_order_acquire) <
           FifoChannel::kSlots) {
+        analysis::hb_acquire(&out.head);
         const auto slot = static_cast<std::size_t>(t % FifoChannel::kSlots);
         const std::size_t len = std::min(chunk, sn - soff);
         if (len > 0) copy::t_copy(out_data + slot * chunk, sp + soff, len);
         out.meta[slot] = {static_cast<std::uint32_t>(len), tag};
+        analysis::hb_release(&out.tail);
         out.tail.store(t + 1, std::memory_order_release);
         soff += len;
         ++sent;
@@ -224,11 +324,13 @@ void RankCtx::sendrecv(int dst, const void* sbuf, std::size_t sn, int src,
     if (received < rchunks) {
       const std::uint64_t h = in.head.load(std::memory_order_relaxed);
       if (in.tail.load(std::memory_order_acquire) > h) {
+        analysis::hb_acquire(&in.tail);
         const auto slot = static_cast<std::size_t>(h % FifoChannel::kSlots);
         const auto [len, mtag] = in.meta[slot];
         YHCCL_REQUIRE(mtag == tag, "sendrecv tag mismatch");
         YHCCL_REQUIRE(roff + len <= rn, "sendrecv recv overflow");
         if (len > 0) copy::t_copy(rp + roff, in_data + slot * chunk, len);
+        analysis::hb_release(&in.head);
         in.head.store(h + 1, std::memory_order_release);
         roff += len;
         ++received;
@@ -242,10 +344,15 @@ void RankCtx::sendrecv(int dst, const void* sbuf, std::size_t sn, int src,
 void RankCtx::sendrecv_zc(int dst, const void* sbuf, std::size_t sn, int src,
                           void* rbuf, std::size_t rn, RemoteMode mode) {
   auto& out = team_->channel(rank_, dst);
+  // Relaxed self-read is safe: rndv_posted is a single-writer counter (only
+  // the sending side of channel (rank_, dst) — i.e. this rank — ever stores
+  // it), and the preceding spin_wait_ge(rndv_done) of the previous exchange
+  // ordered the receiver's reads before this reuse of the descriptor.
   const std::uint64_t s = out.rndv_posted.load(std::memory_order_relaxed) + 1;
   out.rndv_ptr = sbuf;
   out.rndv_bytes = sn;
   out.rndv_pid = getpid();
+  analysis::hb_release(&out.rndv_posted);
   out.rndv_posted.store(s, std::memory_order_release);
   recv_zc(src, rbuf, rn, mode);
   spin_wait_ge(out.rndv_done, s);
@@ -257,21 +364,30 @@ void RankCtx::sendrecv_zc(int dst, const void* sbuf, std::size_t sn, int src,
 
 void RankCtx::send_zc(int dst, const void* p, std::size_t n) {
   auto& ch = team_->channel(rank_, dst);
+  // rndv_posted: single-writer counter (sender side only) — the relaxed
+  // self-read+1 cannot tear or miss an update.  The descriptor fields are
+  // plain because the release store below publishes them and the receiver's
+  // acquire in spin_wait_ge(rndv_posted) reads them only afterwards; the
+  // sender's own spin_wait_ge(rndv_done) closes the edge before reuse.
   const std::uint64_t s = ch.rndv_posted.load(std::memory_order_relaxed) + 1;
   ch.rndv_ptr = p;
   ch.rndv_bytes = n;
   ch.rndv_pid = getpid();
+  analysis::hb_release(&ch.rndv_posted);
   ch.rndv_posted.store(s, std::memory_order_release);
   spin_wait_ge(ch.rndv_done, s);
 }
 
 void RankCtx::recv_zc(int src, void* p, std::size_t n, RemoteMode mode) {
   auto& ch = team_->channel(src, rank_);
+  // rndv_done: single-writer counter (receiver side only), same argument
+  // as rndv_posted in send_zc above.
   const std::uint64_t s = ch.rndv_done.load(std::memory_order_relaxed) + 1;
   spin_wait_ge(ch.rndv_posted, s);
   YHCCL_REQUIRE(ch.rndv_bytes == n, "rendezvous size mismatch");
   RemoteBuf rb{ch.rndv_ptr, ch.rndv_bytes, ch.rndv_pid};
   if (n > 0) remote_read(p, rb, 0, n, mode, nullptr);
+  analysis::hb_release(&ch.rndv_done);
   ch.rndv_done.store(s, std::memory_order_release);
 }
 

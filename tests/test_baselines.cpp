@@ -285,12 +285,14 @@ TEST_P(OtherBaselines, XpmemAllFive) {
     team.run([&](rt::RankCtx& ctx) {
       xpmem_reduce(ctx, send[ctx.rank()].data(), recv[ctx.rank()].data(),
                    c.count, Datatype::f64, ReduceOp::sum, 0);
-      xpmem_broadcast(ctx, recv[0].data(), c.count, Datatype::f64, 0);
+      xpmem_broadcast(ctx, recv[ctx.rank()].data(), c.count, Datatype::f64,
+                      0);
       xpmem_allgather(ctx, send[ctx.rank()].data(), gat[ctx.rank()].data(),
                       c.count, Datatype::f64);
     });
-    EXPECT_TRUE(check_reduced(recv[0].data(), c.count, Datatype::f64, p,
-                              ReduceOp::sum));
+    for (int r = 0; r < p; ++r)  // reduce result broadcast to every rank
+      EXPECT_TRUE(check_reduced(recv[r].data(), c.count, Datatype::f64, p,
+                                ReduceOp::sum));
     for (int r = 0; r < p; ++r)
       for (int a = 0; a < p; ++a)
         ASSERT_EQ(0, std::memcmp(gat[r].data() + a * c.count,
