@@ -284,6 +284,18 @@ void HbChecker::on_access(int rank, const void* p, std::size_t n,
   }
 }
 
+void HbChecker::on_recover() noexcept {
+  // Join every rank's clock, hand the join back to each rank bumped by one
+  // own-component tick: every pre-recovery access now happens-before every
+  // post-recovery access, on all ranks, without touching any shadow cell.
+  VectorClock join{};
+  for (int r = 0; r < nranks_; ++r) vc_join(join, rank_vc_[r], nranks_);
+  for (int r = 0; r < nranks_; ++r) {
+    rank_vc_[r] = join;
+    rank_vc_[r].c[r] = join.c[r] + 1;
+  }
+}
+
 std::string HbChecker::first_report() const {
   // const_cast: the lock is mutable state guarding the report buffer.
   auto& lock = const_cast<std::atomic<std::uint32_t>&>(report_lock_);

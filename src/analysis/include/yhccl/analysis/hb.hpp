@@ -91,6 +91,14 @@ class HbChecker {
   /// Human-readable report of the first race (empty if none).
   std::string first_report() const;
 
+  /// Model a Team::recover(): the quiesced survivors' next accesses all
+  /// happen-after everything that preceded the recovery.  Joining every
+  /// rank's clock and handing the join back (plus one own-component tick)
+  /// inserts exactly that edge, so stale shadow cells can never produce a
+  /// false race against post-recovery accesses.  Only call on a quiesced
+  /// team (no rank inside the SPMD function).
+  void on_recover() noexcept;
+
   int nranks() const noexcept { return nranks_; }
 
  private:

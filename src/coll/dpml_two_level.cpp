@@ -92,6 +92,12 @@ void dpml_core(RankCtx& ctx, const std::byte* send, std::byte* recv,
     ctx.barrier();
 
     // Stage 1: intra-group reduction into the group leader's staging.
+    // The closing barrier must be team-uniform: with heterogeneous socket
+    // sizes (e.g. 3 ranks over 2 sockets) a singleton group does no stage-1
+    // work but still has to match its peers' barrier, or every later
+    // barrier pairs off-by-one and the team deadlocks.
+    bool any_multi = false;
+    for (int s = 0; s < g.m; ++s) any_multi = any_multi || g.size[s] > 1;
     const int n = g.size[g.my_group];
     if (n > 1) {
       const int lo = g.my_index * p / n;
@@ -106,8 +112,8 @@ void dpml_core(RankCtx& ctx, const std::byte* send, std::byte* recv,
         copy::reduce_out_multi(stage_of(g.base[g.my_group]) + lb * I, srcs,
                                n, len, d, op, /*nt_store=*/false);
       }
-      ctx.barrier();
     }
+    if (any_multi) ctx.barrier();
 
     // Stage 2: block owners combine the group leaders' partials.
     const std::size_t len_r = S.len(r, t);

@@ -42,6 +42,9 @@ void ma_round(RankCtx& ctx, const std::byte* send, std::byte* recv_block,
   const int r = ctx.rank();
   const int right = (r + 1) % p;
   for (int j = 0; j < p; ++j) {
+    // Abort/injection check once per slice step: compute-heavy reduce
+    // phases leave the team promptly instead of at the next sync point.
+    rt::fault_point("slice");
     const auto l = static_cast<std::size_t>((r + 1 + j) % p);
     const std::uint64_t k = t * static_cast<std::size_t>(p) +
                             static_cast<std::size_t>(j);
@@ -127,6 +130,7 @@ void ma_allreduce(RankCtx& ctx, const void* send, void* recv,
     ctx.barrier();  // all final reduces of this round done
     // Copy-out (Algorithm 2 lines 14-16): the receive buffer is only read
     // after the collective, so these stores may stream.
+    rt::fault_point("slice");
     for (int b = 0; b < p; ++b) {
       const auto lb = static_cast<std::size_t>(b);
       const std::size_t len = S.len(lb, t);
@@ -162,6 +166,7 @@ void ma_reduce(RankCtx& ctx, const void* send, void* recv, std::size_t count,
     ma_round(ctx, sb, nullptr, shm, S, t, d, op, opts, C, W, seq,
              FinalDest::shm);
     ctx.barrier();
+    rt::fault_point("slice");
     if (ctx.rank() == root) {
       for (int b = 0; b < p; ++b) {
         const auto lb = static_cast<std::size_t>(b);

@@ -42,6 +42,8 @@ void pipelined_broadcast(RankCtx& ctx, void* buf, std::size_t count,
   auto slice_len = [&](std::size_t k) { return std::min(I, s - k * I); };
 
   for (std::size_t k = 0; k < nsl; ++k) {
+    // One abort/injection check per pipeline stage (slot-copy granularity).
+    rt::fault_point("pipeline");
     if (ctx.rank() == root) {
       // Producer side: the slot is consumed right away -> temporal.
       copy::dispatch_copy(opts.policy, shm + (k % 2) * I, b + k * I,
@@ -86,6 +88,7 @@ void pipelined_allgather(RankCtx& ctx, const void* send, void* recv,
   auto slice_len = [&](std::size_t k) { return std::min(I, s - k * I); };
 
   for (std::size_t k = 0; k < nsl; ++k) {
+    rt::fault_point("pipeline");
     copy::dispatch_copy(opts.policy, slot(ctx.rank(), k), sb + k * I,
                         slice_len(k), /*temporal_hint=*/true, C, W);
     if (k >= 1) {

@@ -64,6 +64,8 @@ void stage1(RankCtx& ctx, const SocketPlan& pl, const std::byte* send,
             std::size_t W, std::uint64_t seq) {
   const int local_right = pl.base + (pl.q + 1) % pl.n;
   for (int j = 0; j < pl.n; ++j) {
+    // Abort/injection check once per intra-socket slice step.
+    rt::fault_point("slice");
     const int u = (pl.q + 1 + j) % pl.n;
     const std::uint64_t k = t * static_cast<std::size_t>(pl.n) +
                             static_cast<std::size_t>(j);
@@ -116,6 +118,7 @@ void socket_ma_core(RankCtx& ctx, const std::byte* send, std::byte* recv,
     stage1(ctx, pl, send, my_sock_shm, S, t, d, op, opts, C, W, seq);
     ctx.barrier();  // every socket's stage-1 accumulation complete
 
+    rt::fault_point("slice");
     const std::size_t len = S.len(r, t);
     if (fd == FinalDest::recv_block) {
       const bool nt =

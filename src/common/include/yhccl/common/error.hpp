@@ -3,16 +3,52 @@
 #pragma once
 
 #include <cerrno>
+#include <cstdint>
 #include <cstring>
 #include <stdexcept>
 #include <string>
 
 namespace yhccl {
 
-/// All YHCCL failures surface as this exception.
+/// Why a collective failed, as classified by the fault subsystem
+/// (docs/robustness.md).  `none` covers ordinary invariant/syscall errors.
+enum class FaultKind : std::uint8_t {
+  none = 0,
+  peer_dead,      ///< a rank's process died or it left the SPMD function
+  peer_diverged,  ///< a rank is alive but in a different collective sequence
+  timeout,        ///< a rank stalled (or the cause could not be determined)
+};
+
+constexpr const char* to_string(FaultKind k) noexcept {
+  switch (k) {
+    case FaultKind::none: return "none";
+    case FaultKind::peer_dead: return "peer-dead";
+    case FaultKind::peer_diverged: return "peer-diverged";
+    case FaultKind::timeout: return "timeout";
+  }
+  return "?";
+}
+
+/// All YHCCL failures surface as this exception.  Failures detected by the
+/// fault subsystem additionally carry a category, the faulting rank and the
+/// team epoch the fault was raised in — every survivor of one aborted
+/// collective reports the same triple.
 class Error : public std::runtime_error {
  public:
   explicit Error(const std::string& what) : std::runtime_error(what) {}
+  Error(const std::string& what, FaultKind kind, int rank, std::uint64_t epoch)
+      : std::runtime_error(what), kind_(kind), rank_(rank), epoch_(epoch) {}
+
+  FaultKind fault_kind() const noexcept { return kind_; }
+  /// Faulting rank (-1 when unknown / not a fault).
+  int fault_rank() const noexcept { return rank_; }
+  /// Team epoch the fault was raised in (0 when not a fault).
+  std::uint64_t fault_epoch() const noexcept { return epoch_; }
+
+ private:
+  FaultKind kind_ = FaultKind::none;
+  int rank_ = -1;
+  std::uint64_t epoch_ = 0;
 };
 
 [[noreturn]] inline void raise(const std::string& msg) { throw Error(msg); }

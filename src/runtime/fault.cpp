@@ -1,0 +1,312 @@
+#include "yhccl/runtime/fault.hpp"
+
+#include <signal.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "yhccl/common/time.hpp"
+#include "yhccl/runtime/sync_timeout.hpp"
+
+namespace yhccl::rt {
+
+namespace detail {
+thread_local FaultCtx tl_fault;
+}  // namespace detail
+
+std::string describe_fault(const FaultInfo& f) {
+  const std::string who =
+      f.rank >= 0 ? "rank " + std::to_string(f.rank) : "an unknown rank";
+  std::string what;
+  switch (f.kind) {
+    case FaultKind::peer_dead: what = who + " died"; break;
+    case FaultKind::peer_diverged:
+      what = who + " diverged (collective call sequence mismatch)";
+      break;
+    case FaultKind::timeout: what = who + " stalled past the watchdog"; break;
+    case FaultKind::none: return "no fault";
+  }
+  return what + " (team epoch " + std::to_string(f.epoch) + ")";
+}
+
+// ---------------------------------------------------------------------------
+// YHCCL_FAULT grammar
+// ---------------------------------------------------------------------------
+
+namespace {
+
+[[noreturn]] void bad_spec(const std::string& spec, const char* why) {
+  raise("YHCCL_FAULT spec '" + spec + "': " + why +
+        " (grammar: die|stall@site[:rank=R][:iter=N][:ms=M])");
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan p;
+  const auto at = spec.find('@');
+  if (at == std::string::npos) bad_spec(spec, "missing '@site'");
+  const std::string action = spec.substr(0, at);
+  if (action == "die")
+    p.action = Action::die;
+  else if (action == "stall")
+    p.action = Action::stall;
+  else
+    bad_spec(spec, "unknown action");
+
+  std::size_t pos = at + 1;
+  const auto site_end = spec.find(':', pos);
+  p.site = spec.substr(pos, site_end == std::string::npos ? std::string::npos
+                                                          : site_end - pos);
+  if (p.site.empty()) bad_spec(spec, "empty site");
+
+  pos = site_end;
+  while (pos != std::string::npos) {
+    ++pos;  // skip ':'
+    const auto eq = spec.find('=', pos);
+    if (eq == std::string::npos) bad_spec(spec, "option without '='");
+    const std::string key = spec.substr(pos, eq - pos);
+    const auto val_end = spec.find(':', eq + 1);
+    const std::string val = spec.substr(
+        eq + 1, val_end == std::string::npos ? std::string::npos
+                                             : val_end - (eq + 1));
+    char* end = nullptr;
+    errno = 0;
+    const double num = std::strtod(val.c_str(), &end);
+    if (val.empty() || end == nullptr || *end != '\0' || errno != 0)
+      bad_spec(spec, "option value is not a number");
+    if (key == "rank")
+      p.rank = static_cast<int>(num);
+    else if (key == "iter")
+      p.iter = static_cast<std::uint64_t>(num);
+    else if (key == "ms")
+      p.stall_ms = num;
+    else
+      bad_spec(spec, "unknown option key");
+    pos = val_end;
+  }
+  return p;
+}
+
+FaultPlan FaultPlan::from_env() {
+  const char* e = std::getenv("YHCCL_FAULT");
+  if (e == nullptr || *e == '\0') return {};
+  return parse(e);
+}
+
+// ---------------------------------------------------------------------------
+// Context install / teardown
+// ---------------------------------------------------------------------------
+
+FaultRunScope::FaultRunScope(FaultState& st, const FaultPlan& plan, int rank,
+                             int nranks, std::uint64_t epoch,
+                             bool forked) noexcept {
+  auto& c = detail::tl_fault;
+  c.st = &st;
+  c.plan = plan.active() ? &plan : nullptr;
+  c.rank = rank;
+  c.nranks = nranks;
+  c.epoch = epoch;
+  c.forked = forked;
+  c.hits = 0;
+  auto& slot = st.hb[rank];
+  slot.pid.store(getpid(), std::memory_order_relaxed);
+  slot.epoch.store(epoch, std::memory_order_relaxed);
+  slot.left.store(0, std::memory_order_release);
+}
+
+FaultRunScope::~FaultRunScope() {
+  auto& c = detail::tl_fault;
+  if (c.st != nullptr)
+    c.st->hb[c.rank].left.store(1, std::memory_order_release);
+  c = detail::FaultCtx{};
+}
+
+// ---------------------------------------------------------------------------
+// Abort propagation + classification
+// ---------------------------------------------------------------------------
+
+namespace {
+
+[[noreturn]] void throw_fault(const FaultInfo& f, const char* during) {
+  std::string msg = "collective aborted: " + describe_fault(f);
+  if (during != nullptr) msg += std::string(" [detected during ") + during + "]";
+  throw Error(msg, f.kind, f.rank, f.epoch);
+}
+
+/// Raise the team-wide abort: first CAS from 0 wins; a loser adopts the
+/// winner's verdict so every survivor reports the identical fault.
+[[noreturn]] void raise_abort(detail::FaultCtx& c, FaultInfo f,
+                              const char* during) {
+  std::uint64_t expect = 0;
+  if (!c.st->abort_word.compare_exchange_strong(
+          expect, FaultState::pack(f), std::memory_order_acq_rel,
+          std::memory_order_acquire)) {
+    const FaultInfo winner = FaultState::unpack(expect);
+    if (winner.epoch == c.epoch) f = winner;
+  }
+  throw_fault(f, during);
+}
+
+bool pid_gone(int pid) noexcept {
+  return pid > 0 && kill(pid, 0) == -1 && errno == ESRCH;
+}
+
+void sleep_ns(long ns) noexcept {
+  timespec ts{0, ns};
+  nanosleep(&ts, nullptr);
+}
+
+/// Classify a watchdog expiry against the shared liveness slots.
+/// Deterministic preference order (lowest rank within each class):
+///   1. a rank whose process is known dead (reap bookkeeping / pid probe),
+///   2. a rank that left the SPMD function while peers still wait on it,
+///   3. a live rank whose collective sequence differs from mine,
+///   4. a live rank whose heartbeat is frozen over a short probe window,
+///   5. otherwise: an unattributable timeout.
+/// (2) can blame a legitimately-finished rank when the true fault lies
+/// elsewhere — the classification is a best-effort diagnosis, and the CAS
+/// in raise_abort keeps every survivor's report consistent regardless.
+FaultInfo classify(detail::FaultCtx& c) {
+  FaultInfo f;
+  f.epoch = c.epoch;
+  const auto* hb = c.st->hb;
+  for (int r = 0; r < c.nranks; ++r) {
+    if (r == c.rank) continue;
+    if (hb[r].dead.load(std::memory_order_acquire) != 0 ||
+        (c.forked && pid_gone(hb[r].pid.load(std::memory_order_relaxed)))) {
+      f.kind = FaultKind::peer_dead;
+      f.rank = r;
+      return f;
+    }
+  }
+  for (int r = 0; r < c.nranks; ++r) {
+    if (r != c.rank && hb[r].left.load(std::memory_order_acquire) != 0) {
+      f.kind = FaultKind::peer_dead;
+      f.rank = r;
+      return f;
+    }
+  }
+  const std::uint64_t my_seq =
+      hb[c.rank].seq.load(std::memory_order_relaxed);
+  for (int r = 0; r < c.nranks; ++r) {
+    if (r != c.rank &&
+        hb[r].seq.load(std::memory_order_relaxed) != my_seq) {
+      f.kind = FaultKind::peer_diverged;
+      f.rank = r;
+      return f;
+    }
+  }
+  // Heartbeat probe: survivors spinning on the fault keep beating; a wedged
+  // rank does not.
+  std::uint64_t before[kMaxFaultRanks];
+  for (int r = 0; r < c.nranks; ++r)
+    before[r] = hb[r].beat.load(std::memory_order_relaxed);
+  // Keep my own heartbeat alive across the probe: several survivors may
+  // classify concurrently, and a classifier that stopped beating would be
+  // mistaken for the frozen rank by its peers.
+  for (int i = 0; i < 20; ++i) {
+    sleep_ns(1'000'000);
+    c.st->hb[c.rank].beat.fetch_add(1, std::memory_order_relaxed);
+  }
+  for (int r = 0; r < c.nranks; ++r) {
+    if (r != c.rank &&
+        hb[r].beat.load(std::memory_order_relaxed) == before[r]) {
+      f.kind = FaultKind::timeout;
+      f.rank = r;
+      return f;
+    }
+  }
+  f.kind = FaultKind::timeout;
+  return f;
+}
+
+}  // namespace
+
+void fault_poll_abort() {
+  auto& c = detail::tl_fault;
+  if (c.st == nullptr) return;
+  const std::uint64_t w = c.st->abort_word.load(std::memory_order_acquire);
+  if (w == 0) return;
+  const FaultInfo f = FaultState::unpack(w);
+  if (f.epoch != c.epoch) return;  // stale abort from an earlier team epoch
+  throw_fault(f, nullptr);
+}
+
+void fault_check_dead() {
+  auto& c = detail::tl_fault;
+  if (c.st == nullptr) return;
+  for (int r = 0; r < c.nranks; ++r) {
+    if (r == c.rank) continue;
+    if (c.st->hb[r].dead.load(std::memory_order_acquire) != 0)
+      raise_abort(c, FaultInfo{FaultKind::peer_dead, r, c.epoch},
+                  "liveness scan");
+  }
+}
+
+[[noreturn]] void fault_timeout(const char* what) {
+  auto& c = detail::tl_fault;
+  if (c.st == nullptr)
+    raise(std::string(what) +
+          " exceeded the sync timeout — a peer rank is dead or the "
+          "collective call sequence diverged");
+  fault_poll_abort();  // someone may have classified while we slept
+  raise_abort(c, classify(c), what);
+}
+
+// ---------------------------------------------------------------------------
+// Injection
+// ---------------------------------------------------------------------------
+
+namespace {
+
+[[noreturn]] void inject_die(detail::FaultCtx& c, const char* site) {
+  if (c.forked) {
+    // Brutal death, no unwinding — like a real crash.  Detection runs
+    // entirely through the parent's reap bookkeeping / pid probes.
+    _exit(kDieExitCode);
+  }
+  throw FaultInjectedDeath{c.rank, site};
+}
+
+void inject_stall(detail::FaultCtx& c) {
+  // Model a wedged rank: sleep without heartbeating.  Bounded stalls
+  // (ms >= 0) resume and let the collective complete — a merely-slow rank;
+  // unbounded stalls end when the team aborts (fault_poll_abort throws), or
+  // after a safety cap of a few watchdog periods.
+  const double t0 = wall_seconds();
+  const double watchdog = sync_timeout();
+  const double cap = c.plan->stall_ms >= 0
+                         ? c.plan->stall_ms / 1e3
+                         : (watchdog > 0 ? 4 * watchdog + 2.0 : 30.0);
+  while (wall_seconds() - t0 < cap) {
+    sleep_ns(1'000'000);  // 1 ms
+    fault_poll_abort();
+  }
+}
+
+}  // namespace
+
+void fault_point(const char* site) {
+  auto& c = detail::tl_fault;
+  if (c.st == nullptr) return;
+  c.st->hb[c.rank].beat.fetch_add(1, std::memory_order_relaxed);
+  // Fence out ranks resumed after a recovery they did not participate in:
+  // their writes must not tear the re-initialized state.
+  if (c.st->team_epoch.load(std::memory_order_acquire) != c.epoch)
+    throw_fault(FaultInfo{FaultKind::timeout, c.rank, c.epoch},
+                "stale-epoch fence");
+  fault_poll_abort();
+  const FaultPlan* plan = c.plan;
+  if (plan == nullptr) return;
+  if (plan->rank >= 0 && plan->rank != c.rank) return;
+  if (plan->site != site) return;
+  if (c.hits++ != plan->iter) return;
+  if (plan->action == FaultPlan::Action::die) inject_die(c, site);
+  inject_stall(c);
+}
+
+}  // namespace yhccl::rt

@@ -21,6 +21,9 @@ class ProcessTeam final : public Team {
 
  protected:
   void run_ranks(const std::function<void(int)>& wrapped) override;
+  /// Ranks are processes: enables pid probing, reap bookkeeping, and
+  /// _exit-based `die` injection; recover() shrinks the active-rank map.
+  bool forked_ranks() const noexcept override { return true; }
 };
 
 }  // namespace yhccl::rt

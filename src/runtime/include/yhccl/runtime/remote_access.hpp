@@ -68,6 +68,10 @@ class PageLockTable {
   void lock(std::uintptr_t src_page);
   void unlock(std::uintptr_t src_page) noexcept;
 
+  /// Force-release every lock.  Only safe on a quiesced team — used by
+  /// Team::recover() to free locks a dead rank took to its grave.
+  void reset() noexcept;
+
  private:
   struct alignas(kCacheline) Lock {
     std::atomic<std::uint32_t> v{0};

@@ -5,8 +5,9 @@
 // synchronize with per-rank atomic progress flags between neighbouring
 // pipeline steps (§3.3) plus node/socket barriers between phases.
 //
-// Waits spin with `pause` then fall back to sched_yield(): the reproduction
-// host oversubscribes ranks onto few cores, so pure spinning would livelock.
+// Waits use a staged backoff — pause bursts, then sched_yield(), then short
+// sleeps — so a stalled peer does not burn whole cores while the watchdog
+// counts down, and the reproduction host's oversubscribed teams stay live.
 #pragma once
 
 #include <atomic>
@@ -15,6 +16,7 @@
 #include "yhccl/analysis/hb.hpp"
 #include "yhccl/common/error.hpp"
 #include "yhccl/common/types.hpp"
+#include "yhccl/runtime/fault.hpp"
 #include "yhccl/runtime/sync_timeout.hpp"
 
 namespace yhccl::rt {
@@ -26,26 +28,29 @@ struct alignas(kCacheline) PaddedFlag {
 };
 static_assert(sizeof(PaddedFlag) == kCacheline);
 
-namespace detail {
-void cpu_relax_and_maybe_yield(unsigned& spins) noexcept;
-}
-
-/// Backoff helper for every spin loop: pause-burst, then yield, and —
-/// unlike a bare spin — enforce the process-wide sync timeout so a dead
-/// peer turns into a yhccl::Error instead of a hang.
+/// Staged-backoff helper shared by every spin loop:
+///   1. 64 `pause` iterations per cycle (µs-scale partner latency),
+///   2. sched_yield() for the next ~256 cycles (oversubscribed teams),
+///   3. short sleeps doubling 64 µs → 1 ms (long waits stop burning cores).
+/// Each cycle polls the team's abort word (coherent abort propagation) and
+/// the peers' death tombstones, bumps this rank's heartbeat, and — unlike a
+/// bare spin — enforces the process-wide sync timeout: the expiry is
+/// classified against the team's liveness slots (PeerDead / PeerDiverged /
+/// Timeout, see fault.hpp) and raised as a yhccl::Error instead of a hang.
 class SpinGuard {
  public:
   explicit SpinGuard(const char* what = "synchronization wait") noexcept
       : what_(what) {}
 
-  /// One backoff step; throws yhccl::Error when the watchdog expires.
+  /// One backoff step; throws yhccl::Error on team abort or watchdog expiry.
   void relax();
 
  private:
   const char* what_;
   unsigned spins_ = 0;
   unsigned yields_ = 0;
-  double deadline_ = -1.0;  // computed lazily on the first yield burst
+  long sleep_ns_ = 64'000;  // doubles to 1 ms once in the sleep stage
+  double deadline_ = -1.0;  // computed lazily on the first sleep
 };
 
 /// Spin until `f >= target` (acquire).
@@ -81,6 +86,7 @@ inline void barrier_init(BarrierState& b, std::uint32_t n) noexcept {
 /// Arrive and wait.  `local_sense` must be a per-participant variable that
 /// starts at 0 and is only ever passed to this barrier.
 inline void barrier_arrive(BarrierState& b, std::uint32_t& local_sense) {
+  fault_point("barrier");
   local_sense ^= 1u;
   // HB model: the acq_rel RMW joins this rank with every earlier arriver
   // (release sequence on `arrived`); the winner thus carries the join of
@@ -141,6 +147,7 @@ inline void dissemination_init(DisseminationBarrierState& b,
 
 inline void dissemination_arrive(DisseminationBarrierState& b, int rank,
                                  DisseminationToken& tok) {
+  fault_point("barrier");
   const auto n = b.nparticipants;
   ++tok.epoch;
   int round = 0;

@@ -14,11 +14,13 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "yhccl/analysis/hb.hpp"
 #include "yhccl/common/types.hpp"
 #include "yhccl/copy/cache_model.hpp"
 #include "yhccl/copy/dav.hpp"
+#include "yhccl/runtime/fault.hpp"
 #include "yhccl/runtime/remote_access.hpp"
 #include "yhccl/runtime/shm_region.hpp"
 #include "yhccl/runtime/sync.hpp"
@@ -30,10 +32,12 @@ inline constexpr int kMaxRanks = 256;
 inline constexpr int kMaxSockets = 16;
 inline constexpr int kRegistrySlots = 4;
 
-// The barriers in sync.hpp size their flag arrays independently (header
-// cycle); a team must never exceed what they can serve.
+// The barriers in sync.hpp and the fault subsystem size their per-rank
+// arrays independently (header cycle); a team must never exceed either.
 static_assert(kMaxRanks <= static_cast<int>(kMaxBarrierRanks),
               "barrier flag arrays cannot serve kMaxRanks participants");
+static_assert(kMaxRanks <= kMaxFaultRanks,
+              "fault liveness slots cannot serve kMaxRanks participants");
 
 /// Whether a team runs the happens-before race checker (analysis/hb.hpp).
 enum class HbMode : std::uint8_t {
@@ -50,6 +54,10 @@ struct TeamConfig {
   std::size_t shared_heap_bytes = 48u << 20; ///< persistent user shm heap
   std::size_t chunk_bytes = 16u << 10;       ///< pt2pt eager chunk size
   HbMode hb_check = HbMode::env;             ///< race-checker activation
+  /// Watchdog applied via rt::set_sync_timeout at construction: > 0 seconds,
+  /// 0 disables, < 0 keeps the process-wide setting (or $YHCCL_SYNC_TIMEOUT
+  /// when set).  Note the timeout is process-wide, not per-team.
+  double sync_timeout = -1.0;
 };
 
 /// Eager FIFO + rendezvous descriptor for one directed rank pair.
@@ -87,6 +95,7 @@ struct TeamShared {
   };
   Persist persist[kMaxRanks];
   PageLockTable page_locks;  ///< shared lock table for the CMA emulation
+  FaultState fault;          ///< abort word + liveness slots (fault.hpp)
 };
 
 class RankCtx;
@@ -104,7 +113,38 @@ class Team {
 
   const TeamConfig& config() const noexcept { return cfg_; }
   const Topology& topo() const noexcept { return topo_; }
-  int nranks() const noexcept { return cfg_.nranks; }
+  /// Current (active) membership; shrinks when recover() excludes dead
+  /// ranks on a process-backed team.
+  int nranks() const noexcept { return nranks_; }
+
+  // ---- fault detection & recovery (docs/robustness.md) ---------------------
+  /// Recover the team after a failed run(): re-initializes every piece of
+  /// shared synchronization state (barriers, progress flags, FIFO channels,
+  /// rendezvous descriptors, buffer registry, page locks), clears the abort
+  /// word, bumps the team epoch so stale in-flight writes from the faulting
+  /// rank are fenced out, and — for process-backed teams — excludes ranks
+  /// whose process died (thread-backed ranks always rejoin, restoring full
+  /// membership).  Shared-heap allocations survive.  Must be called from the
+  /// parent with no run() in flight (run() is synchronous, so any return —
+  /// normal or thrown — leaves the team quiesced).  Returns the fault the
+  /// team is recovering from (kind none when no abort was raised).
+  FaultInfo recover();
+
+  /// The abort raised by the last failed run (kind none if none).
+  FaultInfo last_fault() const noexcept {
+    return FaultState::unpack(
+        shared_->fault.abort_word.load(std::memory_order_acquire));
+  }
+  /// Current team epoch (bumped by every recover()).
+  std::uint64_t team_epoch() const noexcept {
+    return shared_->fault.team_epoch.load(std::memory_order_acquire);
+  }
+  /// Original rank id of current logical rank `r` (identity until a
+  /// process-team recovery shrinks the membership).
+  int global_rank(int r) const { return active_.at(static_cast<std::size_t>(r)); }
+  /// Programmatic route to the YHCCL_FAULT injection layer (tests).
+  void set_fault_plan(const FaultPlan& plan) { fault_plan_ = plan; }
+  const FaultPlan& fault_plan() const noexcept { return fault_plan_; }
 
   /// Bump-allocate persistent shared memory (test/app IO buffers).  Valid
   /// in all ranks of both backends; never freed until the Team dies.
@@ -137,8 +177,13 @@ class Team {
  protected:
   /// Backend hook: execute `wrapped(rank)` once per rank, concurrently.
   virtual void run_ranks(const std::function<void(int)>& wrapped) = 0;
+  /// Ranks are fork()ed processes (enables pid probing and rank exclusion).
+  virtual bool forked_ranks() const noexcept { return false; }
 
   TeamConfig cfg_;
+  int nranks_ = 0;           ///< active membership (≤ cfg_.nranks)
+  std::vector<int> active_;  ///< logical rank -> original rank id
+  FaultPlan fault_plan_;     ///< parsed from $YHCCL_FAULT at construction
   Topology topo_;
   ShmRegion region_;
   std::size_t off_channels_ = 0;
@@ -179,14 +224,19 @@ class RankCtx {
   void barrier();
   void socket_barrier();
 
+  /// Leave promptly (throwing the team-wide fault) if a peer raised the
+  /// abort word.  Collectives call this at slice granularity so compute
+  /// phases between synchronizations abort within milliseconds too.
+  void check_abort() { fault_poll_abort(); }
+
   /// Per-call sequence number; identical across ranks because collectives
   /// are invoked in the same order everywhere (MPI semantics).
   std::uint64_t next_seq();
 
   /// Publish my pipeline progress (release) / wait on a peer's (acquire).
-  /// Values must be strictly increasing within a team lifetime; collectives
+  /// Values must be strictly increasing within a team epoch; collectives
   /// encode them with step_value(seq, local_step).
-  void step_publish(std::uint64_t v) noexcept;
+  void step_publish(std::uint64_t v);
   void step_wait(int peer, std::uint64_t v);
 
   /// Monotone encoding of (collective sequence, step-within-collective).

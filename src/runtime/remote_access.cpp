@@ -15,6 +15,7 @@
 namespace yhccl::rt {
 
 void PageLockTable::lock(std::uintptr_t src_page) {
+  fault_point("pagelock");
   auto& l = locks_[(src_page / kPageBytes) % kLocks].v;
   SpinGuard guard("page-lock wait");
   for (;;) {
@@ -32,6 +33,10 @@ void PageLockTable::unlock(std::uintptr_t src_page) noexcept {
   auto& l = locks_[(src_page / kPageBytes) % kLocks].v;
   analysis::hb_release(&l);
   l.store(0, std::memory_order_release);
+}
+
+void PageLockTable::reset() noexcept {
+  for (auto& l : locks_) l.v.store(0, std::memory_order_relaxed);
 }
 
 namespace {

@@ -2,26 +2,12 @@
 
 #include <immintrin.h>
 #include <sched.h>
+#include <time.h>
 
 #include "yhccl/common/error.hpp"
 #include "yhccl/common/time.hpp"
 
 namespace yhccl::rt {
-
-namespace detail {
-
-void cpu_relax_and_maybe_yield(unsigned& spins) noexcept {
-  // A short pause-loop burst keeps latency low when the partner runs on
-  // another core; yielding afterwards keeps oversubscribed teams live.
-  if (++spins < 64) {
-    _mm_pause();
-    return;
-  }
-  spins = 0;
-  sched_yield();
-}
-
-}  // namespace detail
 
 void SpinGuard::relax() {
   if (++spins_ < 64) {
@@ -29,11 +15,20 @@ void SpinGuard::relax() {
     return;
   }
   spins_ = 0;
-  sched_yield();
-  // The watchdog check is amortized: wall-clock reads only every 256
-  // yields, so the fast path stays cheap.
-  if (++yields_ < 256) return;
-  yields_ = 0;
+  // Once per cycle: keep my liveness slot beating, leave together with the
+  // rest of the team if anyone raised the abort word, and detect a reaped
+  // sibling's death at reap latency instead of watchdog latency.
+  detail::fault_heartbeat();
+  fault_poll_abort();
+  if (++yields_ < 256) {
+    sched_yield();
+    return;
+  }
+  // Sleep stage: the wait is ms-scale or worse — stop burning the core.
+  fault_check_dead();
+  timespec ts{0, sleep_ns_};
+  nanosleep(&ts, nullptr);
+  if (sleep_ns_ < 1'000'000) sleep_ns_ *= 2;
   const double timeout = sync_timeout();
   if (timeout <= 0) return;
   const double now = wall_seconds();
@@ -41,10 +36,7 @@ void SpinGuard::relax() {
     deadline_ = now + timeout;
     return;
   }
-  if (now >= deadline_)
-    raise(std::string(what_) +
-          " exceeded the sync timeout — a peer rank is dead or the "
-          "collective call sequence diverged");
+  if (now >= deadline_) fault_timeout(what_);
 }
 
 }  // namespace yhccl::rt

@@ -3,8 +3,11 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <new>
+#include <numeric>
 
 #include "yhccl/analysis/hb.hpp"
 #include "yhccl/common/error.hpp"
@@ -15,6 +18,24 @@ namespace yhccl::rt {
 
 namespace {
 constexpr std::size_t kPageAlign = 4096;
+
+/// Satellite route into the watchdog: TeamConfig wins, then
+/// $YHCCL_SYNC_TIMEOUT (strictly validated), else leave the process-wide
+/// setting alone.
+void apply_sync_timeout(const TeamConfig& cfg) {
+  if (cfg.sync_timeout >= 0) {
+    set_sync_timeout(cfg.sync_timeout);
+    return;
+  }
+  const char* e = std::getenv("YHCCL_SYNC_TIMEOUT");
+  if (e == nullptr || *e == '\0') return;
+  char* end = nullptr;
+  errno = 0;
+  const double seconds = std::strtod(e, &end);
+  YHCCL_REQUIRE(end != nullptr && *end == '\0' && errno == 0,
+                "YHCCL_SYNC_TIMEOUT is not a number (seconds)");
+  set_sync_timeout(seconds);
+}
 
 bool want_hb_checker(const TeamConfig& cfg) {
   switch (cfg.hb_check) {
@@ -58,6 +79,11 @@ Team::Team(TeamConfig cfg) : cfg_(cfg), topo_(cfg.nranks, cfg.nsockets) {
   YHCCL_REQUIRE(cfg_.nsockets >= 1 && cfg_.nsockets <= kMaxSockets,
                 "nsockets out of range");
   YHCCL_REQUIRE(cfg_.chunk_bytes >= 256, "pt2pt chunk too small");
+  apply_sync_timeout(cfg_);
+  fault_plan_ = FaultPlan::from_env();
+  nranks_ = cfg_.nranks;
+  active_.resize(static_cast<std::size_t>(nranks_));
+  std::iota(active_.begin(), active_.end(), 0);
 
   const std::size_t p = static_cast<std::size_t>(cfg_.nranks);
   const std::size_t nchan = p * p;
@@ -137,8 +163,22 @@ std::byte* Team::shared_alloc(std::size_t bytes, std::size_t align) {
 }
 
 void Team::run(const std::function<void(RankCtx&)>& fn) {
-  run_ranks([&](int rank) {
+  // Pre-run reset, on the caller thread while the team is quiesced: an
+  // abort word or tombstones left by a previous failed run describe *that*
+  // run's fault (kept readable via last_fault() until here) and must not
+  // instantly re-abort this one — each run() gets fresh ranks anyway.
+  auto& fs = shared_->fault;
+  fs.abort_word.store(0, std::memory_order_relaxed);
+  for (int r = 0; r < cfg_.nranks; ++r) {
+    fs.hb[r].left.store(0, std::memory_order_relaxed);
+    fs.hb[r].dead.store(0, std::memory_order_relaxed);
+  }
+  const std::uint64_t epoch =
+      fs.team_epoch.load(std::memory_order_acquire);
+  run_ranks([&, epoch](int rank) {
     RankCtx ctx(*this, rank);
+    FaultRunScope fault_scope(shared_->fault, fault_plan_, rank, nranks_,
+                              epoch, forked_ranks());
     HbRunScope hb_scope(hb_, rank);
     copy::dav_reset();
     const double t0 = wall_seconds();
@@ -152,6 +192,83 @@ void Team::run(const std::function<void(RankCtx&)>& fn) {
   });
 }
 
+FaultInfo Team::recover() {
+  // run() is synchronous, so reaching here means every surviving rank has
+  // quiesced: threads are joined and child processes reaped.  No rank holds
+  // a lock or sits in a spin loop — shared state can be rebuilt in place.
+  auto& fs = shared_->fault;
+  const FaultInfo info = last_fault();
+
+  // Membership: drop ranks whose *process* died (reap bookkeeping).  A
+  // thread-backed rank's death is only a modelling device — the thread is
+  // joined and a fresh one can take its place — so thread teams always
+  // recover to full membership.
+  if (forked_ranks()) {
+    std::vector<int> survivors;
+    for (int r = 0; r < nranks_; ++r)
+      if (fs.hb[r].dead.load(std::memory_order_acquire) == 0)
+        survivors.push_back(active_[static_cast<std::size_t>(r)]);
+    YHCCL_REQUIRE(!survivors.empty(), "recover: no surviving ranks");
+    active_ = std::move(survivors);
+    nranks_ = static_cast<int>(active_.size());
+  }
+  const int nsockets = std::min(cfg_.nsockets, nranks_);
+  topo_ = Topology(nranks_, nsockets);
+
+  // Re-initialize every piece of shared synchronization state the aborted
+  // collective may have left torn.
+  barrier_init(shared_->node_barrier, static_cast<std::uint32_t>(nranks_));
+  for (int s = 0; s < kMaxSockets; ++s)
+    barrier_init(shared_->socket_barrier[s],
+                 s < nsockets
+                     ? static_cast<std::uint32_t>(topo_.socket_size(s))
+                     : 0);
+  for (int r = 0; r < kMaxRanks; ++r) {
+    shared_->step[r].v.store(0, std::memory_order_relaxed);
+    shared_->flag[r].v.store(0, std::memory_order_relaxed);
+    shared_->persist[r] = TeamShared::Persist{};
+    shared_->dav_out[r] = copy::Dav{};
+    shared_->time_out[r] = 0;
+    for (int s = 0; s < kRegistrySlots; ++s) {
+      auto& w = shared_->registry[r][s];
+      w.ptr.store(nullptr, std::memory_order_relaxed);
+      w.bytes.store(0, std::memory_order_relaxed);
+      w.pid.store(0, std::memory_order_relaxed);
+      w.seq.store(0, std::memory_order_relaxed);
+    }
+  }
+  const std::size_t nchan = static_cast<std::size_t>(cfg_.nranks) *
+                            static_cast<std::size_t>(cfg_.nranks);
+  auto* chans = reinterpret_cast<FifoChannel*>(region_.data() + off_channels_);
+  for (std::size_t c = 0; c < nchan; ++c) {
+    chans[c].~FifoChannel();
+    new (chans + c) FifoChannel();  // drops orphaned rendezvous descriptors
+  }
+  shared_->page_locks.reset();  // releases locks held by the dead rank
+
+  // Liveness slots and the abort word restart clean.
+  for (int r = 0; r < kMaxFaultRanks; ++r) {
+    auto& slot = fs.hb[r];
+    slot.beat.store(0, std::memory_order_relaxed);
+    slot.seq.store(0, std::memory_order_relaxed);
+    slot.epoch.store(0, std::memory_order_relaxed);
+    slot.pid.store(0, std::memory_order_relaxed);
+    slot.left.store(0, std::memory_order_relaxed);
+    slot.dead.store(0, std::memory_order_relaxed);
+  }
+  fs.abort_word.store(0, std::memory_order_relaxed);
+
+  // The race checker must see the re-initialization as a global
+  // synchronization point: everything before recovery happens-before
+  // everything after (including the dead rank's last writes).
+  if (hb_ != nullptr) hb_->on_recover();
+
+  // New epoch: a stale rank resumed from before recovery hits the epoch
+  // fence in fault_point instead of tearing the rebuilt state.
+  fs.team_epoch.fetch_add(1, std::memory_order_acq_rel);
+  return info;
+}
+
 std::uint64_t Team::hb_races() const { return hb_ != nullptr ? hb_->races() : 0; }
 
 std::string Team::hb_report() const {
@@ -160,13 +277,13 @@ std::string Team::hb_report() const {
 
 copy::Dav Team::total_dav() const {
   copy::Dav total;
-  for (int r = 0; r < cfg_.nranks; ++r) total += shared_->dav_out[r];
+  for (int r = 0; r < nranks_; ++r) total += shared_->dav_out[r];
   return total;
 }
 
 double Team::max_time() const {
   double m = 0;
-  for (int r = 0; r < cfg_.nranks; ++r)
+  for (int r = 0; r < nranks_; ++r)
     m = std::max(m, shared_->time_out[r]);
   return m;
 }
@@ -192,14 +309,22 @@ void RankCtx::socket_barrier() {
                  persist_->sock_sense);
 }
 
-std::uint64_t RankCtx::next_seq() { return ++persist_->coll_seq; }
+std::uint64_t RankCtx::next_seq() {
+  const std::uint64_t s = ++persist_->coll_seq;
+  // Published so a watchdog expiry elsewhere can tell a diverged call
+  // sequence from a stalled rank (fault.hpp classification).
+  team_->shared().fault.hb[rank_].seq.store(s, std::memory_order_relaxed);
+  return s;
+}
 
-void RankCtx::step_publish(std::uint64_t v) noexcept {
+void RankCtx::step_publish(std::uint64_t v) {
+  fault_point("flag");
   analysis::hb_release(&team_->shared().step[rank_].v);
   team_->shared().step[rank_].v.store(v, std::memory_order_release);
 }
 
 void RankCtx::step_wait(int peer, std::uint64_t v) {
+  fault_point("flag");
   spin_wait_ge(team_->shared().step[peer].v, v);
 }
 
@@ -244,6 +369,7 @@ RemoteBuf RankCtx::remote_buffer(int peer, int slot) const {
 // ---------------------------------------------------------------------------
 
 void RankCtx::send(int dst, const void* p, std::size_t n, int tag) {
+  fault_point("fifo");
   YHCCL_REQUIRE(dst >= 0 && dst < nranks_ && dst != rank_, "bad send peer");
   auto& ch = team_->channel(rank_, dst);
   std::byte* data = team_->channel_data(rank_, dst);
@@ -267,6 +393,7 @@ void RankCtx::send(int dst, const void* p, std::size_t n, int tag) {
 }
 
 void RankCtx::recv(int src, void* p, std::size_t n, int tag) {
+  fault_point("fifo");
   YHCCL_REQUIRE(src >= 0 && src < nranks_ && src != rank_, "bad recv peer");
   auto& ch = team_->channel(src, rank_);
   std::byte* data = team_->channel_data(src, rank_);
@@ -289,6 +416,7 @@ void RankCtx::recv(int src, void* p, std::size_t n, int tag) {
 
 void RankCtx::sendrecv(int dst, const void* sbuf, std::size_t sn, int src,
                        void* rbuf, std::size_t rn, int tag) {
+  fault_point("fifo");
   auto& out = team_->channel(rank_, dst);
   auto& in = team_->channel(src, rank_);
   std::byte* out_data = team_->channel_data(rank_, dst);
@@ -343,6 +471,7 @@ void RankCtx::sendrecv(int dst, const void* sbuf, std::size_t sn, int src,
 
 void RankCtx::sendrecv_zc(int dst, const void* sbuf, std::size_t sn, int src,
                           void* rbuf, std::size_t rn, RemoteMode mode) {
+  fault_point("rndv");
   auto& out = team_->channel(rank_, dst);
   // Relaxed self-read is safe: rndv_posted is a single-writer counter (only
   // the sending side of channel (rank_, dst) — i.e. this rank — ever stores
@@ -363,6 +492,7 @@ void RankCtx::sendrecv_zc(int dst, const void* sbuf, std::size_t sn, int src,
 // ---------------------------------------------------------------------------
 
 void RankCtx::send_zc(int dst, const void* p, std::size_t n) {
+  fault_point("rndv");
   auto& ch = team_->channel(rank_, dst);
   // rndv_posted: single-writer counter (sender side only) — the relaxed
   // self-read+1 cannot tear or miss an update.  The descriptor fields are
@@ -379,6 +509,7 @@ void RankCtx::send_zc(int dst, const void* p, std::size_t n) {
 }
 
 void RankCtx::recv_zc(int src, void* p, std::size_t n, RemoteMode mode) {
+  fault_point("rndv");
   auto& ch = team_->channel(src, rank_);
   // rndv_done: single-writer counter (receiver side only), same argument
   // as rndv_posted in send_zc above.

@@ -5,9 +5,14 @@
 #include <thread>
 #include <vector>
 
+#include "yhccl/runtime/fault.hpp"
+
 namespace yhccl::rt {
 
 void ThreadTeam::run_ranks(const std::function<void(int)>& wrapped) {
+  auto& fs = shared().fault;
+  const std::uint64_t epoch = fs.team_epoch.load(std::memory_order_acquire);
+
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(nranks()));
   std::exception_ptr first_error;
@@ -17,6 +22,16 @@ void ThreadTeam::run_ranks(const std::function<void(int)>& wrapped) {
     threads.emplace_back([&, r] {
       try {
         wrapped(r);
+      } catch (const FaultInjectedDeath& d) {
+        // A thread rank cannot kill the process; model its injected death by
+        // tombstoning the rank and raising the team abort — survivors then
+        // leave exactly as they would for a reaped sibling process.
+        fs.hb[d.rank].dead.store(1, std::memory_order_release);
+        std::uint64_t expect = 0;
+        fs.abort_word.compare_exchange_strong(
+            expect,
+            FaultState::pack(FaultInfo{FaultKind::peer_dead, d.rank, epoch}),
+            std::memory_order_acq_rel, std::memory_order_acquire);
       } catch (...) {
         std::lock_guard lock(error_mu);
         if (!first_error) first_error = std::current_exception();
@@ -25,6 +40,15 @@ void ThreadTeam::run_ranks(const std::function<void(int)>& wrapped) {
   }
   for (auto& t : threads) t.join();
   if (first_error) std::rethrow_exception(first_error);
+  // A rank died at the very last fault point and no survivor was left
+  // waiting on it: still report the abort instead of returning a result
+  // computed by a partially-dead team.
+  const std::uint64_t w = fs.abort_word.load(std::memory_order_acquire);
+  if (w != 0) {
+    const FaultInfo f = FaultState::unpack(w);
+    if (f.epoch == epoch)
+      throw Error("ThreadTeam: " + describe_fault(f), f.kind, f.rank, f.epoch);
+  }
 }
 
 }  // namespace yhccl::rt

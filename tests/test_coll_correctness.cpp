@@ -22,8 +22,11 @@ struct TeamShape {
   int p, m;
 };
 
-const TeamShape kShapes[] = {{1, 1}, {2, 1}, {3, 1}, {4, 1},
-                             {4, 2}, {6, 2}, {8, 2}, {8, 4}, {5, 2}};
+// {3, 2} puts a singleton socket next to a multi-rank one: a rank with no
+// intra-socket peers must still match the team-uniform barriers of the
+// socket-aware arms (regression: DPML stage-1 barrier deadlock).
+const TeamShape kShapes[] = {{1, 1}, {2, 1}, {3, 1}, {4, 1}, {4, 2},
+                             {6, 2}, {8, 2}, {8, 4}, {5, 2}, {3, 2}};
 
 const std::size_t kCounts[] = {1, 5, 64, 1023, 4096, 100000};
 

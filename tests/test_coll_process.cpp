@@ -84,6 +84,28 @@ TEST(ProcessColl, EveryAlgorithmArmAcrossProcesses) {
   }
 }
 
+// Regression: 3 ranks over 2 sockets leaves rank 2 alone on its socket.
+// The DPML stage-1 barrier used to be entered only by multi-rank sockets,
+// so the singleton rank ran one barrier ahead and the team deadlocked
+// (small messages pick dpml_two_level, so plain allreduce() hit it).
+TEST(ProcessColl, SingletonSocketSmallMessageAllreduce) {
+  auto& team = process_team(3, 2);
+  const std::size_t count = 1024;
+  auto* out = reinterpret_cast<double*>(team.shared_alloc(3u * count * 8));
+  team.run([&](rt::RankCtx& ctx) {
+    std::vector<double> send(count), recv(count);
+    fill_buffer(send.data(), count, Datatype::f64, ctx.rank(), ReduceOp::sum);
+    coll::allreduce(ctx, send.data(), recv.data(), count, Datatype::f64,
+                    ReduceOp::sum);
+    std::memcpy(out + ctx.rank() * count, recv.data(), count * 8);
+    ctx.barrier();
+  });
+  for (int r = 0; r < 3; ++r)
+    EXPECT_TRUE(check_reduced(out + r * count, count, Datatype::f64, 3,
+                              ReduceOp::sum))
+        << "rank " << r;
+}
+
 TEST(ProcessColl, ReduceScatterBroadcastAllgather) {
   auto& team = process_team(4, 2);
   const std::size_t count = 20000;  // per-rank block
