@@ -33,8 +33,11 @@ int main() {
   std::printf("Ablation — alltoall algorithms (p=%d, m=%d; MsgSz = "
               "per-destination block)\n",
               p, m);
+  Session session("ablation_alltoall");
   sweep(team, "alltoall (relative to staged)", arms, sizes,
-        hi * static_cast<std::size_t>(p), hi * static_cast<std::size_t>(p))
+        hi * static_cast<std::size_t>(p), hi * static_cast<std::size_t>(p),
+        &session, "alltoall")
       .print();
+  session.write();
   return 0;
 }

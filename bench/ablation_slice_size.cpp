@@ -21,25 +21,32 @@ int main() {
   std::printf("Ablation — MA all-reduce slice size (msg=%s, p=%d, m=%d)\n",
               human_size(bytes).c_str(), p, m);
   std::printf("%-10s %12s %12s\n", "Imax", "flat-MA(us)", "socket-MA(us)");
+  Session session("ablation_slice_size");
   for (std::size_t imax = 4u << 10; imax <= 2u << 20; imax *= 2) {
     coll::CollOpts o;
     o.slice_max = imax;
-    const double flat = time_arm(
-        team, bufs,
-        [&](rt::RankCtx& c, const void* s, void* r, std::size_t) {
-          coll::ma_allreduce(c, s, r, count, Datatype::f64, ReduceOp::sum,
-                             o);
-        },
-        bytes);
-    const double sock = time_arm(
-        team, bufs,
-        [&](rt::RankCtx& c, const void* s, void* r, std::size_t) {
-          coll::socket_ma_allreduce(c, s, r, count, Datatype::f64,
-                                    ReduceOp::sum, o);
-        },
-        bytes);
+    const double flat =
+        measure_arm(
+            team, session, "allreduce", "flat-MA@" + human_size(imax), bufs,
+            [&](rt::RankCtx& c, const void* s, void* r, std::size_t) {
+              coll::ma_allreduce(c, s, r, count, Datatype::f64,
+                                 ReduceOp::sum, o);
+            },
+            bytes)
+            .time.median;
+    const double sock =
+        measure_arm(
+            team, session, "allreduce", "socket-MA@" + human_size(imax),
+            bufs,
+            [&](rt::RankCtx& c, const void* s, void* r, std::size_t) {
+              coll::socket_ma_allreduce(c, s, r, count, Datatype::f64,
+                                        ReduceOp::sum, o);
+            },
+            bytes)
+            .time.median;
     std::printf("%-10s %12.1f %12.1f\n", human_size(imax).c_str(),
                 flat * 1e6, sock * 1e6);
   }
+  session.write();
   return 0;
 }

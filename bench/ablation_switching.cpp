@@ -33,9 +33,11 @@ int main() {
   std::printf("Ablation — algorithm switching for all-reduce (p=%d, m=%d, "
               "threshold=256KB)\n",
               p, m);
+  Session session("ablation_switching");
   auto table = sweep(team, "allreduce engines (relative to auto)", arms,
-                     sizes, hi, hi);
+                     sizes, hi, hi, &session, "allreduce");
   table.print();
+  session.write();
 
   // Regret of the switcher vs the per-size oracle.
   double worst = 0;

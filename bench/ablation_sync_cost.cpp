@@ -15,25 +15,42 @@ int main() {
   std::printf("Ablation — synchronization primitive cost\n");
   std::printf("%-6s %18s %18s %18s\n", "p", "central-bar(us)",
               "dissem-bar(us)", "flag-chain(us)");
+  Session session("ablation_sync_cost");
   for (int p : {2, 4, 8, 16}) {
     auto& team = bench_team(p, 2);
     constexpr int kIters = 400;
+    // Each cell records into the session as a "sync" series whose counters
+    // (kIters * p barrier arrivals, kIters flag posts/waits per rank, ...)
+    // are deterministic and regression-gated like any collective's.
+    const auto cell = [&](const char* algo, const RankFn& fn) {
+      Series meta;
+      meta.bench = session.name();
+      meta.collective = "sync";
+      meta.algorithm = std::string(algo) + "-x" + std::to_string(kIters);
+      meta.bytes = 0;
+      const Series s =
+          measure_series(team, std::move(meta), fn, session.policy());
+      session.add(s);
+      return s.time.median / kIters * 1e6;
+    };
     // Node barrier.
-    team.run([&](rt::RankCtx& ctx) {
+    const double barrier_us = cell("central-barrier", [&](rt::RankCtx& ctx) {
       for (int i = 0; i < kIters; ++i) ctx.barrier();
     });
-    const double barrier_us = team.max_time() / kIters * 1e6;
-    // Dissemination barrier (log2 p rounds of pairwise signalling).
+    // Dissemination barrier (log2 p rounds of pairwise signalling).  The
+    // tokens must survive the harness's repetition loop: their epochs are
+    // monotone counters matched against the state's monotone flags, so a
+    // fresh token against advanced flags would never wait.
     auto dstate = std::make_unique<rt::DisseminationBarrierState>();
     rt::dissemination_init(*dstate, static_cast<std::uint32_t>(p));
-    team.run([&](rt::RankCtx& ctx) {
-      rt::DisseminationToken tok;
+    std::vector<rt::DisseminationToken> toks(p);
+    const double dissem_us = cell("dissemination", [&](rt::RankCtx& ctx) {
+      auto& tok = toks[static_cast<std::size_t>(ctx.rank())];
       for (int i = 0; i < kIters; ++i)
         rt::dissemination_arrive(*dstate, ctx.rank(), tok);
     });
-    const double dissem_us = team.max_time() / kIters * 1e6;
     // Neighbour flag chain (the MA pipeline's per-step sync).
-    team.run([&](rt::RankCtx& ctx) {
+    const double chain_us = cell("flag-chain", [&](rt::RankCtx& ctx) {
       const auto seq = ctx.next_seq();
       const int right = (ctx.rank() + 1) % ctx.nranks();
       for (int k = 0; k < kIters; ++k) {
@@ -42,10 +59,10 @@ int main() {
       }
       ctx.barrier();
     });
-    const double chain_us = team.max_time() / kIters * 1e6;
     std::printf("%-6d %18.2f %18.2f %18.2f\n", p, barrier_us, dissem_us,
                 chain_us);
   }
+  session.write();
   std::printf("\n(per large-message round, flat MA pays (p-1) flag waits; "
               "socket-aware MA pays p/m-1 waits + 2-3 barriers)\n");
   return 0;

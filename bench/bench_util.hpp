@@ -1,18 +1,16 @@
-// Shared harness for the paper-reproduction benchmarks.
+// Shared glue between the paper-reproduction bench mains and the harness
+// library in src/bench (yhccl/bench/harness.hpp).  All measurement policy
+// — warm-up, repetition until the median's confidence interval converges,
+// outlier rejection, barrier-aligned per-rank timing — lives in the
+// library; this header only keeps the bench-side conveniences: the cached
+// ThreadTeam, the rewritten-between-iterations buffer sets (§5.5) and the
+// figure-style sweep tables.
 //
-// Each bench binary reproduces one table or figure: it sweeps the paper's
-// message sizes (scaled to this host, see DESIGN.md §3), runs every
-// algorithm arm through the same SPMD timing loop, and prints the same
-// rows/series the paper reports (absolute time plus overhead relative to
-// the YHCCL arm).
-//
-// Methodology notes, mirroring §5.5:
-//  * send/receive buffers are rewritten between iterations so no arm
-//    benefits from cache-resident inputs;
-//  * the reported time is the median over repetitions of the *slowest
-//    rank* (collectives finish when the last rank finishes);
-//  * rank counts are modest (the host has 2 cores) — relative ordering,
-//    not absolute latency, is the reproduction target.
+// Each bench main owns a Session named after its binary; cells measured
+// through measure_arm()/sweep() land in the session and serialize to
+// BENCH_<name>.json when $YHCCL_BENCH_JSON names a directory.  The
+// bench_compare tool merges those into BENCH_collectives.json and diffs
+// runs (docs/benchmarking.md).
 #pragma once
 
 #include <algorithm>
@@ -24,9 +22,10 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
-#include "yhccl/common/time.hpp"
+#include "yhccl/bench/harness.hpp"
 #include "yhccl/runtime/thread_team.hpp"
 
 namespace yhccl::bench {
@@ -92,28 +91,71 @@ struct RankBuffers {
 using CollArm = std::function<void(rt::RankCtx&, const void* send,
                                    void* recv, std::size_t bytes)>;
 
-/// Median-of-slowest-rank seconds for one (arm, size) cell.
-inline double time_arm(rt::ThreadTeam& team, RankBuffers& bufs,
-                       const CollArm& arm, std::size_t bytes,
-                       double budget_s = 0.35, int min_iters = 5,
-                       int max_iters = 40) {
-  std::vector<double> samples;
-  double spent = 0;
-  for (int it = 0; it < max_iters; ++it) {
-    for (int r = 0; r < team.nranks(); ++r) bufs.touch(r, it);
-    team.run([&](rt::RankCtx& ctx) {
-      arm(ctx, bufs.send[ctx.rank()].data(), bufs.recv[ctx.rank()].data(),
-          bytes);
-    });
-    const double t = team.max_time();
-    if (it > 0 || max_iters == 1) samples.push_back(t);  // drop warm-up
-    spent += t;
-    if (static_cast<int>(samples.size()) >= min_iters && spent > budget_s)
-      break;
-  }
-  if (samples.empty()) return 0;
-  std::sort(samples.begin(), samples.end());
-  return samples[samples.size() / 2];
+/// Bind an arm to its per-rank buffers as a harness RankFn.
+inline RankFn arm_fn(RankBuffers& bufs, CollArm arm, std::size_t bytes) {
+  return [&bufs, arm = std::move(arm), bytes](rt::RankCtx& ctx) {
+    arm(ctx, bufs.send[ctx.rank()].data(), bufs.recv[ctx.rank()].data(),
+        bytes);
+  };
+}
+
+/// §5.5 buffer-rewrite hook for the timed repetition loop.
+inline IterHook touch_hook(RankBuffers& bufs) {
+  return [&bufs](unsigned iter) {
+    for (std::size_t r = 0; r < bufs.send.size(); ++r)
+      bufs.touch(static_cast<int>(r), iter);
+  };
+}
+
+/// Median-of-slowest-rank seconds for one (arm, size) cell.  Timing runs
+/// through the library's barrier-aligned repetition loop (timed_run).
+inline double time_arm(rt::Team& team, RankBuffers& bufs, const CollArm& arm,
+                       std::size_t bytes,
+                       const RunPolicy& policy = RunPolicy::from_env()) {
+  return timed_run(team, arm_fn(bufs, arm, bytes), policy, touch_hook(bufs))
+      .median;
+}
+
+/// Measure one cell (timing + deterministic counters) and record it in the
+/// session.  The bench field comes from the session name.
+inline Series measure_arm(rt::Team& team, Session& session,
+                          std::string collective, std::string algorithm,
+                          RankBuffers& bufs, const CollArm& arm,
+                          std::size_t bytes) {
+  Series meta;
+  meta.bench = session.name();
+  meta.collective = std::move(collective);
+  meta.algorithm = std::move(algorithm);
+  meta.bytes = bytes;
+  Series s = measure_series(team, std::move(meta),
+                            arm_fn(bufs, arm, bytes), session.policy(),
+                            touch_hook(bufs));
+  session.add(s);
+  return s;
+}
+
+/// One-shot measurement (apps and other long-running SPMD regions): a
+/// single run provides both the counters and the lone timing sample.
+inline Series record_once(rt::Team& team, Session& session,
+                          std::string collective, std::string algorithm,
+                          std::size_t bytes, const RankFn& fn) {
+  Series s;
+  s.bench = session.name();
+  s.collective = std::move(collective);
+  s.algorithm = std::move(algorithm);
+  s.bytes = bytes;
+  s.ranks = team.nranks();
+  s.sockets = team.topo().nsockets();
+  s.counters = measure_counters(team, fn);
+  s.isa = s.counters.kernels.total()
+              ? copy::isa_name(s.counters.kernels.dominant())
+              : "-";
+  s.time = summarize({team.max_time()});
+  s.dab = s.time.median > 0
+              ? static_cast<double>(s.counters.dav.total()) / s.time.median
+              : 0;
+  session.add(s);
+  return s;
 }
 
 inline std::string human_size(std::size_t b) {
@@ -169,10 +211,14 @@ struct SweepTable {
 
 /// Run a full sweep (arms x sizes) and collect the table.  `bytes` passed
 /// to each arm is the *total message size*; arms derive their own counts.
+/// With a session, every cell is also measured for counters and recorded
+/// as a Series under `collective`.
 inline SweepTable sweep(rt::ThreadTeam& team, std::string title,
                         const std::vector<std::pair<std::string, CollArm>>& arms,
                         const std::vector<std::size_t>& sizes,
-                        std::size_t send_max, std::size_t recv_max) {
+                        std::size_t send_max, std::size_t recv_max,
+                        Session* session = nullptr,
+                        const std::string& collective = {}) {
   SweepTable t;
   t.title = std::move(title);
   for (const auto& [name, fn] : arms) t.arms.push_back(name);
@@ -180,8 +226,14 @@ inline SweepTable sweep(rt::ThreadTeam& team, std::string title,
   RankBuffers bufs(team.nranks(), send_max, recv_max);
   for (std::size_t s : sizes) {
     std::vector<double> row;
-    for (const auto& [name, fn] : arms)
-      row.push_back(time_arm(team, bufs, fn, s));
+    for (const auto& [name, fn] : arms) {
+      if (session)
+        row.push_back(
+            measure_arm(team, *session, collective, name, bufs, fn, s)
+                .time.median);
+      else
+        row.push_back(time_arm(team, bufs, fn, s));
+    }
     t.times.push_back(std::move(row));
   }
   return t;

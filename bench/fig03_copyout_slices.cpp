@@ -6,8 +6,6 @@
 //
 // Paper: 256 MB per rank on 64 cores; scaled here (DESIGN.md §3).
 // Expected shape: a step down in time once the slice reaches ~2 MB.
-#include <benchmark/benchmark.h>
-
 #include <cstring>
 
 #include "bench_util.hpp"
@@ -15,47 +13,49 @@
 using namespace yhccl;
 using namespace yhccl::bench;
 
-namespace {
-
-void BM_CopyOutSlices(benchmark::State& state) {
-  const std::size_t slice = static_cast<std::size_t>(state.range(0));
+int main() {
   const int p = 4;  // ranks doing concurrent copy-outs
   const std::size_t per_rank =
       static_cast<std::size_t>((32u << 20) * bench_scale());
   auto& team = bench_team(p, 1);
-  static std::byte* shm = nullptr;
-  if (shm == nullptr) {
-    // One shared source region, initialized once.
-    shm = team.scratch_base();
-    std::memset(shm, 0x5a, per_rank);
-  }
+  // One shared source region, initialized once.
+  std::byte* shm = team.scratch_base();
+  std::memset(shm, 0x5a, per_rank);
   std::vector<std::vector<std::uint8_t>> priv(
       p, std::vector<std::uint8_t>(per_rank));
 
-  for (auto _ : state) {
-    team.run([&](rt::RankCtx& ctx) {
-      auto* dst = priv[ctx.rank()].data();
-      for (std::size_t off = 0; off < per_rank; off += slice) {
-        const std::size_t len = std::min(slice, per_rank - off);
-        std::memmove(dst + off, shm + off, len);
-      }
-    });
-    state.SetIterationTime(team.max_time());
+  std::printf("Fig. 3 — sliced copy-out from shared memory (%s per rank, "
+              "p=%d)\n",
+              human_size(per_rank).c_str(), p);
+  std::printf("%-10s %12s %12s\n", "slice", "time(us)", "GB/s");
+
+  Session session("fig03_copyout_slices");
+  for (std::size_t slice : {std::size_t{256} << 10, std::size_t{512} << 10,
+                            std::size_t{1} << 20, std::size_t{2} << 20,
+                            std::size_t{4} << 20}) {
+    Series meta;
+    meta.bench = session.name();
+    meta.collective = "copyout";
+    meta.algorithm = "memmove@" + human_size(slice);
+    meta.bytes = per_rank;
+    const Series s = measure_series(
+        team, std::move(meta),
+        [&](rt::RankCtx& ctx) {
+          auto* dst = priv[ctx.rank()].data();
+          for (std::size_t off = 0; off < per_rank; off += slice) {
+            const std::size_t len = std::min(slice, per_rank - off);
+            std::memmove(dst + off, shm + off, len);
+          }
+        },
+        session.policy());
+    session.add(s);
+    const double gbs = s.time.median > 0
+                           ? static_cast<double>(per_rank) * p /
+                                 s.time.median / 1e9
+                           : 0.0;
+    std::printf("%-10s %12.1f %12.1f\n", human_size(slice).c_str(),
+                s.time.median * 1e6, gbs);
   }
-  state.SetBytesProcessed(static_cast<std::int64_t>(per_rank) * p *
-                          static_cast<std::int64_t>(state.iterations()));
-  state.counters["slice_KB"] = static_cast<double>(slice >> 10);
+  session.write();
+  return 0;
 }
-
-}  // namespace
-
-BENCHMARK(BM_CopyOutSlices)
-    ->Arg(256 << 10)
-    ->Arg(512 << 10)
-    ->Arg(1 << 20)
-    ->Arg(2 << 20)
-    ->Arg(4 << 20)
-    ->UseManualTime()
-    ->Unit(benchmark::kMicrosecond);
-
-BENCHMARK_MAIN();

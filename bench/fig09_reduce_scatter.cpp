@@ -56,8 +56,10 @@ int main() {
 
   std::printf("Fig. 9 — reduce-scatter algorithm comparison (p=%d, m=%d)\n",
               p, m);
+  Session session("fig09_reduce_scatter");
   sweep(team, "reduce-scatter: relative time overhead vs Socket-MA", arms,
-        sizes, hi, hi)
+        sizes, hi, hi, &session, "reduce_scatter")
       .print();
+  session.write();
   return 0;
 }

@@ -42,8 +42,10 @@ int main() {
 
   std::printf("Fig. 10 — reduce algorithm comparison (p=%d, m=%d, root=0)\n",
               p, m);
+  Session session("fig10_reduce");
   sweep(team, "reduce: relative time overhead vs Socket-MA", arms, sizes, hi,
-        hi)
+        hi, &session, "reduce")
       .print();
+  session.write();
   return 0;
 }

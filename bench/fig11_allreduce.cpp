@@ -54,8 +54,10 @@ int main() {
 
   std::printf("Fig. 11 — all-reduce algorithm comparison (p=%d, m=%d)\n", p,
               m);
+  Session session("fig11_allreduce");
   sweep(team, "all-reduce: relative time overhead vs Socket-MA", arms, sizes,
-        hi, hi)
+        hi, hi, &session, "allreduce")
       .print();
+  session.write();
   return 0;
 }

@@ -46,8 +46,10 @@ int main() {
               human_size(model::nt_switch_point_allreduce(
                              cache.available(p), p, m, 256u << 10))
                   .c_str());
+  Session session("fig12_adaptive_allreduce");
   sweep(team, "all-reduce copy-policy sweep (relative to adaptive)", arms,
-        sizes, hi, hi)
+        sizes, hi, hi, &session, "allreduce")
       .print();
+  session.write();
   return 0;
 }

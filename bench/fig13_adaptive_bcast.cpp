@@ -33,8 +33,10 @@ int main() {
   };
 
   std::printf("Fig. 13 — adaptive pipelined broadcast (p=%d, m=%d)\n", p, m);
+  Session session("fig13_adaptive_bcast");
   sweep(team, "broadcast copy-policy sweep (relative to adaptive)", arms,
-        sizes, hi, hi)
+        sizes, hi, hi, &session, "broadcast")
       .print();
+  session.write();
   return 0;
 }

@@ -32,8 +32,10 @@ int main() {
 
   std::printf("Fig. 14 — adaptive pipelined all-gather (p=%d, m=%d)\n", p,
               m);
+  Session session("fig14_adaptive_allgather");
   sweep(team, "all-gather copy-policy sweep (relative to adaptive)", arms,
-        sizes, hi, hi * static_cast<std::size_t>(p))
+        sizes, hi, hi * static_cast<std::size_t>(p), &session, "allgather")
       .print();
+  session.write();
   return 0;
 }

@@ -30,6 +30,7 @@ int main() {
   };
 
   std::printf("Fig. 15 — YHCCL vs state-of-the-art (p=%d, m=%d)\n", p, m);
+  Session session("fig15_state_of_the_art");
 
   // ---- (a) reduce-scatter --------------------------------------------------
   {
@@ -70,7 +71,9 @@ int main() {
                                                Datatype::f64, ReduceOp::sum,
                                                base::Transport::two_copy);
            }});
-    sweep(team, "(a) reduce-scatter", arms, sizes, hi, hi).print();
+    sweep(team, "(a) reduce-scatter", arms, sizes, hi, hi, &session,
+          "reduce_scatter")
+        .print();
   }
 
   // ---- (b) reduce ------------------------------------------------------------
@@ -95,7 +98,8 @@ int main() {
                               0);
          }},
     };
-    sweep(team, "(b) reduce (root 0, max over ranks)", arms, sizes, hi, hi)
+    sweep(team, "(b) reduce (root 0, max over ranks)", arms, sizes, hi, hi,
+          &session, "reduce")
         .print();
   }
 
@@ -134,7 +138,9 @@ int main() {
                                           ReduceOp::sum,
                                           base::Transport::two_copy);
            }});
-    sweep(team, "(c) all-reduce", arms, sizes, hi, hi).print();
+    sweep(team, "(c) all-reduce", arms, sizes, hi, hi, &session,
+          "allreduce")
+        .print();
   }
 
   // ---- (d) broadcast ------------------------------------------------------------
@@ -159,7 +165,7 @@ int main() {
          }},
     };
     sweep(team, "(d) broadcast (root 0, max over ranks)", arms, sizes, hi,
-          hi)
+          hi, &session, "broadcast")
         .print();
   }
 
@@ -188,8 +194,9 @@ int main() {
          }},
     };
     sweep(team, "(e) all-gather (per-rank message size)", arms, ag_sizes,
-          ag_hi, ag_hi * static_cast<std::size_t>(p))
+          ag_hi, ag_hi * static_cast<std::size_t>(p), &session, "allgather")
         .print();
   }
+  session.write();
   return 0;
 }

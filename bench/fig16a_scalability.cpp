@@ -20,49 +20,45 @@ int main() {
   std::printf("%-6s %12s %12s %12s %12s %12s\n", "p", "YHCCL(us)", "DPML(x)",
               "RG(x)", "OpenMPI(x)", "XPMEM(x)");
 
+  Session session("fig16a_scalability");
   for (int p : {2, 4, 8, 16}) {
     const int m = p >= 4 ? 2 : 1;
     auto& team = bench_team(p, m);
     RankBuffers bufs(p, bytes, bytes);
     coll::CollOpts yo;
     yo.slice_max = 128u << 10;  // the paper's Fig. 16a slice
+    const auto arm = [&](const char* name, const CollArm& fn) {
+      return measure_arm(team, session, "allreduce", name, bufs, fn, bytes)
+          .time.median;
+    };
 
-    const double yhccl = time_arm(
-        team, bufs,
-        [&](rt::RankCtx& c, const void* s, void* r, std::size_t) {
+    const double yhccl = arm(
+        "YHCCL", [&](rt::RankCtx& c, const void* s, void* r, std::size_t) {
           coll::socket_ma_allreduce(c, s, r, count, Datatype::f64,
                                     ReduceOp::sum, yo);
-        },
-        bytes);
-    const double dpml = time_arm(
-        team, bufs,
-        [&](rt::RankCtx& c, const void* s, void* r, std::size_t) {
+        });
+    const double dpml = arm(
+        "DPML", [&](rt::RankCtx& c, const void* s, void* r, std::size_t) {
           base::dpml_allreduce(c, s, r, count, Datatype::f64, ReduceOp::sum);
-        },
-        bytes);
-    const double rg = time_arm(
-        team, bufs,
-        [&](rt::RankCtx& c, const void* s, void* r, std::size_t) {
+        });
+    const double rg = arm(
+        "RG", [&](rt::RankCtx& c, const void* s, void* r, std::size_t) {
           base::rg_allreduce(c, s, r, count, Datatype::f64, ReduceOp::sum);
-        },
-        bytes);
-    const double ompi = time_arm(
-        team, bufs,
-        [&](rt::RankCtx& c, const void* s, void* r, std::size_t) {
+        });
+    const double ompi = arm(
+        "OpenMPI", [&](rt::RankCtx& c, const void* s, void* r, std::size_t) {
           base::ring_allreduce(c, s, r, count, Datatype::f64, ReduceOp::sum,
                                base::Transport::two_copy);
-        },
-        bytes);
-    const double xp = time_arm(
-        team, bufs,
-        [&](rt::RankCtx& c, const void* s, void* r, std::size_t) {
+        });
+    const double xp = arm(
+        "XPMEM", [&](rt::RankCtx& c, const void* s, void* r, std::size_t) {
           base::xpmem_allreduce(c, s, r, count, Datatype::f64,
                                 ReduceOp::sum);
-        },
-        bytes);
+        });
     std::printf("%-6d %12.1f %12.2f %12.2f %12.2f %12.2f\n", p, yhccl * 1e6,
                 dpml / yhccl, rg / yhccl, ompi / yhccl, xp / yhccl);
   }
+  session.write();
   std::printf(
       "\nNote: p > #cores oversubscribes this 2-core host; the paper's\n"
       "expected shape is YHCCL leading from p >= 8 and XPMEM closest at\n"

@@ -40,6 +40,21 @@ int main() {
   std::printf("%-10s %14s %14s %14s %10s %10s\n", "MsgSz", "YHCCL(us)",
               "OMPI-ring(x)", "Tree-hcoll(x)", "intra%", "inter%");
 
+  Session session("fig16b_multinode");
+  const auto record = [&](const char* algo, std::size_t bytes,
+                          double seconds) {
+    // Simulator output: a single deterministic sample, no counters.
+    Series se;
+    se.bench = session.name();
+    se.collective = "multinode_allreduce";
+    se.algorithm = algo;
+    se.ranks = nnodes * node.ranks_per_node;
+    se.sockets = node.sockets;
+    se.bytes = bytes;
+    se.time = summarize({seconds});
+    se.isa = "-";
+    session.add(se);
+  };
   for (std::size_t s = 16u << 10; s <= 256u << 20; s *= 4) {
     const auto y =
         multinode_allreduce(MultiNodeAlgo::yhccl, s, nnodes, node, net);
@@ -47,11 +62,15 @@ int main() {
         multinode_allreduce(MultiNodeAlgo::openmpi, s, nnodes, node, net);
     const auto t =
         multinode_allreduce(MultiNodeAlgo::tree_hcoll, s, nnodes, node, net);
+    record("YHCCL", s, y.seconds);
+    record("OMPI-ring", s, o.seconds);
+    record("Tree-hcoll", s, t.seconds);
     std::printf("%-10s %14.1f %14.2f %14.2f %9.0f%% %9.0f%%\n",
                 human_size(s).c_str(), y.seconds * 1e6,
                 o.seconds / y.seconds, t.seconds / y.seconds,
                 100 * y.intra_seconds / y.seconds,
                 100 * y.inter_seconds / y.seconds);
   }
+  session.write();
   return 0;
 }

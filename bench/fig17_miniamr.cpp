@@ -30,23 +30,30 @@ int main() {
               human_size(cfg.refine_metric_len * 8).c_str());
 
   apps::miniamr::Stats ympi{}, ompi{};
-  team.run([&](rt::RankCtx& ctx) {
-    auto st = apps::miniamr::run_rank(
-        ctx, cfg,
-        [](rt::RankCtx& c, const double* in, double* out, std::size_t n) {
-          coll::allreduce(c, in, out, n, Datatype::f64, ReduceOp::sum);
-        });
-    if (ctx.rank() == 0) ympi = st;
-  });
-  team.run([&](rt::RankCtx& ctx) {
-    auto st = apps::miniamr::run_rank(
-        ctx, cfg,
-        [](rt::RankCtx& c, const double* in, double* out, std::size_t n) {
-          base::ring_allreduce(c, in, out, n, Datatype::f64, ReduceOp::sum,
-                               base::Transport::two_copy);
-        });
-    if (ctx.rank() == 0) ompi = st;
-  });
+  Session session("fig17_miniamr");
+  record_once(team, session, "app-miniamr", "YHCCL",
+              cfg.refine_metric_len * 8, [&](rt::RankCtx& ctx) {
+                auto st = apps::miniamr::run_rank(
+                    ctx, cfg,
+                    [](rt::RankCtx& c, const double* in, double* out,
+                       std::size_t n) {
+                      coll::allreduce(c, in, out, n, Datatype::f64,
+                                      ReduceOp::sum);
+                    });
+                if (ctx.rank() == 0) ympi = st;
+              });
+  record_once(team, session, "app-miniamr", "OpenMPI",
+              cfg.refine_metric_len * 8, [&](rt::RankCtx& ctx) {
+                auto st = apps::miniamr::run_rank(
+                    ctx, cfg,
+                    [](rt::RankCtx& c, const double* in, double* out,
+                       std::size_t n) {
+                      base::ring_allreduce(c, in, out, n, Datatype::f64,
+                                           ReduceOp::sum,
+                                           base::Transport::two_copy);
+                    });
+                if (ctx.rank() == 0) ompi = st;
+              });
 
   std::printf("\nsingle-node measured (rank 0):\n");
   std::printf("%-10s %10s %10s %10s %8s\n", "provider", "total(s)",
@@ -109,5 +116,6 @@ int main() {
     const double to = steps * (compute_per_step * grow + og.seconds);
     std::printf("%-8d %12.3f %12.3f %9.2fx\n", nodes, to, ty, to / ty);
   }
+  session.write();
   return 0;
 }

@@ -46,15 +46,18 @@ int main() {
   std::printf("%-10s %-10s %12s %12s %10s\n", "model", "provider", "img/s",
               "allreduce(s)", "speedup");
 
+  Session session("fig18_cnn_training");
   double base_imgs = 0;
   for (const auto& model : {apps::dnn::resnet50(), apps::dnn::vgg16()}) {
     for (int which = 0; which < 2; ++which) {
       apps::dnn::TrainStats st{};
       const auto ar = which == 0 ? yhccl_ar() : ompi_ar();
-      team.run([&](rt::RankCtx& ctx) {
-        auto s = apps::dnn::train_rank(ctx, model, cfg, ar);
-        if (ctx.rank() == 0) st = s;
-      });
+      record_once(team, session, "app-cnn-" + model.name,
+                  which == 0 ? "YHCCL" : "OpenMPI",
+                  model.total_params() * 4, [&](rt::RankCtx& ctx) {
+                    auto s = apps::dnn::train_rank(ctx, model, cfg, ar);
+                    if (ctx.rank() == 0) st = s;
+                  });
       if (which == 0) base_imgs = st.images_per_second;
       std::printf("%-10s %-10s %12.1f %12.3f %9.2fx\n", model.name.c_str(),
                   which == 0 ? "YHCCL" : "OpenMPI", st.images_per_second,
@@ -109,5 +112,6 @@ int main() {
     std::printf("%-8d | %12.0f %12.0f %7.2fx | %12.0f %12.0f %7.2fx\n",
                 nodes, a, b, b / a, c, d, d / c);
   }
+  session.write();
   return 0;
 }

@@ -6,14 +6,15 @@
 //   * fused    — one reduce_out_multi call, (m+1)*n bytes of traffic;
 //   * fused-nt — the same with streaming stores;
 //   * chain    — reduce_out + (m-2) reduce_inplace, 3n(m-1) bytes;
-// plus the measured DAV of both shapes.  Results land in
-// BENCH_kernels.json for the plotting scripts.
+// plus the measured DAV and kernel-dispatch counts of both shapes.
+// Series land in the harness Session (BENCH_kernel_dispatch.json under
+// $YHCCL_BENCH_JSON) for the comparator and plotting scripts.
 //
 // Knobs: YHCCL_BENCH_SCALE scales the size sweep; YHCCL_ISA caps the tier
 // sweep the same way it caps production dispatch.
-#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "yhccl/common/time.hpp"
@@ -26,41 +27,37 @@ using yhccl::Datatype;
 using yhccl::ReduceOp;
 using yhccl::Timer;
 namespace yc = yhccl::copy;
+namespace yb = yhccl::bench;
 
 namespace {
 
 constexpr int kMaxM = 8;
 
-struct Cell {
-  yc::IsaTier tier;
-  int m;
-  std::size_t bytes;
-  double fused_s, fused_nt_s, chain_s;
-  std::uint64_t fused_dav, chain_dav;
-};
-
-/// Median seconds for `fn`, rewriting the first source between iterations
-/// so no arm benefits from cache-resident inputs.
+/// Kernel benches are single-threaded: sample `fn` under the RunPolicy
+/// repetition/CI/budget discipline directly (no team, no barrier), rewriting
+/// the first source between iterations so no arm benefits from
+/// cache-resident inputs.
 template <typename Fn>
-double time_median(std::vector<float>& src0, const Fn& fn,
-                   double budget_s = 0.25, int min_iters = 5,
-                   int max_iters = 30) {
+yb::Summary time_kernel(std::vector<float>& src0, const Fn& fn,
+                        const yb::RunPolicy& policy) {
   std::vector<double> samples;
   double spent = 0;
-  for (int it = 0; it < max_iters; ++it) {
+  const int total = policy.warmup + policy.max_reps;
+  for (int it = 0; it < total; ++it) {
     for (std::size_t i = 0; i < src0.size(); i += 128)
       src0[i] = static_cast<float>(it + 1);
     const Timer t;
     fn();
     const double s = t.elapsed();
-    if (it > 0) samples.push_back(s);  // drop warm-up
+    if (it >= policy.warmup) samples.push_back(s);
     spent += s;
-    if (static_cast<int>(samples.size()) >= min_iters && spent > budget_s)
-      break;
+    if (static_cast<int>(samples.size()) >= policy.min_reps) {
+      const auto sum = yb::summarize(samples, policy.outlier_k);
+      if (sum.rel_ci() <= policy.target_rel_ci || spent > policy.budget_s)
+        return sum;
+    }
   }
-  if (samples.empty()) return 0;
-  std::sort(samples.begin(), samples.end());
-  return samples[samples.size() / 2];
+  return yb::summarize(samples, policy.outlier_k);
 }
 
 std::vector<yc::IsaTier> tier_sweep() {
@@ -82,7 +79,38 @@ int main() {
 
   std::vector<std::vector<float>> bufs(kMaxM);
   std::vector<float> out;
-  std::vector<Cell> cells;
+
+  yb::Session session("kernel_dispatch");
+
+  // One Series per (tier, m, size, shape): single-threaded kernel cells,
+  // so ranks = sockets = 1 and sync counters stay zero.
+  const auto record = [&](yc::IsaTier tier, int m, std::size_t bytes,
+                          const std::string& shape, yb::Summary time,
+                          yc::Dav dav, yc::KernelCounts kc) {
+    yb::Series se;
+    se.bench = session.name();
+    se.collective = "kernel";
+    // The tier is part of the identity here (the sweep forces each tier in
+    // turn), so it goes into the algorithm name, not just the isa field.
+    se.algorithm = std::string(yc::isa_name(tier)) + "/" + shape +
+                   "@m=" + std::to_string(m);
+    se.ranks = 1;
+    se.sockets = 1;
+    se.bytes = bytes;
+    se.time = time;
+    se.dab = time.median > 0
+                 ? static_cast<double>(dav.total()) / time.median
+                 : 0.0;
+    se.counters.dav = dav;
+    se.counters.kernels = kc;
+    se.isa = yc::isa_name(tier);
+    session.add(se);
+    return se;
+  };
+
+  std::printf("%-8s %3s %8s %12s %12s %12s %8s %10s %10s\n", "tier", "m",
+              "size", "fused(us)", "fused-nt(us)", "chain(us)", "speedup",
+              "fusedDAV", "chainDAV");
 
   const auto initial = yc::active_isa();
   for (yc::IsaTier tier : tier_sweep()) {
@@ -108,61 +136,43 @@ int main() {
                                ReduceOp::sum);
         };
 
-        Cell c;
-        c.tier = tier;
-        c.m = m;
-        c.bytes = bytes;
+        yc::Dav fused_dav, chain_dav;
+        yc::KernelCounts fused_kc, chain_kc;
         {
           yc::DavScope d;
+          yc::KernelCountScope kcs;
           fused(false);
-          c.fused_dav = d.delta().total();
+          fused_dav = d.delta();
+          fused_kc = kcs.delta();
         }
         {
           yc::DavScope d;
+          yc::KernelCountScope kcs;
           chain();
-          c.chain_dav = d.delta().total();
+          chain_dav = d.delta();
+          chain_kc = kcs.delta();
         }
-        c.fused_s = time_median(bufs[0], [&] { fused(false); });
-        c.fused_nt_s = time_median(bufs[0], [&] { fused(true); });
-        c.chain_s = time_median(bufs[0], [&] { chain(); });
-        cells.push_back(c);
+        const auto policy = session.policy();
+        const auto tf = time_kernel(bufs[0], [&] { fused(false); }, policy);
+        const auto tn = time_kernel(bufs[0], [&] { fused(true); }, policy);
+        const auto tc = time_kernel(bufs[0], [&] { chain(); }, policy);
+        record(tier, m, bytes, "fused", tf, fused_dav, fused_kc);
+        record(tier, m, bytes, "fused-nt", tn, fused_dav, fused_kc);
+        record(tier, m, bytes, "chain", tc, chain_dav, chain_kc);
+
+        std::printf(
+            "%-8s %3d %8s %12.1f %12.1f %12.1f %8.2f %10.1f %10.1f\n",
+            yc::isa_name(tier), m,
+            yhccl::bench::human_size(bytes).c_str(), tf.median * 1e6,
+            tn.median * 1e6, tc.median * 1e6,
+            tf.median > 0 ? tc.median / tf.median : 0.0,
+            static_cast<double>(fused_dav.total()) / 1e6,
+            static_cast<double>(chain_dav.total()) / 1e6);
       }
     }
   }
   yc::force_isa(initial);
 
-  std::printf("%-8s %3s %8s %12s %12s %12s %8s %10s %10s\n", "tier", "m",
-              "size", "fused(us)", "fused-nt(us)", "chain(us)", "speedup",
-              "fusedDAV", "chainDAV");
-  for (const auto& c : cells)
-    std::printf("%-8s %3d %8s %12.1f %12.1f %12.1f %8.2f %10.1f %10.1f\n",
-                yc::isa_name(c.tier), c.m,
-                yhccl::bench::human_size(c.bytes).c_str(), c.fused_s * 1e6,
-                c.fused_nt_s * 1e6, c.chain_s * 1e6,
-                c.fused_s > 0 ? c.chain_s / c.fused_s : 0.0,
-                c.fused_dav / 1e6, c.chain_dav / 1e6);
-
-  FILE* f = std::fopen("BENCH_kernels.json", "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write BENCH_kernels.json\n");
-    return 1;
-  }
-  std::fprintf(f, "[\n");
-  for (std::size_t i = 0; i < cells.size(); ++i) {
-    const auto& c = cells[i];
-    std::fprintf(
-        f,
-        "  {\"tier\": \"%s\", \"m\": %d, \"bytes\": %zu, "
-        "\"fused_us\": %.2f, \"fused_nt_us\": %.2f, \"chain_us\": %.2f, "
-        "\"fused_dav\": %llu, \"chain_dav\": %llu}%s\n",
-        yc::isa_name(c.tier), c.m, c.bytes, c.fused_s * 1e6,
-        c.fused_nt_s * 1e6, c.chain_s * 1e6,
-        static_cast<unsigned long long>(c.fused_dav),
-        static_cast<unsigned long long>(c.chain_dav),
-        i + 1 < cells.size() ? "," : "");
-  }
-  std::fprintf(f, "]\n");
-  std::fclose(f);
-  std::printf("\nwrote BENCH_kernels.json (%zu cells)\n", cells.size());
+  session.write();
   return 0;
 }

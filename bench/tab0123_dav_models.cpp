@@ -43,25 +43,45 @@ int main() {
   const int p = bench_ranks(), m = bench_sockets();
   print_tables(p, m);
 
-  // Measured-vs-model cross-check on this host (exact geometry).
+  // Measured-vs-model cross-check on this host: every deterministic
+  // counter (DAV, kernel dispatches, barrier/flag ops) must match the
+  // operation-count simulator exactly, not just the closed-form bytes.
   auto& team = bench_team(p, m);
   const std::size_t count = 8192;  // per-rank f64 block
   const std::size_t total = count * 8 * static_cast<std::size_t>(p);
   RankBuffers bufs(p, total, total);
   coll::CollOpts o;
   o.slice_max = 16u << 10;
-  team.run([&](rt::RankCtx& ctx) {
-    coll::socket_ma_reduce_scatter(ctx, bufs.send[ctx.rank()].data(),
-                                   bufs.recv[ctx.rank()].data(), count,
-                                   Datatype::f64, ReduceOp::sum, o);
-  });
-  const auto measured = team.total_dav().total();
-  const auto model = md::impl::socket_ma_reduce_scatter(total, p, m);
+  Session session("tab0123_dav_models");
+  const Series s = measure_arm(
+      team, session, "reduce_scatter", "Socket-MA", bufs,
+      [&](rt::RankCtx& c, const void* sp, void* r, std::size_t) {
+        coll::socket_ma_reduce_scatter(c, sp, r, count, Datatype::f64,
+                                       ReduceOp::sum, o);
+      },
+      total);
+  md::impl::OpGeometry g;
+  g.p = p;
+  g.m = m;
+  g.slice_max = o.slice_max;
+  const auto want = md::impl::socket_ma_reduce_scatter_ops(total, g);
+  const bool ok = s.counters.dav.loads == want.loads &&
+                  s.counters.dav.stores == want.stores &&
+                  s.counters.kernels.total() == want.kernel_calls &&
+                  s.counters.sync.barriers == want.barriers &&
+                  s.counters.sync.flag_posts == want.flag_posts &&
+                  s.counters.sync.flag_waits == want.flag_waits;
   std::printf("\nmeasured vs model (socket-MA reduce-scatter, %s): "
-              "%llu vs %llu bytes — %s\n",
+              "DAV %llu vs %llu bytes, %llu vs %llu kernel calls, "
+              "%llu vs %llu sync ops — %s\n",
               human_size(total).c_str(),
-              static_cast<unsigned long long>(measured),
-              static_cast<unsigned long long>(model),
-              measured == model ? "EXACT MATCH" : "MISMATCH");
-  return measured == model ? 0 : 1;
+              static_cast<unsigned long long>(s.counters.dav.total()),
+              static_cast<unsigned long long>(want.dav()),
+              static_cast<unsigned long long>(s.counters.kernels.total()),
+              static_cast<unsigned long long>(want.kernel_calls),
+              static_cast<unsigned long long>(s.counters.sync.total()),
+              static_cast<unsigned long long>(want.sync()),
+              ok ? "EXACT MATCH" : "MISMATCH");
+  session.write();
+  return ok ? 0 : 1;
 }

@@ -5,38 +5,85 @@
 // 512 KB/1 MB slices (~50% better), and memmove catching up only at 2 MB
 // slices where its internal threshold flips to NT stores.  Absolute
 // numbers here reflect this VM; the *ordering* is the reproduction target.
-#include <benchmark/benchmark.h>
+#include <string>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "yhccl/apps/stream.hpp"
 
 using namespace yhccl;
 using namespace yhccl::apps::stream;
+namespace yb = yhccl::bench;
 
 namespace {
 
-void run_kind(benchmark::State& state, CopyKind kind) {
-  const std::size_t slice = static_cast<std::size_t>(state.range(0));
-  const std::size_t total = static_cast<std::size_t>(
-      (256u << 20) * yhccl::bench::bench_scale());
-  for (auto _ : state) {
-    const auto r = run_sliced_copy(total, slice, kind, 1);
-    state.SetIterationTime(r.seconds);
-    state.counters["MB_per_s"] = r.bandwidth_mbps;
+const char* kind_name(CopyKind k) {
+  switch (k) {
+    case CopyKind::memmove_libc: return "memmove";
+    case CopyKind::memmove_model: return "memmove-model";
+    case CopyKind::temporal: return "t-copy";
+    case CopyKind::non_temporal: return "nt-copy";
+    case CopyKind::erms: return "erms";
   }
-  state.counters["slice_KB"] = static_cast<double>(slice >> 10);
+  return "?";
 }
-
-void BM_Memmove(benchmark::State& s) { run_kind(s, CopyKind::memmove_libc); }
-void BM_TCopy(benchmark::State& s) { run_kind(s, CopyKind::temporal); }
-void BM_NTCopy(benchmark::State& s) { run_kind(s, CopyKind::non_temporal); }
-void BM_Erms(benchmark::State& s) { run_kind(s, CopyKind::erms); }
 
 }  // namespace
 
-BENCHMARK(BM_Memmove)->Arg(512 << 10)->Arg(1 << 20)->Arg(2 << 20)->UseManualTime()->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_TCopy)->Arg(512 << 10)->Arg(1 << 20)->Arg(2 << 20)->UseManualTime()->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_NTCopy)->Arg(512 << 10)->Arg(1 << 20)->Arg(2 << 20)->UseManualTime()->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Erms)->Arg(512 << 10)->Arg(1 << 20)->Arg(2 << 20)->UseManualTime()->Unit(benchmark::kMillisecond);
+int main() {
+  const std::size_t total = static_cast<std::size_t>(
+      (256u << 20) * yb::bench_scale());
+  yb::Session session("tab04_stream_slice_copy");
+  const auto& policy = session.policy();
 
-BENCHMARK_MAIN();
+  std::printf("Table 4 — sliced STREAM copy, %s array\n",
+              yb::human_size(total).c_str());
+  std::printf("%-10s %10s %12s %12s\n", "kind", "slice", "time(ms)",
+              "GB/s");
+
+  for (CopyKind kind : {CopyKind::memmove_libc, CopyKind::temporal,
+                        CopyKind::non_temporal, CopyKind::erms}) {
+    for (std::size_t slice : {std::size_t{512} << 10, std::size_t{1} << 20,
+                              std::size_t{2} << 20}) {
+      // Single-threaded copy cells: sample run_sliced_copy directly under
+      // the RunPolicy repetition/CI/budget discipline.
+      std::vector<double> samples;
+      double spent = 0;
+      const int iters = policy.warmup + policy.max_reps;
+      for (int it = 0; it < iters; ++it) {
+        const auto r = run_sliced_copy(total, slice, kind, 1);
+        if (it >= policy.warmup) samples.push_back(r.seconds);
+        spent += r.seconds;
+        if (static_cast<int>(samples.size()) >= policy.min_reps) {
+          const auto sum = yb::summarize(samples, policy.outlier_k);
+          if (sum.rel_ci() <= policy.target_rel_ci ||
+              spent > policy.budget_s)
+            break;
+        }
+      }
+      const auto sum = yb::summarize(samples, policy.outlier_k);
+
+      yb::Series se;
+      se.bench = session.name();
+      se.collective = "stream-copy";
+      se.algorithm = std::string(kind_name(kind)) + "@" +
+                     yb::human_size(slice);
+      se.ranks = 1;
+      se.sockets = 1;
+      se.bytes = total;
+      se.time = sum;
+      // STREAM convention: 2 bytes of traffic per payload byte.
+      se.dab = sum.median > 0
+                   ? 2.0 * static_cast<double>(total) / sum.median
+                   : 0.0;
+      se.isa = "-";
+      session.add(se);
+
+      std::printf("%-10s %10s %12.2f %12.1f\n", kind_name(kind),
+                  yb::human_size(slice).c_str(), sum.median * 1e3,
+                  se.dab / 1e9);
+    }
+  }
+  session.write();
+  return 0;
+}

@@ -18,36 +18,41 @@ namespace {
 
 enum class Pattern { one_to_all, ring };
 
-double run_pattern(rt::ThreadTeam& team, Pattern pat, bool cma,
-                   std::size_t bytes) {
+double run_pattern(rt::ThreadTeam& team, Session& session, Pattern pat,
+                   bool cma, std::size_t bytes) {
   const int p = team.nranks();
   std::vector<std::vector<std::uint8_t>> src(
       p, std::vector<std::uint8_t>(bytes, 1));
   std::vector<std::vector<std::uint8_t>> dst(
       p, std::vector<std::uint8_t>(bytes, 0));
   const std::size_t C = team.config().cache.available(p);
-  std::vector<double> samples;
-  for (int it = 0; it < 5; ++it) {
-    team.run([&](rt::RankCtx& ctx) {
-      ctx.publish_buffer(0, src[ctx.rank()].data(), bytes);
-      ctx.barrier();
-      const int peer =
-          pat == Pattern::one_to_all ? 0 : (ctx.rank() + 1) % p;
-      const auto rb = ctx.remote_buffer(peer, 0);
-      if (cma) {
-        rt::remote_read(dst[ctx.rank()].data(), rb, 0, bytes,
-                        rt::RemoteMode::cma_pagewise, &ctx.page_locks());
-      } else {
-        // adaptive-copy: W = p * (src + dst) working set.
-        copy::adaptive_copy(dst[ctx.rank()].data(), rb.ptr, bytes,
-                            /*temporal_hint=*/false, C, 2 * bytes * p);
-      }
-      ctx.barrier();
-    });
-    if (it > 0) samples.push_back(team.max_time());
-  }
-  std::sort(samples.begin(), samples.end());
-  return samples[samples.size() / 2];
+  Series meta;
+  meta.bench = session.name();
+  meta.collective = "pt2pt-pull";
+  meta.algorithm = std::string(cma ? "cma" : "adaptive") +
+                   (pat == Pattern::one_to_all ? "/one-to-all" : "/ring");
+  meta.bytes = bytes;
+  const Series s = measure_series(
+      team, std::move(meta),
+      [&](rt::RankCtx& ctx) {
+        ctx.publish_buffer(0, src[ctx.rank()].data(), bytes);
+        ctx.barrier();
+        const int peer =
+            pat == Pattern::one_to_all ? 0 : (ctx.rank() + 1) % p;
+        const auto rb = ctx.remote_buffer(peer, 0);
+        if (cma) {
+          rt::remote_read(dst[ctx.rank()].data(), rb, 0, bytes,
+                          rt::RemoteMode::cma_pagewise, &ctx.page_locks());
+        } else {
+          // adaptive-copy: W = p * (src + dst) working set.
+          copy::adaptive_copy(dst[ctx.rank()].data(), rb.ptr, bytes,
+                              /*temporal_hint=*/false, C, 2 * bytes * p);
+        }
+        ctx.barrier();
+      },
+      session.policy());
+  session.add(s);
+  return s.time.median;
 }
 
 }  // namespace
@@ -62,14 +67,16 @@ int main() {
               human_size(bytes).c_str(), p);
   std::printf("%-28s %12s %14s %10s\n", "pattern", "CMA(s)",
               "adaptive(s)", "speedup");
+  Session session("tab05_cma_vs_adaptive");
   for (auto pat : {Pattern::one_to_all, Pattern::ring}) {
-    const double c = run_pattern(team, pat, /*cma=*/true, bytes);
-    const double a = run_pattern(team, pat, /*cma=*/false, bytes);
+    const double c = run_pattern(team, session, pat, /*cma=*/true, bytes);
+    const double a = run_pattern(team, session, pat, /*cma=*/false, bytes);
     std::printf("%-28s %12.4f %14.4f %9.2fx\n",
                 pat == Pattern::one_to_all ? "one-to-all: rank0 -> all"
                                            : "ring: rank i -> i+1",
                 c, a, c / a);
   }
   std::printf("(paper: 4.35x one-to-all, 1.58x ring)\n");
+  session.write();
   return 0;
 }

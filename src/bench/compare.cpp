@@ -1,0 +1,250 @@
+#include "yhccl/bench/compare.hpp"
+
+#include <cstdio>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "yhccl/bench/harness.hpp"
+
+namespace yhccl::bench {
+
+const char* verdict_name(Verdict v) noexcept {
+  switch (v) {
+    case Verdict::unchanged: return "unchanged";
+    case Verdict::improved: return "improved";
+    case Verdict::regressed: return "regressed";
+    case Verdict::counter_mismatch: return "counter-mismatch";
+    case Verdict::added: return "added";
+    case Verdict::removed: return "removed";
+  }
+  return "?";
+}
+
+// ---- validation --------------------------------------------------------------
+
+namespace {
+
+void require(bool ok, const std::string& msg,
+             std::vector<std::string>& errors) {
+  if (!ok) errors.push_back(msg);
+}
+
+constexpr const char* kCounterFields[] = {
+    "dav_loads",  "dav_stores", "kernels_scalar", "kernels_avx2",
+    "kernels_avx512", "barriers",   "flag_posts",     "flag_waits",
+};
+
+constexpr const char* kTimeFields[] = {
+    "reps",  "rejected", "median_s",  "mad_s",      "mean_s",
+    "min_s", "max_s",    "ci_low_s",  "ci_high_s",
+};
+
+void validate_series(const Json& s, const std::string& where,
+                     std::vector<std::string>& errors) {
+  require(s.is_object(), where + ": not an object", errors);
+  if (!s.is_object()) return;
+  for (const char* f : {"bench", "collective", "algorithm", "isa"})
+    require(s[f].is_string(), where + ": missing string field '" + f + "'",
+            errors);
+  for (const char* f : {"ranks", "sockets", "bytes"})
+    require(s[f].is_integer() && s[f].as_int() >= 0,
+            where + ": field '" + f + "' must be a non-negative integer",
+            errors);
+  require(s["dab_bytes_per_s"].is_number(),
+          where + ": missing numeric field 'dab_bytes_per_s'", errors);
+  const Json& t = s["time"];
+  require(t.is_object(), where + ": missing 'time' object", errors);
+  if (t.is_object())
+    for (const char* f : kTimeFields)
+      require(t[f].is_number(),
+              where + ": time field '" + f + "' must be numeric", errors);
+  const Json& c = s["counters"];
+  require(c.is_object(), where + ": missing 'counters' object", errors);
+  if (c.is_object())
+    for (const char* f : kCounterFields)
+      require(c[f].is_integer() && c[f].as_int() >= 0,
+              where + ": counter '" + f +
+                  "' must be a non-negative integer (exact, not a double)",
+              errors);
+}
+
+}  // namespace
+
+bool validate_report(const Json& report, std::vector<std::string>& errors) {
+  const std::size_t before = errors.size();
+  require(report.is_object(), "report: not a JSON object", errors);
+  if (!report.is_object()) return false;
+  require(report["schema"].is_string() &&
+              report["schema"].as_string() == kSchemaVersion,
+          std::string("report: schema must be \"") + kSchemaVersion + '"',
+          errors);
+  require(report["name"].is_string(), "report: missing string field 'name'",
+          errors);
+  require(report["machine"].is_object(), "report: missing 'machine' object",
+          errors);
+  require(report["policy"].is_object(), "report: missing 'policy' object",
+          errors);
+  const Json& series = report["series"];
+  require(series.is_array(), "report: missing 'series' array", errors);
+  if (series.is_array()) {
+    std::set<std::string> keys;
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      const std::string where = "series[" + std::to_string(i) + "]";
+      validate_series(series.at(i), where, errors);
+      if (series.at(i).is_object()) {
+        const std::string key = Series::from_json(series.at(i)).key();
+        require(keys.insert(key).second, where + ": duplicate key " + key,
+                errors);
+      }
+    }
+  }
+  return errors.size() == before;
+}
+
+// ---- comparison --------------------------------------------------------------
+
+namespace {
+
+std::map<std::string, Series> index_series(const Json& report) {
+  std::map<std::string, Series> out;
+  const Json& arr = report["series"];
+  for (std::size_t i = 0; i < arr.size(); ++i) {
+    Series s = Series::from_json(arr.at(i));
+    out.emplace(s.key(), std::move(s));
+  }
+  return out;
+}
+
+void diff_counters(const Counters& base, const Counters& cand,
+                   std::vector<std::string>& out) {
+  const auto one = [&out](const char* name, std::uint64_t b,
+                          std::uint64_t c) {
+    if (b == c) return;
+    std::ostringstream os;
+    os << name << ": " << b << " != " << c;
+    out.push_back(os.str());
+  };
+  one("dav_loads", base.dav.loads, cand.dav.loads);
+  one("dav_stores", base.dav.stores, cand.dav.stores);
+  for (int t = 0; t < copy::kNumIsaTiers; ++t)
+    one(copy::isa_name(static_cast<copy::IsaTier>(t)), base.kernels.calls[t],
+        cand.kernels.calls[t]);
+  one("barriers", base.sync.barriers, cand.sync.barriers);
+  one("flag_posts", base.sync.flag_posts, cand.sync.flag_posts);
+  one("flag_waits", base.sync.flag_waits, cand.sync.flag_waits);
+}
+
+void count_verdict(CompareResult& r, Verdict v) {
+  switch (v) {
+    case Verdict::unchanged: ++r.unchanged; break;
+    case Verdict::improved: ++r.improved; break;
+    case Verdict::regressed: ++r.regressed; break;
+    case Verdict::counter_mismatch: ++r.counter_mismatches; break;
+    case Verdict::added: ++r.added; break;
+    case Verdict::removed: ++r.removed; break;
+  }
+}
+
+}  // namespace
+
+CompareResult compare_reports(const Json& baseline, const Json& candidate) {
+  CompareResult result;
+  const auto base = index_series(baseline);
+  const auto cand = index_series(candidate);
+
+  for (const auto& [key, b] : base) {
+    SeriesDiff d;
+    d.key = key;
+    d.base_median = b.time.median;
+    const auto it = cand.find(key);
+    if (it == cand.end()) {
+      d.verdict = Verdict::removed;
+    } else {
+      const Series& c = it->second;
+      d.cand_median = c.time.median;
+      d.ratio = b.time.median > 0 ? c.time.median / b.time.median : 0;
+      diff_counters(b.counters, c.counters, d.counter_diffs);
+      if (!d.counter_diffs.empty()) {
+        d.verdict = Verdict::counter_mismatch;
+      } else if (c.time.ci_high < b.time.ci_low) {
+        d.verdict = Verdict::improved;
+      } else if (c.time.ci_low > b.time.ci_high) {
+        d.verdict = Verdict::regressed;
+      } else {
+        d.verdict = Verdict::unchanged;
+      }
+    }
+    count_verdict(result, d.verdict);
+    result.diffs.push_back(std::move(d));
+  }
+  for (const auto& [key, c] : cand) {
+    if (base.count(key)) continue;
+    SeriesDiff d;
+    d.key = key;
+    d.verdict = Verdict::added;
+    d.cand_median = c.time.median;
+    count_verdict(result, d.verdict);
+    result.diffs.push_back(std::move(d));
+  }
+  return result;
+}
+
+std::string CompareResult::report(bool verbose) const {
+  std::string out;
+  char line[256];
+  for (const auto& d : diffs) {
+    const bool interesting = d.verdict != Verdict::unchanged;
+    if (!interesting && !verbose) continue;
+    std::snprintf(line, sizeof line, "%-17s %-56s %9.1fus %9.1fus %6.2fx\n",
+                  verdict_name(d.verdict), d.key.c_str(), d.base_median * 1e6,
+                  d.cand_median * 1e6, d.ratio);
+    out += line;
+    for (const auto& cd : d.counter_diffs) {
+      out += "                    ";
+      out += cd;
+      out += '\n';
+    }
+  }
+  std::snprintf(line, sizeof line,
+                "%d series: %d unchanged, %d improved, %d regressed, "
+                "%d counter-mismatch, %d added, %d removed\n",
+                static_cast<int>(diffs.size()), unchanged, improved,
+                regressed, counter_mismatches, added, removed);
+  out += line;
+  return out;
+}
+
+// ---- merging -----------------------------------------------------------------
+
+Json merge_reports(const std::vector<Json>& parts, const std::string& name,
+                   std::string* err) {
+  if (err) err->clear();
+  Json out = Json::object();
+  out.set("schema", kSchemaVersion);
+  out.set("name", name);
+  if (!parts.empty()) {
+    out.set("machine", parts.front()["machine"]);
+    out.set("policy", parts.front()["policy"]);
+  } else {
+    out.set("machine", Json::object());
+    out.set("policy", Json::object());
+  }
+  Json arr = Json::array();
+  std::set<std::string> keys;
+  for (const auto& part : parts) {
+    const Json& series = part["series"];
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      const std::string key = Series::from_json(series.at(i)).key();
+      if (!keys.insert(key).second) {
+        if (err && err->empty()) *err = "duplicate series key: " + key;
+        continue;
+      }
+      arr.push_back(series.at(i));
+    }
+  }
+  out.set("series", std::move(arr));
+  return out;
+}
+
+}  // namespace yhccl::bench

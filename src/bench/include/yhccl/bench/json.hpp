@@ -1,0 +1,109 @@
+// Minimal JSON value type for the benchmark harness: parse + serialize,
+// nothing else.  Two properties matter here and rule out hand-waving with
+// doubles: integers round-trip exactly up to int64 (the comparator gates on
+// *exact* equality of DAV/kernel/sync counters, so 2^53-adjacent byte
+// counts must not be laundered through a double), and object keys keep
+// insertion order so emitted reports diff cleanly run-to-run.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace yhccl::bench {
+
+class Json {
+ public:
+  enum class Type { null, boolean, integer, number, string, array, object };
+
+  Json() = default;
+  Json(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+  Json(bool b) : type_(Type::boolean), bool_(b) {}  // NOLINT
+  Json(std::int64_t i) : type_(Type::integer), int_(i) {}  // NOLINT
+  Json(std::uint64_t u)  // NOLINT(google-explicit-constructor)
+      : type_(Type::integer), int_(static_cast<std::int64_t>(u)) {}
+  Json(int i) : type_(Type::integer), int_(i) {}  // NOLINT
+  Json(double d) : type_(Type::number), num_(d) {}  // NOLINT
+  Json(std::string s) : type_(Type::string), str_(std::move(s)) {}  // NOLINT
+  Json(const char* s) : type_(Type::string), str_(s) {}  // NOLINT
+
+  static Json array() {
+    Json j;
+    j.type_ = Type::array;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.type_ = Type::object;
+    return j;
+  }
+
+  Type type() const noexcept { return type_; }
+  bool is_null() const noexcept { return type_ == Type::null; }
+  bool is_bool() const noexcept { return type_ == Type::boolean; }
+  bool is_integer() const noexcept { return type_ == Type::integer; }
+  bool is_number() const noexcept {
+    return type_ == Type::number || type_ == Type::integer;
+  }
+  bool is_string() const noexcept { return type_ == Type::string; }
+  bool is_array() const noexcept { return type_ == Type::array; }
+  bool is_object() const noexcept { return type_ == Type::object; }
+
+  bool as_bool() const noexcept { return bool_; }
+  /// Exact for Type::integer; truncates for Type::number.
+  std::int64_t as_int() const noexcept {
+    return type_ == Type::integer ? int_ : static_cast<std::int64_t>(num_);
+  }
+  std::uint64_t as_uint() const noexcept {
+    return static_cast<std::uint64_t>(as_int());
+  }
+  double as_double() const noexcept {
+    return type_ == Type::integer ? static_cast<double>(int_) : num_;
+  }
+  const std::string& as_string() const noexcept { return str_; }
+
+  // ---- array access ----------------------------------------------------------
+  std::size_t size() const noexcept {
+    return is_array() ? arr_.size() : (is_object() ? obj_.size() : 0);
+  }
+  const Json& at(std::size_t i) const { return arr_.at(i); }
+  void push_back(Json v) {
+    type_ = Type::array;
+    arr_.push_back(std::move(v));
+  }
+  const std::vector<Json>& items() const noexcept { return arr_; }
+
+  // ---- object access ---------------------------------------------------------
+  /// Insert-or-overwrite; keeps first-insertion key order.
+  void set(std::string_view key, Json v);
+  /// nullptr when missing or not an object.
+  const Json* find(std::string_view key) const noexcept;
+  /// Null-Json reference when missing (never throws).
+  const Json& operator[](std::string_view key) const noexcept;
+  const std::vector<std::pair<std::string, Json>>& members() const noexcept {
+    return obj_;
+  }
+
+  /// Serialize; indent > 0 pretty-prints, 0 emits a single line.
+  std::string dump(int indent = 0) const;
+
+  /// Parse `text`.  On failure returns null Json and, when `err` is given,
+  /// a one-line diagnostic with byte offset.
+  static Json parse(std::string_view text, std::string* err = nullptr);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::null;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double num_ = 0;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::vector<std::pair<std::string, Json>> obj_;
+};
+
+}  // namespace yhccl::bench

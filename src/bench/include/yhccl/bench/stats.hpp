@@ -1,0 +1,55 @@
+// Robust summary statistics for benchmark timing samples.
+//
+// The harness reports the median with a distribution-free confidence
+// interval (order statistics of the sorted sample, binomial/normal
+// approximation) and rejects outliers by distance from the median in MAD
+// units — the STREAM-style methodology the paper's §5 campaign relies on:
+// medians because collectives finish at the slowest rank and the tail is
+// long, MAD because the standard deviation is itself corrupted by the very
+// outliers we want to ignore.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace yhccl::bench {
+
+/// Robust summary of one timing series.
+struct Summary {
+  std::size_t reps = 0;      ///< samples kept (after outlier rejection)
+  std::size_t rejected = 0;  ///< samples dropped as outliers
+  double median = 0;
+  double mad = 0;   ///< median absolute deviation (raw, unscaled)
+  double mean = 0;
+  double min = 0;
+  double max = 0;
+  double ci_low = 0;   ///< ~95% CI for the median (order statistics)
+  double ci_high = 0;
+
+  /// Relative CI half-width, the repeat-until-converged criterion.
+  double rel_ci() const noexcept {
+    return median > 0 ? (ci_high - ci_low) / (2 * median) : 0;
+  }
+};
+
+/// Median of `v` (averages the middle pair for even sizes); 0 when empty.
+double median_of(std::vector<double> v);
+
+/// Median absolute deviation around `center`; 0 when empty.
+double mad_of(const std::vector<double>& v, double center);
+
+/// Indices [lo, hi] into the *sorted* sample bounding a ~95% CI for the
+/// median (normal approximation of the binomial order-statistic interval,
+/// clamped; degenerates to [0, n-1] for tiny n).
+void median_ci_ranks(std::size_t n, std::size_t& lo, std::size_t& hi);
+
+/// Drop samples farther than `k` MADs from the median.  With MAD == 0
+/// (constant sample) only exact mismatches are outliers.  Never rejects
+/// more than half the sample: a bimodal run is data, not noise.
+std::vector<double> reject_outliers(const std::vector<double>& v,
+                                    double k = 5.0);
+
+/// Full pipeline: outlier rejection, then median/MAD/mean/min/max/CI.
+Summary summarize(const std::vector<double>& samples, double outlier_k = 5.0);
+
+}  // namespace yhccl::bench

@@ -1,0 +1,321 @@
+#include "yhccl/bench/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace yhccl::bench {
+
+void Json::set(std::string_view key, Json v) {
+  type_ = Type::object;
+  for (auto& kv : obj_) {
+    if (kv.first == key) {
+      kv.second = std::move(v);
+      return;
+    }
+  }
+  obj_.emplace_back(std::string(key), std::move(v));
+}
+
+const Json* Json::find(std::string_view key) const noexcept {
+  for (const auto& kv : obj_)
+    if (kv.first == key) return &kv.second;
+  return nullptr;
+}
+
+const Json& Json::operator[](std::string_view key) const noexcept {
+  static const Json null_json;
+  const Json* j = find(key);
+  return j ? *j : null_json;
+}
+
+// ---- serialization -----------------------------------------------------------
+
+namespace {
+
+void dump_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void newline_indent(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) *
+                 static_cast<std::size_t>(depth),
+             ' ');
+}
+
+}  // namespace
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  char buf[40];
+  switch (type_) {
+    case Type::null: out += "null"; break;
+    case Type::boolean: out += bool_ ? "true" : "false"; break;
+    case Type::integer: {
+      auto [end, ec] = std::to_chars(buf, buf + sizeof buf, int_);
+      (void)ec;
+      out.append(buf, end);
+      break;
+    }
+    case Type::number:
+      if (std::isfinite(num_)) {
+        std::snprintf(buf, sizeof buf, "%.17g", num_);
+        out += buf;
+      } else {
+        out += "null";  // JSON has no Inf/NaN
+      }
+      break;
+    case Type::string: dump_string(out, str_); break;
+    case Type::array:
+      out += '[';
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        if (i) out += ',';
+        newline_indent(out, indent, depth + 1);
+        arr_[i].dump_to(out, indent, depth + 1);
+      }
+      if (!arr_.empty()) newline_indent(out, indent, depth);
+      out += ']';
+      break;
+    case Type::object:
+      out += '{';
+      for (std::size_t i = 0; i < obj_.size(); ++i) {
+        if (i) out += ',';
+        newline_indent(out, indent, depth + 1);
+        dump_string(out, obj_[i].first);
+        out += indent > 0 ? ": " : ":";
+        obj_[i].second.dump_to(out, indent, depth + 1);
+      }
+      if (!obj_.empty()) newline_indent(out, indent, depth);
+      out += '}';
+      break;
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+// ---- parsing -----------------------------------------------------------------
+
+namespace {
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string error;
+
+  bool fail(const char* msg) {
+    if (error.empty()) {
+      error = msg;
+      error += " at byte ";
+      error += std::to_string(pos);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r'))
+      ++pos;
+  }
+
+  bool consume(char c) {
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (text.substr(pos, word.size()) == word) {
+      pos += word.size();
+      return true;
+    }
+    return fail("bad literal");
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"')) return fail("expected '\"'");
+    while (pos < text.size()) {
+      char c = text[pos++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos >= text.size()) break;
+        char e = text[pos++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos + 4 > text.size()) return fail("bad \\u escape");
+            unsigned cp = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text[pos++];
+              cp <<= 4;
+              if (h >= '0' && h <= '9')
+                cp |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f')
+                cp |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F')
+                cp |= static_cast<unsigned>(h - 'A' + 10);
+              else
+                return fail("bad \\u escape");
+            }
+            // Encode BMP code point as UTF-8 (surrogates kept verbatim).
+            if (cp < 0x80) {
+              out += static_cast<char>(cp);
+            } else if (cp < 0x800) {
+              out += static_cast<char>(0xC0 | (cp >> 6));
+              out += static_cast<char>(0x80 | (cp & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (cp >> 12));
+              out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (cp & 0x3F));
+            }
+            break;
+          }
+          default: return fail("bad escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_number(Json& out) {
+    const std::size_t start = pos;
+    if (consume('-')) {}
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) != 0))
+      ++pos;
+    bool integral = true;
+    if (pos < text.size() &&
+        (text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E')) {
+      integral = false;
+      while (pos < text.size() &&
+             (std::isdigit(static_cast<unsigned char>(text[pos])) != 0 ||
+              text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+              text[pos] == '+' || text[pos] == '-'))
+        ++pos;
+    }
+    const std::string_view tok = text.substr(start, pos - start);
+    const char* tb = tok.data();
+    const char* te = tok.data() + tok.size();
+    if (integral) {
+      std::int64_t v = 0;
+      auto [p, ec] = std::from_chars(tb, te, v);
+      if (ec == std::errc() && p == te) {
+        out = Json(v);
+        return true;
+      }
+      // Out of int64 range: fall through to double.
+    }
+    double d = 0;
+    auto [p, ec] = std::from_chars(tb, te, d);
+    if (ec != std::errc() || p != te) return fail("bad number");
+    out = Json(d);
+    return true;
+  }
+
+  bool parse_value(Json& out, int depth) {
+    if (depth > 128) return fail("nesting too deep");
+    skip_ws();
+    if (pos >= text.size()) return fail("unexpected end of input");
+    switch (text[pos]) {
+      case 'n': out = Json(); return literal("null");
+      case 't': out = Json(true); return literal("true");
+      case 'f': out = Json(false); return literal("false");
+      case '"': {
+        std::string s;
+        if (!parse_string(s)) return false;
+        out = Json(std::move(s));
+        return true;
+      }
+      case '[': {
+        ++pos;
+        out = Json::array();
+        skip_ws();
+        if (consume(']')) return true;
+        for (;;) {
+          Json v;
+          if (!parse_value(v, depth + 1)) return false;
+          out.push_back(std::move(v));
+          skip_ws();
+          if (consume(']')) return true;
+          if (!consume(',')) return fail("expected ',' or ']'");
+        }
+      }
+      case '{': {
+        ++pos;
+        out = Json::object();
+        skip_ws();
+        if (consume('}')) return true;
+        for (;;) {
+          skip_ws();
+          std::string key;
+          if (!parse_string(key)) return false;
+          skip_ws();
+          if (!consume(':')) return fail("expected ':'");
+          Json v;
+          if (!parse_value(v, depth + 1)) return false;
+          out.set(key, std::move(v));
+          skip_ws();
+          if (consume('}')) return true;
+          if (!consume(',')) return fail("expected ',' or '}'");
+        }
+      }
+      default: return parse_number(out);
+    }
+  }
+};
+
+}  // namespace
+
+Json Json::parse(std::string_view text, std::string* err) {
+  Parser p{text, 0, {}};
+  Json out;
+  if (!p.parse_value(out, 0)) {
+    if (err) *err = p.error;
+    return {};
+  }
+  p.skip_ws();
+  if (p.pos != text.size()) {
+    p.fail("trailing garbage");
+    if (err) *err = p.error;
+    return {};
+  }
+  if (err) err->clear();
+  return out;
+}
+
+}  // namespace yhccl::bench

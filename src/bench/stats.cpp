@@ -1,0 +1,81 @@
+#include "yhccl/bench/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace yhccl::bench {
+
+double median_of(std::vector<double> v) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 ? v[n / 2] : (v[n / 2 - 1] + v[n / 2]) / 2;
+}
+
+double mad_of(const std::vector<double>& v, double center) {
+  if (v.empty()) return 0;
+  std::vector<double> dev(v.size());
+  std::transform(v.begin(), v.end(), dev.begin(),
+                 [center](double x) { return std::abs(x - center); });
+  return median_of(std::move(dev));
+}
+
+void median_ci_ranks(std::size_t n, std::size_t& lo, std::size_t& hi) {
+  if (n == 0) {
+    lo = hi = 0;
+    return;
+  }
+  // Binomial(n, 1/2) order-statistic interval, normal approximation with
+  // z = 1.96; the interval covers the median with ~95% confidence for any
+  // continuous distribution.
+  const double half = 1.96 * std::sqrt(static_cast<double>(n)) / 2;
+  const double mid = static_cast<double>(n) / 2;
+  const double flo = std::floor(mid - half);
+  const double fhi = std::ceil(mid + half) - 1;
+  lo = flo < 0 ? 0 : static_cast<std::size_t>(flo);
+  hi = fhi < 0 ? 0 : static_cast<std::size_t>(fhi);
+  if (hi > n - 1) hi = n - 1;
+  if (lo > hi) lo = hi;
+}
+
+std::vector<double> reject_outliers(const std::vector<double>& v, double k) {
+  if (v.size() < 4) return v;
+  const double med = median_of(v);
+  const double mad = mad_of(v, med);
+  std::vector<double> kept;
+  kept.reserve(v.size());
+  if (mad == 0) {
+    // Constant majority: anything different is an outlier.
+    for (double x : v)
+      if (x == med) kept.push_back(x);
+  } else {
+    for (double x : v)
+      if (std::abs(x - med) <= k * mad) kept.push_back(x);
+  }
+  if (kept.size() < (v.size() + 1) / 2) return v;
+  return kept;
+}
+
+Summary summarize(const std::vector<double>& samples, double outlier_k) {
+  Summary s;
+  if (samples.empty()) return s;
+  std::vector<double> kept = reject_outliers(samples, outlier_k);
+  std::sort(kept.begin(), kept.end());
+  s.reps = kept.size();
+  s.rejected = samples.size() - kept.size();
+  const std::size_t n = kept.size();
+  s.median = n % 2 ? kept[n / 2] : (kept[n / 2 - 1] + kept[n / 2]) / 2;
+  s.mad = mad_of(kept, s.median);
+  s.mean = std::accumulate(kept.begin(), kept.end(), 0.0) /
+           static_cast<double>(n);
+  s.min = kept.front();
+  s.max = kept.back();
+  std::size_t lo = 0, hi = 0;
+  median_ci_ranks(n, lo, hi);
+  s.ci_low = kept[lo];
+  s.ci_high = kept[hi];
+  return s;
+}
+
+}  // namespace yhccl::bench

@@ -14,6 +14,7 @@
 #include "yhccl/coll/coll.hpp"
 #include "yhccl/copy/dav.hpp"
 #include "yhccl/copy/isa.hpp"
+#include "yhccl/runtime/sync_counts.hpp"
 
 namespace yhccl::coll {
 
@@ -45,6 +46,7 @@ class CollProfiler {
     double seconds = 0;               ///< wall time inside the collective
     copy::Dav dav;                    ///< measured memory traffic
     copy::KernelCounts kernels;       ///< dispatched kernel calls per ISA tier
+    rt::SyncCounts sync;              ///< barrier / progress-flag operations
 
     /// Achieved data-access bandwidth, bytes/s.
     double dab() const noexcept {
@@ -53,8 +55,8 @@ class CollProfiler {
   };
 
   void add(CollKind k, std::size_t payload, double seconds,
-           const copy::Dav& dav,
-           const copy::KernelCounts& kernels = {}) noexcept;
+           const copy::Dav& dav, const copy::KernelCounts& kernels = {},
+           const rt::SyncCounts& sync = {}) noexcept;
   const Record& get(CollKind k) const noexcept;
   Record total() const noexcept;
 

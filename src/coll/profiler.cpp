@@ -7,14 +7,15 @@
 namespace yhccl::coll {
 
 void CollProfiler::add(CollKind k, std::size_t payload, double seconds,
-                       const copy::Dav& dav,
-                       const copy::KernelCounts& kernels) noexcept {
+                       const copy::Dav& dav, const copy::KernelCounts& kernels,
+                       const rt::SyncCounts& sync) noexcept {
   auto& r = records_[static_cast<int>(k)];
   ++r.calls;
   r.payload_bytes += payload;
   r.seconds += seconds;
   r.dav += dav;
   r.kernels += kernels;
+  r.sync += sync;
 }
 
 const CollProfiler::Record& CollProfiler::get(CollKind k) const noexcept {
@@ -29,6 +30,7 @@ CollProfiler::Record CollProfiler::total() const noexcept {
     t.seconds += r.seconds;
     t.dav += r.dav;
     t.kernels += r.kernels;
+    t.sync += r.sync;
   }
   return t;
 }
@@ -40,38 +42,42 @@ CollProfiler& CollProfiler::operator+=(const CollProfiler& o) noexcept {
     records_[k].seconds += o.records_[k].seconds;
     records_[k].dav += o.records_[k].dav;
     records_[k].kernels += o.records_[k].kernels;
+    records_[k].sync += o.records_[k].sync;
   }
   return *this;
 }
 
 std::string CollProfiler::report() const {
-  char line[160];
+  char line[192];
   std::string out;
-  std::snprintf(line, sizeof line, "%-16s %8s %12s %10s %12s %10s %8s\n",
-                "collective", "calls", "payload(MB)", "time(s)", "DAV(MB)",
-                "DAB(GB/s)", "kernel");
+  std::snprintf(line, sizeof line,
+                "%-16s %8s %12s %10s %12s %10s %8s %10s\n", "collective",
+                "calls", "payload(MB)", "time(s)", "DAV(MB)", "DAB(GB/s)",
+                "kernel", "sync-ops");
   out += line;
   for (int k = 0; k < static_cast<int>(CollKind::kCount_); ++k) {
     const auto& r = records_[k];
     if (r.calls == 0) continue;
     std::snprintf(line, sizeof line,
-                  "%-16s %8llu %12.1f %10.4f %12.1f %10.2f %8s\n",
+                  "%-16s %8llu %12.1f %10.4f %12.1f %10.2f %8s %10llu\n",
                   coll_kind_name(static_cast<CollKind>(k)),
                   static_cast<unsigned long long>(r.calls),
                   r.payload_bytes / 1e6, r.seconds, r.dav.total() / 1e6,
                   r.dab() / 1e9,
                   r.kernels.total() ? copy::isa_name(r.kernels.dominant())
-                                    : "-");
+                                    : "-",
+                  static_cast<unsigned long long>(r.sync.total()));
     out += line;
   }
   const auto t = total();
   std::snprintf(line, sizeof line,
-                "%-16s %8llu %12.1f %10.4f %12.1f %10.2f %8s\n", "TOTAL",
-                static_cast<unsigned long long>(t.calls),
+                "%-16s %8llu %12.1f %10.4f %12.1f %10.2f %8s %10llu\n",
+                "TOTAL", static_cast<unsigned long long>(t.calls),
                 t.payload_bytes / 1e6, t.seconds, t.dav.total() / 1e6,
                 t.dab() / 1e9,
                 t.kernels.total() ? copy::isa_name(t.kernels.dominant())
-                                  : "-");
+                                  : "-",
+                static_cast<unsigned long long>(t.sync.total()));
   out += line;
   return out;
 }
@@ -83,9 +89,11 @@ void profiled(CollProfiler& prof, CollKind k, std::size_t payload,
               const Fn& fn) {
   const copy::DavScope dav;
   const copy::KernelCountScope kernels;
+  const rt::SyncCountScope sync;
   const Timer timer;
   fn();
-  prof.add(k, payload, timer.elapsed(), dav.delta(), kernels.delta());
+  prof.add(k, payload, timer.elapsed(), dav.delta(), kernels.delta(),
+           sync.delta());
 }
 
 }  // namespace

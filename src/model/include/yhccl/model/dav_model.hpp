@@ -69,6 +69,56 @@ std::uint64_t xpmem_allreduce(std::size_t s, int p);  // s(3p-1), fused
 std::uint64_t pipelined_broadcast(std::size_t s, int p);   // 2s + 2s(p-1)
 std::uint64_t pipelined_allgather(std::size_t s, int p);   // p(2s + 2sp)
 
+// ---- operation-count simulators ---------------------------------------------
+// Exact node totals (summed over all p ranks) of every deterministic
+// counter the runtime instruments: DAV bytes (copy/dav.hpp), kernel
+// dispatches (copy/isa.hpp) and sync operations (runtime/sync_counts.hpp).
+// Unlike the closed-form byte models above — which assume divisible
+// geometry — these replay each implementation's loop structure over the
+// same BlockSlicing arithmetic, so they are exact for ragged tails, odd
+// rank counts and s not a multiple of p·slice too.  The bench comparator
+// and the CI perf-smoke leg gate on them (docs/benchmarking.md).
+
+struct OpGeometry {
+  int p = 1;                           ///< team ranks
+  int m = 1;                           ///< sockets (Topology(p, m))
+  std::size_t slice_max = 256u << 10;  ///< CollOpts::slice_max
+  std::size_t slice_min = 64;          ///< CollOpts::slice_min
+  std::size_t dpml_chunk = 32u << 10;  ///< CollOpts::dpml_chunk
+  std::size_t scratch_bytes = 64u << 20;  ///< TeamConfig::scratch_bytes
+  bool dpml_flat = false;              ///< CollOpts::dpml_flat
+};
+
+struct OpCounts {
+  std::uint64_t loads = 0;         ///< DAV bytes read
+  std::uint64_t stores = 0;        ///< DAV bytes written
+  std::uint64_t kernel_calls = 0;  ///< copy/reduce kernel dispatches
+  std::uint64_t barriers = 0;      ///< barrier arrivals (all ranks)
+  std::uint64_t flag_posts = 0;    ///< progress-flag publishes
+  std::uint64_t flag_waits = 0;    ///< progress-flag waits
+
+  std::uint64_t dav() const noexcept { return loads + stores; }
+  std::uint64_t sync() const noexcept {
+    return barriers + flag_posts + flag_waits;
+  }
+  bool operator==(const OpCounts&) const noexcept = default;
+};
+
+// `s` follows the byte-model convention: the reduce-scatter input vector
+// (p·count·esize) for *_reduce_scatter, the per-rank message otherwise.
+OpCounts ma_reduce_scatter_ops(std::size_t s, const OpGeometry& g);
+OpCounts ma_allreduce_ops(std::size_t s, const OpGeometry& g);
+OpCounts ma_reduce_ops(std::size_t s, const OpGeometry& g);
+OpCounts socket_ma_reduce_scatter_ops(std::size_t s, const OpGeometry& g);
+OpCounts socket_ma_allreduce_ops(std::size_t s, const OpGeometry& g);
+OpCounts socket_ma_reduce_ops(std::size_t s, const OpGeometry& g);
+OpCounts dpml_reduce_scatter_ops(std::size_t s, const OpGeometry& g);
+OpCounts dpml_allreduce_ops(std::size_t s, const OpGeometry& g);
+OpCounts dpml_reduce_ops(std::size_t s, const OpGeometry& g);
+OpCounts pipelined_broadcast_ops(std::size_t s, const OpGeometry& g);
+OpCounts pipelined_allgather_ops(std::size_t s, const OpGeometry& g);
+OpCounts xpmem_allreduce_ops(std::size_t s, const OpGeometry& g);
+
 }  // namespace impl
 
 /// §5.4: message size beyond which the adaptive policy starts streaming

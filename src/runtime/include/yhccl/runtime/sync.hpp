@@ -17,6 +17,7 @@
 #include "yhccl/common/error.hpp"
 #include "yhccl/common/types.hpp"
 #include "yhccl/runtime/fault.hpp"
+#include "yhccl/runtime/sync_counts.hpp"
 #include "yhccl/runtime/sync_timeout.hpp"
 
 namespace yhccl::rt {
@@ -87,6 +88,7 @@ inline void barrier_init(BarrierState& b, std::uint32_t n) noexcept {
 /// starts at 0 and is only ever passed to this barrier.
 inline void barrier_arrive(BarrierState& b, std::uint32_t& local_sense) {
   fault_point("barrier");
+  sync_count_barrier();
   local_sense ^= 1u;
   // HB model: the acq_rel RMW joins this rank with every earlier arriver
   // (release sequence on `arrived`); the winner thus carries the join of
@@ -148,6 +150,7 @@ inline void dissemination_init(DisseminationBarrierState& b,
 inline void dissemination_arrive(DisseminationBarrierState& b, int rank,
                                  DisseminationToken& tok) {
   fault_point("barrier");
+  sync_count_barrier();
   const auto n = b.nparticipants;
   ++tok.epoch;
   int round = 0;

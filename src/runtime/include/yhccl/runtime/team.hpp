@@ -20,6 +20,7 @@
 #include "yhccl/common/types.hpp"
 #include "yhccl/copy/cache_model.hpp"
 #include "yhccl/copy/dav.hpp"
+#include "yhccl/copy/isa.hpp"
 #include "yhccl/runtime/fault.hpp"
 #include "yhccl/runtime/remote_access.hpp"
 #include "yhccl/runtime/shm_region.hpp"
@@ -87,6 +88,8 @@ struct TeamShared {
   RemoteWindow registry[kMaxRanks][kRegistrySlots];
   copy::Dav dav_out[kMaxRanks]{};  ///< per-rank DAV of the last run()
   double time_out[kMaxRanks]{};    ///< per-rank wall time of the last run()
+  copy::KernelCounts kernels_out[kMaxRanks]{};  ///< per-rank ISA-tier calls
+  SyncCounts sync_out[kMaxRanks]{};             ///< per-rank sync-op counts
   alignas(kCacheline) std::atomic<std::uint64_t> heap_cursor{0};
   struct alignas(kCacheline) Persist {
     std::uint64_t coll_seq = 0;
@@ -152,9 +155,17 @@ class Team {
 
   copy::Dav last_dav(int rank) const { return shared_->dav_out[rank]; }
   double last_time(int rank) const { return shared_->time_out[rank]; }
+  copy::KernelCounts last_kernels(int rank) const {
+    return shared_->kernels_out[rank];
+  }
+  SyncCounts last_sync(int rank) const { return shared_->sync_out[rank]; }
   /// Sum of all ranks' DAV for the last run() — the per-node DAV of the
   /// paper's tables.
   copy::Dav total_dav() const;
+  /// Sum of all ranks' kernel-dispatch counts for the last run().
+  copy::KernelCounts total_kernels() const;
+  /// Sum of all ranks' sync-op counts for the last run().
+  SyncCounts total_sync() const;
   /// Max of the per-rank wall times (collectives finish at the slowest rank).
   double max_time() const;
 

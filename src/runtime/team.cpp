@@ -181,11 +181,15 @@ void Team::run(const std::function<void(RankCtx&)>& fn) {
                               epoch, forked_ranks());
     HbRunScope hb_scope(hb_, rank);
     copy::dav_reset();
+    copy::kernel_counts_reset();
+    sync_counts_reset();
     const double t0 = wall_seconds();
     fn(ctx);
     const double t1 = wall_seconds();
     shared_->dav_out[rank] = copy::dav_read();
     shared_->time_out[rank] = t1 - t0;
+    shared_->kernels_out[rank] = copy::kernel_counts_read();
+    shared_->sync_out[rank] = sync_counts_read();
     // Surface races as a per-rank failure: the ThreadTeam rethrows it, the
     // ProcessTeam turns it into a non-zero child exit.
     hb_scope.check();
@@ -229,6 +233,8 @@ FaultInfo Team::recover() {
     shared_->persist[r] = TeamShared::Persist{};
     shared_->dav_out[r] = copy::Dav{};
     shared_->time_out[r] = 0;
+    shared_->kernels_out[r] = copy::KernelCounts{};
+    shared_->sync_out[r] = SyncCounts{};
     for (int s = 0; s < kRegistrySlots; ++s) {
       auto& w = shared_->registry[r][s];
       w.ptr.store(nullptr, std::memory_order_relaxed);
@@ -281,6 +287,18 @@ copy::Dav Team::total_dav() const {
   return total;
 }
 
+copy::KernelCounts Team::total_kernels() const {
+  copy::KernelCounts total;
+  for (int r = 0; r < nranks_; ++r) total += shared_->kernels_out[r];
+  return total;
+}
+
+SyncCounts Team::total_sync() const {
+  SyncCounts total;
+  for (int r = 0; r < nranks_; ++r) total += shared_->sync_out[r];
+  return total;
+}
+
 double Team::max_time() const {
   double m = 0;
   for (int r = 0; r < nranks_; ++r)
@@ -319,12 +337,14 @@ std::uint64_t RankCtx::next_seq() {
 
 void RankCtx::step_publish(std::uint64_t v) {
   fault_point("flag");
+  sync_count_flag_post();
   analysis::hb_release(&team_->shared().step[rank_].v);
   team_->shared().step[rank_].v.store(v, std::memory_order_release);
 }
 
 void RankCtx::step_wait(int peer, std::uint64_t v) {
   fault_point("flag");
+  sync_count_flag_wait();
   spin_wait_ge(team_->shared().step[peer].v, v);
 }
 

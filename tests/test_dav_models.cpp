@@ -12,6 +12,7 @@
 #include "yhccl/baselines/baselines.hpp"
 #include "yhccl/coll/coll.hpp"
 #include "yhccl/model/dav_model.hpp"
+#include "yhccl/runtime/process_team.hpp"
 #include "test_util.hpp"
 
 using namespace yhccl;
@@ -304,6 +305,212 @@ TEST(DavModel, RgSeriesIsMonotoneInBranchAndBounded) {
 TEST(DavModel, TimeFromDav) {
   EXPECT_DOUBLE_EQ(md::time_from_dav(1'000'000'000, 2e9), 0.5);
   EXPECT_DOUBLE_EQ(md::time_from_dav(123, 0), 0.0);
+}
+
+// ---- operation-count parity matrix ------------------------------------------
+// Every collective arm × team shape × (divisible and ragged) message size,
+// on both the thread and the fork() backend: the measured deterministic
+// counters — DAV loads/stores, kernel dispatches, barrier arrivals and
+// progress-flag posts/waits — must equal the md::impl::*_ops simulators
+// EXACTLY.  This is the seed matrix for the bench comparator's counter
+// gate (docs/benchmarking.md): if an implementation's loop structure
+// drifts, this is the test that names the counter that moved.
+
+using OpCounts = md::impl::OpCounts;
+using OpGeometry = md::impl::OpGeometry;
+
+constexpr std::size_t kParityScratch = 24u << 20;
+
+OpCounts measured_counts(rt::Team& team) {
+  OpCounts c;
+  const auto d = team.total_dav();
+  c.loads = d.loads;
+  c.stores = d.stores;
+  c.kernel_calls = team.total_kernels().total();
+  const auto s = team.total_sync();
+  c.barriers = s.barriers;
+  c.flag_posts = s.flag_posts;
+  c.flag_waits = s.flag_waits;
+  return c;
+}
+
+::testing::AssertionResult counts_equal(const OpCounts& got,
+                                        const OpCounts& want) {
+  if (got == want) return ::testing::AssertionSuccess();
+  auto line = [](const char* name, std::uint64_t g, std::uint64_t w) {
+    return g == w ? std::string{}
+                  : std::string("\n  ") + name + ": measured " +
+                        std::to_string(g) + " != model " + std::to_string(w);
+  };
+  return ::testing::AssertionFailure()
+         << line("loads", got.loads, want.loads)
+         << line("stores", got.stores, want.stores)
+         << line("kernel_calls", got.kernel_calls, want.kernel_calls)
+         << line("barriers", got.barriers, want.barriers)
+         << line("flag_posts", got.flag_posts, want.flag_posts)
+         << line("flag_waits", got.flag_waits, want.flag_waits);
+}
+
+/// One parity arm: how to run the implementation and which simulator
+/// predicts it.  `count` is the per-rank block for scatter-shaped input
+/// (model s = p·count·esize) and the whole vector otherwise (s = count·esize).
+struct ParityArm {
+  const char* name;
+  bool scatter_shaped;
+  OpCounts (*model)(std::size_t, const OpGeometry&);
+  void (*run)(rt::RankCtx&, std::size_t count, const CollOpts&);
+  bool thread_only = false;  ///< xpmem needs a shared address space
+};
+
+const ParityArm kParityArms[] = {
+    {"ma_reduce_scatter", true, md::impl::ma_reduce_scatter_ops,
+     [](rt::RankCtx& ctx, std::size_t count, const CollOpts& o) {
+       std::vector<double> send(count * ctx.nranks()), recv(count);
+       fill_buffer(send.data(), send.size(), Datatype::f64, ctx.rank(),
+                   ReduceOp::sum);
+       ma_reduce_scatter(ctx, send.data(), recv.data(), count, Datatype::f64,
+                         ReduceOp::sum, o);
+     }},
+    {"socket_ma_reduce_scatter", true,
+     md::impl::socket_ma_reduce_scatter_ops,
+     [](rt::RankCtx& ctx, std::size_t count, const CollOpts& o) {
+       std::vector<double> send(count * ctx.nranks()), recv(count);
+       fill_buffer(send.data(), send.size(), Datatype::f64, ctx.rank(),
+                   ReduceOp::sum);
+       socket_ma_reduce_scatter(ctx, send.data(), recv.data(), count,
+                                Datatype::f64, ReduceOp::sum, o);
+     }},
+    {"dpml_reduce_scatter", true, md::impl::dpml_reduce_scatter_ops,
+     [](rt::RankCtx& ctx, std::size_t count, const CollOpts& o) {
+       std::vector<double> send(count * ctx.nranks()), recv(count);
+       fill_buffer(send.data(), send.size(), Datatype::f64, ctx.rank(),
+                   ReduceOp::sum);
+       dpml_two_level_reduce_scatter(ctx, send.data(), recv.data(), count,
+                                     Datatype::f64, ReduceOp::sum, o);
+     }},
+    {"ma_allreduce", false, md::impl::ma_allreduce_ops,
+     [](rt::RankCtx& ctx, std::size_t count, const CollOpts& o) {
+       std::vector<double> send(count), recv(count);
+       fill_buffer(send.data(), count, Datatype::f64, ctx.rank(),
+                   ReduceOp::sum);
+       ma_allreduce(ctx, send.data(), recv.data(), count, Datatype::f64,
+                    ReduceOp::sum, o);
+     }},
+    {"socket_ma_allreduce", false, md::impl::socket_ma_allreduce_ops,
+     [](rt::RankCtx& ctx, std::size_t count, const CollOpts& o) {
+       std::vector<double> send(count), recv(count);
+       fill_buffer(send.data(), count, Datatype::f64, ctx.rank(),
+                   ReduceOp::sum);
+       socket_ma_allreduce(ctx, send.data(), recv.data(), count,
+                           Datatype::f64, ReduceOp::sum, o);
+     }},
+    {"dpml_allreduce", false, md::impl::dpml_allreduce_ops,
+     [](rt::RankCtx& ctx, std::size_t count, const CollOpts& o) {
+       std::vector<double> send(count), recv(count);
+       fill_buffer(send.data(), count, Datatype::f64, ctx.rank(),
+                   ReduceOp::sum);
+       dpml_two_level_allreduce(ctx, send.data(), recv.data(), count,
+                                Datatype::f64, ReduceOp::sum, o);
+     }},
+    {"ma_reduce", false, md::impl::ma_reduce_ops,
+     [](rt::RankCtx& ctx, std::size_t count, const CollOpts& o) {
+       std::vector<double> send(count), recv(count);
+       fill_buffer(send.data(), count, Datatype::f64, ctx.rank(),
+                   ReduceOp::sum);
+       ma_reduce(ctx, send.data(), recv.data(), count, Datatype::f64,
+                 ReduceOp::sum, /*root=*/0, o);
+     }},
+    {"socket_ma_reduce", false, md::impl::socket_ma_reduce_ops,
+     [](rt::RankCtx& ctx, std::size_t count, const CollOpts& o) {
+       std::vector<double> send(count), recv(count);
+       fill_buffer(send.data(), count, Datatype::f64, ctx.rank(),
+                   ReduceOp::sum);
+       socket_ma_reduce(ctx, send.data(), recv.data(), count, Datatype::f64,
+                        ReduceOp::sum, /*root=*/0, o);
+     }},
+    {"dpml_reduce", false, md::impl::dpml_reduce_ops,
+     [](rt::RankCtx& ctx, std::size_t count, const CollOpts& o) {
+       std::vector<double> send(count), recv(count);
+       fill_buffer(send.data(), count, Datatype::f64, ctx.rank(),
+                   ReduceOp::sum);
+       dpml_two_level_reduce(ctx, send.data(), recv.data(), count,
+                             Datatype::f64, ReduceOp::sum, /*root=*/0, o);
+     }},
+    {"pipelined_broadcast", false, md::impl::pipelined_broadcast_ops,
+     [](rt::RankCtx& ctx, std::size_t count, const CollOpts& o) {
+       std::vector<double> buf(count);
+       fill_buffer(buf.data(), count, Datatype::f64, ctx.rank(),
+                   ReduceOp::sum);
+       pipelined_broadcast(ctx, buf.data(), count, Datatype::f64,
+                           /*root=*/0, o);
+     }},
+    {"pipelined_allgather", false, md::impl::pipelined_allgather_ops,
+     [](rt::RankCtx& ctx, std::size_t count, const CollOpts& o) {
+       std::vector<double> send(count), recv(count * ctx.nranks());
+       fill_buffer(send.data(), count, Datatype::f64, ctx.rank(),
+                   ReduceOp::sum);
+       pipelined_allgather(ctx, send.data(), recv.data(), count,
+                           Datatype::f64, o);
+     }},
+    {"xpmem_allreduce", false, md::impl::xpmem_allreduce_ops,
+     [](rt::RankCtx& ctx, std::size_t count, const CollOpts&) {
+       std::vector<double> send(count), recv(count);
+       fill_buffer(send.data(), count, Datatype::f64, ctx.rank(),
+                   ReduceOp::sum);
+       xpmem_allreduce(ctx, send.data(), recv.data(), count, Datatype::f64,
+                       ReduceOp::sum);
+     },
+     /*thread_only=*/true},
+};
+
+/// Shapes: flat even/odd, even p over even sockets, and the ragged p=3
+/// over m=2 split where one socket has 2 ranks and the other 1.
+constexpr std::pair<int, int> kParityShapes[] = {
+    {2, 1}, {3, 1}, {4, 2}, {3, 2}};
+
+/// Element counts: slice-divisible, ragged tail, and sub-slice tiny.
+constexpr std::size_t kParityCounts[] = {4096, 3003, 17};
+
+void run_parity_matrix(rt::Team& team, int p, int m,
+                       bool is_thread_team = true) {
+  CollOpts o;
+  o.slice_max = 4u << 10;
+  OpGeometry g;
+  g.p = p;
+  g.m = m;
+  g.slice_max = o.slice_max;
+  g.slice_min = o.slice_min;
+  g.dpml_chunk = o.dpml_chunk;
+  g.scratch_bytes = kParityScratch;
+  g.dpml_flat = o.dpml_flat;
+  for (const auto& arm : kParityArms) {
+    if (arm.thread_only && !is_thread_team) continue;
+    for (std::size_t count : kParityCounts) {
+      team.run([&](rt::RankCtx& ctx) { arm.run(ctx, count, o); });
+      const std::size_t s =
+          count * 8 * (arm.scatter_shaped ? static_cast<std::size_t>(p) : 1);
+      EXPECT_TRUE(counts_equal(measured_counts(team), arm.model(s, g)))
+          << arm.name << " p=" << p << " m=" << m << " count=" << count;
+    }
+  }
+}
+
+TEST(CounterParity, MatrixOnThreadTeams) {
+  for (auto [p, m] : kParityShapes) {
+    run_parity_matrix(cached_team(p, m, kParityScratch), p, m);
+  }
+}
+
+TEST(CounterParity, MatrixOnProcessTeams) {
+  for (auto [p, m] : kParityShapes) {
+    rt::TeamConfig cfg;
+    cfg.nranks = p;
+    cfg.nsockets = m;
+    cfg.scratch_bytes = kParityScratch;
+    cfg.shared_heap_bytes = 4u << 20;
+    rt::ProcessTeam team(cfg);
+    run_parity_matrix(team, p, m, /*is_thread_team=*/false);
+  }
 }
 
 }  // namespace
