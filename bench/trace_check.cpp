@@ -1,0 +1,59 @@
+// CLI validator for the phase tracer's exports (docs/observability.md):
+//
+//   trace_check <file.json>...
+//       each file must be a valid "yhccl-trace/1" Chrome trace-event
+//       export or a "yhccl-flight/1" flight-recorder dump (auto-detected);
+//       exit 1 on the first schema defect.
+//
+// This is the CI trace leg's gate: a tracing run that emits JSON Chrome
+// cannot load (or a flight dump missing its abort site) fails the build
+// instead of surfacing as a broken triage session later.
+#include <cstdio>
+#include <string>
+
+#include "yhccl/bench/harness.hpp"
+#include "yhccl/bench/json.hpp"
+#include "yhccl/trace/export.hpp"
+
+namespace yb = yhccl::bench;
+
+namespace {
+
+int check_one(const std::string& path) {
+  std::string err;
+  const yb::Json j = yb::load_json_file(path, &err);
+  if (!err.empty()) {
+    std::fprintf(stderr, "trace_check: %s: %s\n", path.c_str(), err.c_str());
+    return 1;
+  }
+  const yb::Json* schema = j.find("schema");
+  const bool is_flight =
+      schema != nullptr && schema->is_string() &&
+      schema->as_string() == "yhccl-flight/1";
+  const bool ok = is_flight ? yhccl::trace::validate_flight(j, &err)
+                            : yhccl::trace::validate_chrome(j, &err);
+  if (!ok) {
+    std::fprintf(stderr, "trace_check: %s: %s\n", path.c_str(), err.c_str());
+    return 1;
+  }
+  if (is_flight)
+    std::printf("%s: valid yhccl-flight/1 dump (fault: %s, site: %s)\n",
+                path.c_str(), j["fault"].as_string().c_str(),
+                j["site"].as_string().c_str());
+  else
+    std::printf("%s: valid yhccl-trace/1 chrome trace, %zu events\n",
+                path.c_str(), j["traceEvents"].size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: trace_check <trace-or-flight.json>...\n");
+    return 2;
+  }
+  int rc = 0;
+  for (int i = 1; i < argc; ++i) rc |= check_one(argv[i]);
+  return rc;
+}

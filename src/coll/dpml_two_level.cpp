@@ -19,8 +19,10 @@
 
 #include "yhccl/coll/coll.hpp"
 #include "yhccl/coll/detail.hpp"
+#include "yhccl/copy/isa.hpp"
 #include "yhccl/copy/policy.hpp"
 #include "yhccl/copy/reduce_kernels.hpp"
+#include "yhccl/trace/trace.hpp"
 
 namespace yhccl::coll {
 
@@ -81,13 +83,22 @@ void dpml_core(RankCtx& ctx, const std::byte* send, std::byte* recv,
 
   for (std::size_t t = 0; t < S.nrounds; ++t) {
     // Copy-in: my sub-slice of every block, gathered into my staging.
-    for (int b = 0; b < p; ++b) {
-      const auto lb = static_cast<std::size_t>(b);
-      const std::size_t len = S.len(lb, t);
-      if (len > 0)
-        copy::dispatch_copy(opts.policy, stage_of(ctx.rank()) + lb * I,
-                            send + S.off(lb, t), len,
-                            /*temporal_hint=*/true, C, W);
+    {
+      trace::Span sp(trace::Phase::copy_in);
+      if (sp.active())
+        sp.set_variant(trace::copy_variant(
+            copy::use_nt_store(opts.policy, true, C, W, I),
+            static_cast<int>(copy::active_isa())));
+      for (int b = 0; b < p; ++b) {
+        const auto lb = static_cast<std::size_t>(b);
+        const std::size_t len = S.len(lb, t);
+        if (len > 0) {
+          sp.add_bytes(len);
+          copy::dispatch_copy(opts.policy, stage_of(ctx.rank()) + lb * I,
+                              send + S.off(lb, t), len,
+                              /*temporal_hint=*/true, C, W);
+        }
+      }
     }
     ctx.barrier();
 
@@ -100,12 +111,17 @@ void dpml_core(RankCtx& ctx, const std::byte* send, std::byte* recv,
     for (int s = 0; s < g.m; ++s) any_multi = any_multi || g.size[s] > 1;
     const int n = g.size[g.my_group];
     if (n > 1) {
+      trace::Span sp(trace::Phase::reduce);
+      if (sp.active())
+        sp.set_variant(trace::copy_variant(
+            false, static_cast<int>(copy::active_isa())));
       const int lo = g.my_index * p / n;
       const int hi = (g.my_index + 1) * p / n;
       for (int b = lo; b < hi; ++b) {
         const auto lb = static_cast<std::size_t>(b);
         const std::size_t len = S.len(lb, t);
         if (len == 0) continue;
+        sp.add_bytes(len);
         const void* srcs[rt::kMaxRanks];
         for (int i = 0; i < n; ++i)
           srcs[i] = stage_of(g.base[g.my_group] + i) + lb * I;
@@ -124,9 +140,17 @@ void dpml_core(RankCtx& ctx, const std::byte* send, std::byte* recv,
       if (deliver == Deliver::scatter) {
         const bool nt = copy::use_nt_store(opts.policy, /*temporal_hint=*/false,
                                            C, W, len_r);
+        trace::Span sp(trace::Phase::reduce, len_r);
+        if (sp.active())
+          sp.set_variant(trace::copy_variant(
+              nt, static_cast<int>(copy::active_isa())));
         copy::reduce_out_multi(recv + S.off_in_block(t), srcs, g.m, len_r, d,
                                op, nt);
       } else {
+        trace::Span sp(trace::Phase::reduce, len_r);
+        if (sp.active())
+          sp.set_variant(trace::copy_variant(
+              false, static_cast<int>(copy::active_isa())));
         copy::reduce_out_multi(node_res + r * I, srcs, g.m, len_r, d, op,
                                /*nt_store=*/false);
       }
@@ -137,13 +161,20 @@ void dpml_core(RankCtx& ctx, const std::byte* send, std::byte* recv,
     if (deliver != Deliver::scatter) {
       if (deliver == Deliver::all ||
           (deliver == Deliver::root_only && ctx.rank() == root)) {
+        trace::Span sp(trace::Phase::copy_out);
+        if (sp.active())
+          sp.set_variant(trace::copy_variant(
+              copy::use_nt_store(opts.policy, false, C, W, I),
+              static_cast<int>(copy::active_isa())));
         for (int b = 0; b < p; ++b) {
           const auto lb = static_cast<std::size_t>(b);
           const std::size_t len = S.len(lb, t);
-          if (len > 0)
+          if (len > 0) {
+            sp.add_bytes(len);
             copy::dispatch_copy(opts.policy, recv + S.off(lb, t),
                                 node_res + lb * I, len,
                                 /*temporal_hint=*/false, C, W);
+          }
         }
       }
       ctx.barrier();
@@ -173,6 +204,10 @@ void dpml_two_level_reduce_scatter(RankCtx& ctx, const void* send, void* recv,
   if (count == 0) return;
   const int p = ctx.nranks();
   const std::size_t B = count * dtype_size(d);
+  trace::CollScope coll_scope(
+      detail::trace_coll_id(CollKind::reduce_scatter),
+      B * static_cast<std::size_t>(p),
+      detail::trace_alg_id(Algorithm::dpml_two_level));
   if (p == 1) {
     copy::t_copy(recv, send, B);
     return;
@@ -191,6 +226,9 @@ void dpml_two_level_allreduce(RankCtx& ctx, const void* send, void* recv,
   if (count == 0) return;
   const int p = ctx.nranks();
   const std::size_t total = count * dtype_size(d);
+  trace::CollScope coll_scope(
+      detail::trace_coll_id(CollKind::allreduce), total,
+      detail::trace_alg_id(Algorithm::dpml_two_level));
   if (p == 1) {
     copy::t_copy(recv, send, total);
     return;
@@ -209,6 +247,9 @@ void dpml_two_level_reduce(RankCtx& ctx, const void* send, void* recv,
   if (count == 0) return;
   const int p = ctx.nranks();
   const std::size_t total = count * dtype_size(d);
+  trace::CollScope coll_scope(
+      detail::trace_coll_id(CollKind::reduce), total,
+      detail::trace_alg_id(Algorithm::dpml_two_level));
   if (p == 1) {
     copy::t_copy(recv, send, total);
     return;

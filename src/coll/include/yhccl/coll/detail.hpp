@@ -7,8 +7,24 @@
 #include "yhccl/common/error.hpp"
 #include "yhccl/common/types.hpp"
 #include "yhccl/coll/coll.hpp"
+#include "yhccl/coll/profiler.hpp"
+#include "yhccl/trace/trace.hpp"
 
 namespace yhccl::coll::detail {
+
+/// Collective-kind id stamped into trace records (trace::Rec::coll):
+/// 1 + CollKind, because 0 means "outside any collective".
+constexpr std::uint8_t trace_coll_id(CollKind k) noexcept {
+  static_assert(static_cast<int>(CollKind::kCount_) + 1 <=
+                    trace::kMaxCollIds,
+                "trace coll-id byte cannot hold every CollKind");
+  return static_cast<std::uint8_t>(1 + static_cast<int>(k));
+}
+
+/// Algorithm id for the trace's coll-span variant byte.
+constexpr std::uint8_t trace_alg_id(Algorithm a) noexcept {
+  return static_cast<std::uint8_t>(a);
+}
 
 /// Blocked slice geometry for the sliced-reduction problem (§3.1).
 ///

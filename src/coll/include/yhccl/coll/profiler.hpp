@@ -11,10 +11,12 @@
 #include <cstdint>
 #include <string>
 
+#include "yhccl/bench/json.hpp"
 #include "yhccl/coll/coll.hpp"
 #include "yhccl/copy/dav.hpp"
 #include "yhccl/copy/isa.hpp"
 #include "yhccl/runtime/sync_counts.hpp"
+#include "yhccl/trace/export.hpp"
 
 namespace yhccl::coll {
 
@@ -44,19 +46,39 @@ class CollProfiler {
     std::uint64_t calls = 0;
     std::uint64_t payload_bytes = 0;  ///< message bytes (user-visible)
     double seconds = 0;               ///< wall time inside the collective
+    double wait_seconds = 0;          ///< of which: spin-waiting (tracer)
     copy::Dav dav;                    ///< measured memory traffic
     copy::KernelCounts kernels;       ///< dispatched kernel calls per ISA tier
     rt::SyncCounts sync;              ///< barrier / progress-flag operations
+    std::uint64_t skew_barriers = 0;  ///< node barriers with full-team stamps
+    double skew_sum = 0;              ///< sum of per-barrier max-min arrival
+    double skew_max = 0;              ///< worst single-barrier arrival skew
 
     /// Achieved data-access bandwidth, bytes/s.
     double dab() const noexcept {
       return seconds > 0 ? static_cast<double>(dav.total()) / seconds : 0;
     }
+    /// Wall time minus attributed spin-wait time (clamped at 0: the two
+    /// come from different clocks, so tiny payloads can jitter negative).
+    double work_seconds() const noexcept {
+      const double w = seconds - wait_seconds;
+      return w > 0 ? w : 0;
+    }
+    /// Mean per-barrier arrival skew, seconds.
+    double skew_mean() const noexcept {
+      return skew_barriers > 0 ? skew_sum / static_cast<double>(skew_barriers)
+                               : 0;
+    }
   };
 
   void add(CollKind k, std::size_t payload, double seconds,
            const copy::Dav& dav, const copy::KernelCounts& kernels = {},
-           const rt::SyncCounts& sync = {}) noexcept;
+           const rt::SyncCounts& sync = {},
+           double wait_seconds = 0) noexcept;
+  /// Fold a harvested per-barrier skew rollup (max-minus-min rank arrival,
+  /// from the phase tracer) into the per-kind records.
+  void add_skew(CollKind k, std::uint64_t barriers, double skew_sum,
+                double skew_max) noexcept;
   const Record& get(CollKind k) const noexcept;
   Record total() const noexcept;
 
@@ -69,9 +91,20 @@ class CollProfiler {
   /// Human-readable per-kind table.
   std::string report() const;
 
+  /// Machine-readable profile (schema "yhccl-profiler/1"); round-trips
+  /// through from_json exactly (integers are exact, doubles via %.17g).
+  bench::Json report_json() const;
+  static CollProfiler from_json(const bench::Json& j);
+
  private:
   Record records_[static_cast<int>(CollKind::kCount_)];
 };
+
+/// Merge a tracer barrier-skew rollup (trace::Harvest::skew()) into the
+/// profiler: rollup slot 1+k holds CollKind k (slot 0 = outside any
+/// collective, dropped).
+void merge_trace_skew(CollProfiler& prof,
+                      const trace::SkewRollup& rollup) noexcept;
 
 // ---- profiled wrappers -------------------------------------------------------
 // Identical signatures to yhccl::coll with a leading per-rank profiler.

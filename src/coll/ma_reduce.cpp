@@ -19,8 +19,10 @@
 
 #include "yhccl/coll/coll.hpp"
 #include "yhccl/coll/detail.hpp"
+#include "yhccl/copy/isa.hpp"
 #include "yhccl/copy/policy.hpp"
 #include "yhccl/copy/reduce_kernels.hpp"
+#include "yhccl/trace/trace.hpp"
 
 namespace yhccl::coll {
 
@@ -55,9 +57,18 @@ void ma_round(RankCtx& ctx, const std::byte* send, std::byte* recv_block,
       const std::byte* src = send + S.off(l, t);
       if (j == 0) {
         // The shared slot is re-read by every later step: temporal hint.
+        trace::Span sp(trace::Phase::copy_in, len);
+        if (sp.active())
+          sp.set_variant(trace::copy_variant(
+              copy::use_nt_store(opts.policy, true, C, W, len),
+              static_cast<int>(copy::active_isa())));
         copy::dispatch_copy(opts.policy, slot, src, len,
                             /*temporal_hint=*/true, C, W);
       } else if (j < p - 1 || fd == FinalDest::shm) {
+        trace::Span sp(trace::Phase::reduce, len);
+        if (sp.active())
+          sp.set_variant(trace::copy_variant(
+              false, static_cast<int>(copy::active_isa())));
         copy::reduce_inplace(slot, src, len, d, op);
       } else {
         // j == p-1 implies l == r: fuse the last reduction with the
@@ -65,6 +76,10 @@ void ma_round(RankCtx& ctx, const std::byte* send, std::byte* recv_block,
         // this collective, so the store may stream.
         const bool nt = copy::use_nt_store(opts.policy,
                                            /*temporal_hint=*/false, C, W, len);
+        trace::Span sp(trace::Phase::reduce, len);
+        if (sp.active())
+          sp.set_variant(trace::copy_variant(
+              nt, static_cast<int>(copy::active_isa())));
         copy::reduce_out(recv_block + S.off_in_block(t), slot, src, len, d,
                          op, nt);
       }
@@ -82,6 +97,9 @@ void ma_reduce_scatter(RankCtx& ctx, const void* send, void* recv,
   if (count == 0) return;
   const int p = ctx.nranks();
   const std::size_t B = count * dtype_size(d);
+  trace::CollScope coll_scope(detail::trace_coll_id(CollKind::reduce_scatter),
+                              B * static_cast<std::size_t>(p),
+                              detail::trace_alg_id(Algorithm::ma_flat));
   const auto* sb = static_cast<const std::byte*>(send);
   auto* rb = static_cast<std::byte*>(recv);
   if (p == 1) {
@@ -111,6 +129,9 @@ void ma_allreduce(RankCtx& ctx, const void* send, void* recv,
   if (count == 0) return;
   const int p = ctx.nranks();
   const std::size_t total = count * dtype_size(d);
+  trace::CollScope coll_scope(detail::trace_coll_id(CollKind::allreduce),
+                              total,
+                              detail::trace_alg_id(Algorithm::ma_flat));
   const auto* sb = static_cast<const std::byte*>(send);
   auto* rb = static_cast<std::byte*>(recv);
   if (p == 1) {
@@ -131,13 +152,22 @@ void ma_allreduce(RankCtx& ctx, const void* send, void* recv,
     // Copy-out (Algorithm 2 lines 14-16): the receive buffer is only read
     // after the collective, so these stores may stream.
     rt::fault_point("slice");
-    for (int b = 0; b < p; ++b) {
-      const auto lb = static_cast<std::size_t>(b);
-      const std::size_t len = S.len(lb, t);
-      if (len > 0)
-        copy::dispatch_copy(opts.policy, rb + S.off(lb, t),
-                            shm + lb * S.slice, len,
-                            /*temporal_hint=*/false, C, W);
+    {
+      trace::Span sp(trace::Phase::copy_out);
+      if (sp.active())
+        sp.set_variant(trace::copy_variant(
+            copy::use_nt_store(opts.policy, false, C, W, S.slice),
+            static_cast<int>(copy::active_isa())));
+      for (int b = 0; b < p; ++b) {
+        const auto lb = static_cast<std::size_t>(b);
+        const std::size_t len = S.len(lb, t);
+        if (len > 0) {
+          sp.add_bytes(len);
+          copy::dispatch_copy(opts.policy, rb + S.off(lb, t),
+                              shm + lb * S.slice, len,
+                              /*temporal_hint=*/false, C, W);
+        }
+      }
     }
     ctx.barrier();  // shm slots may be overwritten by the next round
   }
@@ -149,6 +179,8 @@ void ma_reduce(RankCtx& ctx, const void* send, void* recv, std::size_t count,
   if (count == 0) return;
   const int p = ctx.nranks();
   const std::size_t total = count * dtype_size(d);
+  trace::CollScope coll_scope(detail::trace_coll_id(CollKind::reduce), total,
+                              detail::trace_alg_id(Algorithm::ma_flat));
   const auto* sb = static_cast<const std::byte*>(send);
   auto* rb = static_cast<std::byte*>(recv);
   if (p == 1) {
@@ -168,13 +200,20 @@ void ma_reduce(RankCtx& ctx, const void* send, void* recv, std::size_t count,
     ctx.barrier();
     rt::fault_point("slice");
     if (ctx.rank() == root) {
+      trace::Span sp(trace::Phase::copy_out);
+      if (sp.active())
+        sp.set_variant(trace::copy_variant(
+            copy::use_nt_store(opts.policy, false, C, W, S.slice),
+            static_cast<int>(copy::active_isa())));
       for (int b = 0; b < p; ++b) {
         const auto lb = static_cast<std::size_t>(b);
         const std::size_t len = S.len(lb, t);
-        if (len > 0)
+        if (len > 0) {
+          sp.add_bytes(len);
           copy::dispatch_copy(opts.policy, rb + S.off(lb, t),
                               shm + lb * S.slice, len,
                               /*temporal_hint=*/false, C, W);
+        }
       }
     }
     ctx.barrier();

@@ -10,7 +10,9 @@
 
 #include "yhccl/coll/coll.hpp"
 #include "yhccl/coll/detail.hpp"
+#include "yhccl/copy/isa.hpp"
 #include "yhccl/copy/policy.hpp"
+#include "yhccl/trace/trace.hpp"
 
 namespace yhccl::coll {
 
@@ -28,6 +30,8 @@ std::size_t pipeline_slice(std::size_t total, const CollOpts& opts) {
 
 void pipelined_broadcast(RankCtx& ctx, void* buf, std::size_t count,
                          Datatype d, int root, const CollOpts& opts) {
+  trace::CollScope coll_scope(detail::trace_coll_id(CollKind::broadcast),
+                              count * dtype_size(d));
   if (count == 0 || ctx.nranks() == 1) return;
   const int p = ctx.nranks();
   const std::size_t s = count * dtype_size(d);
@@ -46,26 +50,44 @@ void pipelined_broadcast(RankCtx& ctx, void* buf, std::size_t count,
     rt::fault_point("pipeline");
     if (ctx.rank() == root) {
       // Producer side: the slot is consumed right away -> temporal.
+      trace::Span sp(trace::Phase::copy_in, slice_len(k));
+      if (sp.active())
+        sp.set_variant(trace::copy_variant(
+            copy::use_nt_store(opts.policy, true, C, W, slice_len(k)),
+            static_cast<int>(copy::active_isa())));
       copy::dispatch_copy(opts.policy, shm + (k % 2) * I, b + k * I,
                           slice_len(k), /*temporal_hint=*/true, C, W);
     } else if (k >= 1) {
       // Consumer side: receive buffers are used only after the collective.
+      trace::Span sp(trace::Phase::copy_out, slice_len(k - 1));
+      if (sp.active())
+        sp.set_variant(trace::copy_variant(
+            copy::use_nt_store(opts.policy, false, C, W, slice_len(k - 1)),
+            static_cast<int>(copy::active_isa())));
       copy::dispatch_copy(opts.policy, b + (k - 1) * I,
                           shm + ((k - 1) % 2) * I, slice_len(k - 1),
                           /*temporal_hint=*/false, C, W);
     }
     ctx.barrier();
   }
-  if (ctx.rank() != root)
+  if (ctx.rank() != root) {
+    trace::Span sp(trace::Phase::copy_out, slice_len(nsl - 1));
+    if (sp.active())
+      sp.set_variant(trace::copy_variant(
+          copy::use_nt_store(opts.policy, false, C, W, slice_len(nsl - 1)),
+          static_cast<int>(copy::active_isa())));
     copy::dispatch_copy(opts.policy, b + (nsl - 1) * I,
                         shm + ((nsl - 1) % 2) * I, slice_len(nsl - 1),
                         /*temporal_hint=*/false, C, W);
+  }
   ctx.barrier();  // protect slot reuse by the next collective
 }
 
 void pipelined_allgather(RankCtx& ctx, const void* send, void* recv,
                          std::size_t count, Datatype d,
                          const CollOpts& opts) {
+  trace::CollScope coll_scope(detail::trace_coll_id(CollKind::allgather),
+                              count * dtype_size(d));
   if (count == 0) return;
   const int p = ctx.nranks();
   const std::size_t s = count * dtype_size(d);
@@ -89,23 +111,46 @@ void pipelined_allgather(RankCtx& ctx, const void* send, void* recv,
 
   for (std::size_t k = 0; k < nsl; ++k) {
     rt::fault_point("pipeline");
-    copy::dispatch_copy(opts.policy, slot(ctx.rank(), k), sb + k * I,
-                        slice_len(k), /*temporal_hint=*/true, C, W);
+    {
+      trace::Span sp(trace::Phase::copy_in, slice_len(k));
+      if (sp.active())
+        sp.set_variant(trace::copy_variant(
+            copy::use_nt_store(opts.policy, true, C, W, slice_len(k)),
+            static_cast<int>(copy::active_isa())));
+      copy::dispatch_copy(opts.policy, slot(ctx.rank(), k), sb + k * I,
+                          slice_len(k), /*temporal_hint=*/true, C, W);
+    }
     if (k >= 1) {
       const std::size_t lp = slice_len(k - 1);
-      for (int a = 0; a < p; ++a)
+      trace::Span sp(trace::Phase::copy_out);
+      if (sp.active())
+        sp.set_variant(trace::copy_variant(
+            copy::use_nt_store(opts.policy, false, C, W, lp),
+            static_cast<int>(copy::active_isa())));
+      for (int a = 0; a < p; ++a) {
+        sp.add_bytes(lp);
         copy::dispatch_copy(opts.policy,
                             rb + static_cast<std::size_t>(a) * s + (k - 1) * I,
                             slot(a, k - 1), lp, /*temporal_hint=*/false, C,
                             W);
+      }
     }
     ctx.barrier();
   }
   const std::size_t lp = slice_len(nsl - 1);
-  for (int a = 0; a < p; ++a)
-    copy::dispatch_copy(opts.policy,
-                        rb + static_cast<std::size_t>(a) * s + (nsl - 1) * I,
-                        slot(a, nsl - 1), lp, /*temporal_hint=*/false, C, W);
+  {
+    trace::Span sp(trace::Phase::copy_out);
+    if (sp.active())
+      sp.set_variant(trace::copy_variant(
+          copy::use_nt_store(opts.policy, false, C, W, lp),
+          static_cast<int>(copy::active_isa())));
+    for (int a = 0; a < p; ++a) {
+      sp.add_bytes(lp);
+      copy::dispatch_copy(opts.policy,
+                          rb + static_cast<std::size_t>(a) * s + (nsl - 1) * I,
+                          slot(a, nsl - 1), lp, /*temporal_hint=*/false, C, W);
+    }
+  }
   ctx.barrier();
 }
 

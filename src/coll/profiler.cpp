@@ -2,20 +2,32 @@
 
 #include <cstdio>
 
+#include "yhccl/common/error.hpp"
 #include "yhccl/common/time.hpp"
+#include "yhccl/trace/trace.hpp"
 
 namespace yhccl::coll {
 
 void CollProfiler::add(CollKind k, std::size_t payload, double seconds,
                        const copy::Dav& dav, const copy::KernelCounts& kernels,
-                       const rt::SyncCounts& sync) noexcept {
+                       const rt::SyncCounts& sync,
+                       double wait_seconds) noexcept {
   auto& r = records_[static_cast<int>(k)];
   ++r.calls;
   r.payload_bytes += payload;
   r.seconds += seconds;
+  r.wait_seconds += wait_seconds;
   r.dav += dav;
   r.kernels += kernels;
   r.sync += sync;
+}
+
+void CollProfiler::add_skew(CollKind k, std::uint64_t barriers,
+                            double skew_sum, double skew_max) noexcept {
+  auto& r = records_[static_cast<int>(k)];
+  r.skew_barriers += barriers;
+  r.skew_sum += skew_sum;
+  if (skew_max > r.skew_max) r.skew_max = skew_max;
 }
 
 const CollProfiler::Record& CollProfiler::get(CollKind k) const noexcept {
@@ -28,9 +40,13 @@ CollProfiler::Record CollProfiler::total() const noexcept {
     t.calls += r.calls;
     t.payload_bytes += r.payload_bytes;
     t.seconds += r.seconds;
+    t.wait_seconds += r.wait_seconds;
     t.dav += r.dav;
     t.kernels += r.kernels;
     t.sync += r.sync;
+    t.skew_barriers += r.skew_barriers;
+    t.skew_sum += r.skew_sum;
+    if (r.skew_max > t.skew_max) t.skew_max = r.skew_max;
   }
   return t;
 }
@@ -40,46 +56,151 @@ CollProfiler& CollProfiler::operator+=(const CollProfiler& o) noexcept {
     records_[k].calls += o.records_[k].calls;
     records_[k].payload_bytes += o.records_[k].payload_bytes;
     records_[k].seconds += o.records_[k].seconds;
+    records_[k].wait_seconds += o.records_[k].wait_seconds;
     records_[k].dav += o.records_[k].dav;
     records_[k].kernels += o.records_[k].kernels;
     records_[k].sync += o.records_[k].sync;
+    records_[k].skew_barriers += o.records_[k].skew_barriers;
+    records_[k].skew_sum += o.records_[k].skew_sum;
+    if (o.records_[k].skew_max > records_[k].skew_max)
+      records_[k].skew_max = o.records_[k].skew_max;
   }
   return *this;
 }
 
 std::string CollProfiler::report() const {
-  char line[192];
+  char line[224];
   std::string out;
   std::snprintf(line, sizeof line,
-                "%-16s %8s %12s %10s %12s %10s %8s %10s\n", "collective",
-                "calls", "payload(MB)", "time(s)", "DAV(MB)", "DAB(GB/s)",
-                "kernel", "sync-ops");
+                "%-16s %8s %12s %10s %10s %12s %10s %8s %10s %10s\n",
+                "collective", "calls", "payload(MB)", "time(s)", "wait(s)",
+                "DAV(MB)", "DAB(GB/s)", "kernel", "sync-ops", "skew(us)");
   out += line;
+  const auto emit = [&](const char* name, const Record& r) {
+    std::snprintf(line, sizeof line,
+                  "%-16s %8llu %12.1f %10.4f %10.4f %12.1f %10.2f %8s "
+                  "%10llu %10.1f\n",
+                  name, static_cast<unsigned long long>(r.calls),
+                  r.payload_bytes / 1e6, r.seconds, r.wait_seconds,
+                  r.dav.total() / 1e6, r.dab() / 1e9,
+                  r.kernels.total() ? copy::isa_name(r.kernels.dominant())
+                                    : "-",
+                  static_cast<unsigned long long>(r.sync.total()),
+                  r.skew_mean() * 1e6);
+    out += line;
+  };
   for (int k = 0; k < static_cast<int>(CollKind::kCount_); ++k) {
     const auto& r = records_[k];
     if (r.calls == 0) continue;
-    std::snprintf(line, sizeof line,
-                  "%-16s %8llu %12.1f %10.4f %12.1f %10.2f %8s %10llu\n",
-                  coll_kind_name(static_cast<CollKind>(k)),
-                  static_cast<unsigned long long>(r.calls),
-                  r.payload_bytes / 1e6, r.seconds, r.dav.total() / 1e6,
-                  r.dab() / 1e9,
-                  r.kernels.total() ? copy::isa_name(r.kernels.dominant())
-                                    : "-",
-                  static_cast<unsigned long long>(r.sync.total()));
-    out += line;
+    emit(coll_kind_name(static_cast<CollKind>(k)), r);
   }
-  const auto t = total();
-  std::snprintf(line, sizeof line,
-                "%-16s %8llu %12.1f %10.4f %12.1f %10.2f %8s %10llu\n",
-                "TOTAL", static_cast<unsigned long long>(t.calls),
-                t.payload_bytes / 1e6, t.seconds, t.dav.total() / 1e6,
-                t.dab() / 1e9,
-                t.kernels.total() ? copy::isa_name(t.kernels.dominant())
-                                  : "-",
-                static_cast<unsigned long long>(t.sync.total()));
-  out += line;
+  emit("TOTAL", total());
   return out;
+}
+
+namespace {
+
+constexpr const char* kProfilerSchema = "yhccl-profiler/1";
+
+bench::Json record_json(const CollProfiler::Record& r) {
+  auto j = bench::Json::object();
+  j.set("calls", r.calls);
+  j.set("payload_bytes", r.payload_bytes);
+  j.set("seconds", r.seconds);
+  j.set("wait_seconds", r.wait_seconds);
+  j.set("work_seconds", r.work_seconds());
+  auto dav = bench::Json::object();
+  dav.set("loads", r.dav.loads);
+  dav.set("stores", r.dav.stores);
+  j.set("dav", std::move(dav));
+  auto kern = bench::Json::array();
+  for (int i = 0; i < copy::kNumIsaTiers; ++i)
+    kern.push_back(r.kernels.calls[i]);
+  j.set("kernels", std::move(kern));
+  auto sync = bench::Json::object();
+  sync.set("barriers", r.sync.barriers);
+  sync.set("flag_posts", r.sync.flag_posts);
+  sync.set("flag_waits", r.sync.flag_waits);
+  j.set("sync", std::move(sync));
+  auto skew = bench::Json::object();
+  skew.set("barriers", r.skew_barriers);
+  skew.set("sum_seconds", r.skew_sum);
+  skew.set("max_seconds", r.skew_max);
+  j.set("skew", std::move(skew));
+  j.set("dab", r.dab());
+  return j;
+}
+
+CollProfiler::Record record_from_json(const bench::Json& j) {
+  YHCCL_REQUIRE(j.is_object(), "profiler record: not an object");
+  CollProfiler::Record r;
+  r.calls = j["calls"].as_uint();
+  r.payload_bytes = j["payload_bytes"].as_uint();
+  r.seconds = j["seconds"].as_double();
+  r.wait_seconds = j["wait_seconds"].as_double();
+  const auto& dav = j["dav"];
+  r.dav.loads = dav["loads"].as_uint();
+  r.dav.stores = dav["stores"].as_uint();
+  const auto& kern = j["kernels"];
+  YHCCL_REQUIRE(kern.is_array() &&
+                    kern.size() == static_cast<std::size_t>(copy::kNumIsaTiers),
+                "profiler record: kernels tier count mismatch");
+  for (int i = 0; i < copy::kNumIsaTiers; ++i)
+    r.kernels.calls[i] = kern.at(static_cast<std::size_t>(i)).as_uint();
+  const auto& sync = j["sync"];
+  r.sync.barriers = sync["barriers"].as_uint();
+  r.sync.flag_posts = sync["flag_posts"].as_uint();
+  r.sync.flag_waits = sync["flag_waits"].as_uint();
+  const auto& skew = j["skew"];
+  r.skew_barriers = skew["barriers"].as_uint();
+  r.skew_sum = skew["sum_seconds"].as_double();
+  r.skew_max = skew["max_seconds"].as_double();
+  return r;
+}
+
+}  // namespace
+
+bench::Json CollProfiler::report_json() const {
+  auto j = bench::Json::object();
+  j.set("schema", kProfilerSchema);
+  auto kinds = bench::Json::object();
+  for (int k = 0; k < static_cast<int>(CollKind::kCount_); ++k) {
+    if (records_[k].calls == 0 && records_[k].skew_barriers == 0) continue;
+    kinds.set(coll_kind_name(static_cast<CollKind>(k)),
+              record_json(records_[k]));
+  }
+  j.set("kinds", std::move(kinds));
+  j.set("total", record_json(total()));
+  return j;
+}
+
+CollProfiler CollProfiler::from_json(const bench::Json& j) {
+  YHCCL_REQUIRE(j.is_object(), "profiler json: not an object");
+  const auto* schema = j.find("schema");
+  YHCCL_REQUIRE(schema != nullptr && schema->is_string() &&
+                    schema->as_string() == kProfilerSchema,
+                "profiler json: unknown schema");
+  CollProfiler p;
+  const auto* kinds = j.find("kinds");
+  YHCCL_REQUIRE(kinds != nullptr && kinds->is_object(),
+                "profiler json: missing kinds");
+  for (int k = 0; k < static_cast<int>(CollKind::kCount_); ++k) {
+    const auto* rec =
+        kinds->find(coll_kind_name(static_cast<CollKind>(k)));
+    if (rec != nullptr)
+      p.records_[k] = record_from_json(*rec);
+  }
+  return p;
+}
+
+void merge_trace_skew(CollProfiler& prof,
+                      const trace::SkewRollup& rollup) noexcept {
+  for (int k = 0; k < static_cast<int>(CollKind::kCount_); ++k) {
+    const auto& s = rollup.by_coll[1 + k];  // slot 0 = outside a collective
+    if (s.barriers == 0) continue;
+    prof.add_skew(static_cast<CollKind>(k), s.barriers, s.skew_sum,
+                  s.skew_max);
+  }
 }
 
 namespace {
@@ -90,10 +211,11 @@ void profiled(CollProfiler& prof, CollKind k, std::size_t payload,
   const copy::DavScope dav;
   const copy::KernelCountScope kernels;
   const rt::SyncCountScope sync;
+  const trace::WaitScope waits;
   const Timer timer;
   fn();
   prof.add(k, payload, timer.elapsed(), dav.delta(), kernels.delta(),
-           sync.delta());
+           sync.delta(), waits.wait_seconds());
 }
 
 }  // namespace

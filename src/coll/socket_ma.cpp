@@ -19,8 +19,10 @@
 
 #include "yhccl/coll/coll.hpp"
 #include "yhccl/coll/detail.hpp"
+#include "yhccl/copy/isa.hpp"
 #include "yhccl/copy/policy.hpp"
 #include "yhccl/copy/reduce_kernels.hpp"
+#include "yhccl/trace/trace.hpp"
 
 namespace yhccl::coll {
 
@@ -77,11 +79,21 @@ void stage1(RankCtx& ctx, const SocketPlan& pl, const std::byte* send,
       if (len == 0) continue;
       std::byte* slot = my_sock_shm + lb * S.slice;
       const std::byte* src = send + S.off(lb, t);
-      if (j == 0)
+      if (j == 0) {
+        trace::Span sp(trace::Phase::copy_in, len);
+        if (sp.active())
+          sp.set_variant(trace::copy_variant(
+              copy::use_nt_store(opts.policy, true, C, W, len),
+              static_cast<int>(copy::active_isa())));
         copy::dispatch_copy(opts.policy, slot, src, len,
                             /*temporal_hint=*/true, C, W);
-      else
+      } else {
+        trace::Span sp(trace::Phase::reduce, len);
+        if (sp.active())
+          sp.set_variant(trace::copy_variant(
+              false, static_cast<int>(copy::active_isa())));
         copy::reduce_inplace(slot, src, len, d, op);
+      }
     }
     ctx.step_publish(rt::RankCtx::step_value(seq, k + 1));
   }
@@ -96,6 +108,10 @@ void stage2(RankCtx& ctx, const SocketPlan& pl, std::byte* scratch,
   const auto r = static_cast<std::size_t>(ctx.rank());
   for (int x = 0; x < pl.m; ++x)
     srcs[x] = pl.sock_shm(scratch, x, S.slice) + r * S.slice;
+  trace::Span sp(trace::Phase::reduce, len);
+  if (sp.active())
+    sp.set_variant(
+        trace::copy_variant(nt, static_cast<int>(copy::active_isa())));
   copy::reduce_out_multi(dest, srcs, pl.m, len, d, op, nt);
 }
 
@@ -134,13 +150,20 @@ void socket_ma_core(RankCtx& ctx, const std::byte* send, std::byte* recv,
     if (fd == FinalDest::shm) {
       const bool root_only = root >= 0;
       if (copy_out_all || (root_only && ctx.rank() == root)) {
+        trace::Span sp(trace::Phase::copy_out);
+        if (sp.active())
+          sp.set_variant(trace::copy_variant(
+              copy::use_nt_store(opts.policy, false, C, W, S.slice),
+              static_cast<int>(copy::active_isa())));
         for (int b = 0; b < pl.p; ++b) {
           const auto lb = static_cast<std::size_t>(b);
           const std::size_t blen = S.len(lb, t);
-          if (blen > 0)
+          if (blen > 0) {
+            sp.add_bytes(blen);
             copy::dispatch_copy(opts.policy, recv + S.off(lb, t),
                                 node_shm + lb * S.slice, blen,
                                 /*temporal_hint=*/false, C, W);
+          }
         }
       }
       ctx.barrier();  // copy-out done before the next round overwrites
@@ -153,6 +176,12 @@ void socket_ma_core(RankCtx& ctx, const std::byte* send, std::byte* recv,
 void socket_ma_reduce_scatter(RankCtx& ctx, const void* send, void* recv,
                               std::size_t count, Datatype d, ReduceOp op,
                               const CollOpts& opts) {
+  // Outermost scope: a fallback to the flat arm nests inside it, so the
+  // trace still attributes the call to the socket-aware algorithm choice.
+  trace::CollScope coll_scope(
+      detail::trace_coll_id(CollKind::reduce_scatter),
+      count * dtype_size(d) * static_cast<std::size_t>(ctx.nranks()),
+      detail::trace_alg_id(Algorithm::ma_socket_aware));
   if (!socket_layout_usable(ctx))
     return ma_reduce_scatter(ctx, send, recv, count, d, op, opts);
   detail::check_reduction_args(ctx, send, count, d, op);
@@ -174,6 +203,9 @@ void socket_ma_reduce_scatter(RankCtx& ctx, const void* send, void* recv,
 void socket_ma_allreduce(RankCtx& ctx, const void* send, void* recv,
                          std::size_t count, Datatype d, ReduceOp op,
                          const CollOpts& opts) {
+  trace::CollScope coll_scope(
+      detail::trace_coll_id(CollKind::allreduce), count * dtype_size(d),
+      detail::trace_alg_id(Algorithm::ma_socket_aware));
   if (!socket_layout_usable(ctx))
     return ma_allreduce(ctx, send, recv, count, d, op, opts);
   detail::check_reduction_args(ctx, send, count, d, op);
@@ -195,6 +227,9 @@ void socket_ma_allreduce(RankCtx& ctx, const void* send, void* recv,
 void socket_ma_reduce(RankCtx& ctx, const void* send, void* recv,
                       std::size_t count, Datatype d, ReduceOp op, int root,
                       const CollOpts& opts) {
+  trace::CollScope coll_scope(
+      detail::trace_coll_id(CollKind::reduce), count * dtype_size(d),
+      detail::trace_alg_id(Algorithm::ma_socket_aware));
   if (!socket_layout_usable(ctx))
     return ma_reduce(ctx, send, recv, count, d, op, root, opts);
   detail::check_reduction_args(ctx, send, count, d, op);

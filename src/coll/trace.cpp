@@ -1,7 +1,10 @@
 #include "yhccl/coll/trace.hpp"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
+#include <string>
 #include <vector>
 
 #include "yhccl/common/error.hpp"
@@ -30,25 +33,69 @@ std::string CollTrace::to_csv() const {
 
 namespace {
 
-CollKind parse_kind(const std::string& s) {
+constexpr const char* kCsvHeader = "kind,count,dtype,op,root,seconds";
+
+[[noreturn]] void raise_at(std::size_t line_no, const std::string& what) {
+  raise("trace csv line " + std::to_string(line_no) + ": " + what);
+}
+
+CollKind parse_kind(std::size_t ln, const std::string& s) {
   for (int k = 0; k < static_cast<int>(CollKind::kCount_); ++k)
     if (s == coll_kind_name(static_cast<CollKind>(k)))
       return static_cast<CollKind>(k);
-  raise("unknown collective kind in trace: " + s);
+  raise_at(ln, "unknown collective kind '" + s + "'");
 }
 
-Datatype parse_dtype(const std::string& s) {
+Datatype parse_dtype(std::size_t ln, const std::string& s) {
   for (Datatype d : {Datatype::u8, Datatype::i32, Datatype::i64,
                      Datatype::f32, Datatype::f64})
     if (s == dtype_name(d)) return d;
-  raise("unknown dtype in trace: " + s);
+  raise_at(ln, "unknown dtype '" + s + "'");
 }
 
-ReduceOp parse_op(const std::string& s) {
+ReduceOp parse_op(std::size_t ln, const std::string& s) {
   for (ReduceOp o : {ReduceOp::sum, ReduceOp::prod, ReduceOp::max,
                      ReduceOp::min, ReduceOp::band, ReduceOp::bor})
     if (s == op_name(o)) return o;
-  raise("unknown op in trace: " + s);
+  raise_at(ln, "unknown op '" + s + "'");
+}
+
+/// Strict numeric field parsers: the whole field must be consumed, with no
+/// overflow, so "12x", "", "1e99999" and "-3" (for counts) all fail loudly
+/// instead of silently truncating the way std::sto* / istream>> would.
+std::uint64_t parse_count(std::size_t ln, const std::string& s) {
+  if (s.empty() || s[0] == '-' || s[0] == '+')
+    raise_at(ln, "bad count '" + s + "'");
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size())
+    raise_at(ln, "bad count '" + s + "'");
+  return v;
+}
+
+int parse_root(std::size_t ln, const std::string& s) {
+  if (s.empty()) raise_at(ln, "bad root ''");
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size())
+    raise_at(ln, "bad root '" + s + "'");
+  if (v < 0 || v >= rt::kMaxRanks)
+    raise_at(ln, "root " + s + " out of range [0, " +
+                     std::to_string(rt::kMaxRanks) + ")");
+  return static_cast<int>(v);
+}
+
+double parse_seconds(std::size_t ln, const std::string& s) {
+  if (s.empty()) raise_at(ln, "bad seconds ''");
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end != s.c_str() + s.size())
+    raise_at(ln, "bad seconds '" + s + "'");
+  if (!(v >= 0)) raise_at(ln, "negative or NaN seconds '" + s + "'");
+  return v;
 }
 
 }  // namespace
@@ -57,30 +104,39 @@ CollTrace CollTrace::from_csv(const std::string& csv) {
   CollTrace t;
   std::istringstream in(csv);
   std::string line;
-  bool first = true;
+  std::size_t line_no = 0;
+  bool saw_header = false;
   while (std::getline(in, line)) {
-    if (first) {  // header
-      first = false;
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();  // CRLF
+    if (!saw_header) {
+      if (line != kCsvHeader)
+        raise_at(line_no, "expected header '" + std::string(kCsvHeader) +
+                              "', got '" + line + "'");
+      saw_header = true;
       continue;
     }
     if (line.empty()) continue;
-    std::istringstream ls(line);
-    std::string kind, count, dtype, op, root, seconds;
-    std::getline(ls, kind, ',');
-    std::getline(ls, count, ',');
-    std::getline(ls, dtype, ',');
-    std::getline(ls, op, ',');
-    std::getline(ls, root, ',');
-    std::getline(ls, seconds, ',');
+    std::vector<std::string> f;
+    std::size_t start = 0;
+    for (;;) {
+      const std::size_t comma = line.find(',', start);
+      f.push_back(line.substr(start, comma - start));
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+    if (f.size() != 6)
+      raise_at(line_no, "expected 6 fields, got " + std::to_string(f.size()));
     TraceEvent e;
-    e.kind = parse_kind(kind);
-    e.count = std::stoull(count);
-    e.dtype = parse_dtype(dtype);
-    e.op = parse_op(op);
-    e.root = std::stoi(root);
-    e.seconds = std::stod(seconds);
+    e.kind = parse_kind(line_no, f[0]);
+    e.count = parse_count(line_no, f[1]);
+    e.dtype = parse_dtype(line_no, f[2]);
+    e.op = parse_op(line_no, f[3]);
+    e.root = parse_root(line_no, f[4]);
+    e.seconds = parse_seconds(line_no, f[5]);
     t.record(e);
   }
+  if (!saw_header) raise("trace csv: empty input (missing header)");
   return t;
 }
 

@@ -10,6 +10,7 @@
 
 #include "yhccl/common/time.hpp"
 #include "yhccl/runtime/sync_timeout.hpp"
+#include "yhccl/trace/trace.hpp"
 
 namespace yhccl::rt {
 
@@ -132,6 +133,10 @@ FaultRunScope::~FaultRunScope() {
 namespace {
 
 [[noreturn]] void throw_fault(const FaultInfo& f, const char* during) {
+  // Flight-recorder breadcrumb: where this rank observed the abort.  Pushed
+  // before unwinding so the harvested ring ends at the abort, not before it.
+  trace::instant(trace::Phase::fault, FaultState::pack(f),
+                 static_cast<std::uint8_t>(trace::site_from_string(during)));
   std::string msg = "collective aborted: " + describe_fault(f);
   if (during != nullptr) msg += std::string(" [detected during ") + during + "]";
   throw Error(msg, f.kind, f.rank, f.epoch);
@@ -264,6 +269,12 @@ void fault_check_dead() {
 namespace {
 
 [[noreturn]] void inject_die(detail::FaultCtx& c, const char* site) {
+  // The dying rank's own breadcrumb: its ring lives in the shared mapping,
+  // so this record survives even the _exit below and lets the flight dump
+  // name the injection site from the victim's side.
+  trace::instant(trace::Phase::fault,
+                 FaultState::pack({FaultKind::peer_dead, c.rank, c.epoch}),
+                 static_cast<std::uint8_t>(trace::site_from_string(site)));
   if (c.forked) {
     // Brutal death, no unwinding — like a real crash.  Detection runs
     // entirely through the parent's reap bookkeeping / pid probes.

@@ -19,6 +19,7 @@
 #include "yhccl/runtime/fault.hpp"
 #include "yhccl/runtime/sync_counts.hpp"
 #include "yhccl/runtime/sync_timeout.hpp"
+#include "yhccl/trace/trace.hpp"
 
 namespace yhccl::rt {
 
@@ -40,14 +41,17 @@ static_assert(sizeof(PaddedFlag) == kCacheline);
 /// Timeout, see fault.hpp) and raised as a yhccl::Error instead of a hang.
 class SpinGuard {
  public:
-  explicit SpinGuard(const char* what = "synchronization wait") noexcept
-      : what_(what) {}
+  explicit SpinGuard(const char* what = "synchronization wait",
+                     trace::Phase ph = trace::Phase::flag_wait) noexcept
+      : what_(what), ph_(ph) {}
 
   /// One backoff step; throws yhccl::Error on team abort or watchdog expiry.
   void relax();
 
  private:
   const char* what_;
+  trace::Phase ph_;      // stall-marker tag once the wait enters stage 3
+  bool marked_ = false;  // one marker per guard, not per sleep
   unsigned spins_ = 0;
   unsigned yields_ = 0;
   long sleep_ns_ = 64'000;  // doubles to 1 ms once in the sleep stage
@@ -56,16 +60,18 @@ class SpinGuard {
 
 /// Spin until `f >= target` (acquire).
 inline void spin_wait_ge(const std::atomic<std::uint64_t>& f,
-                         std::uint64_t target) {
-  SpinGuard guard("progress-flag wait");
+                         std::uint64_t target,
+                         trace::Phase ph = trace::Phase::flag_wait) {
+  SpinGuard guard("progress-flag wait", ph);
   while (f.load(std::memory_order_acquire) < target) guard.relax();
   analysis::hb_acquire(&f);
 }
 
 /// Spin until `f == target` (acquire).
 inline void spin_wait_eq(const std::atomic<std::uint64_t>& f,
-                         std::uint64_t target) {
-  SpinGuard guard("progress-flag wait");
+                         std::uint64_t target,
+                         trace::Phase ph = trace::Phase::flag_wait) {
+  SpinGuard guard("progress-flag wait", ph);
   while (f.load(std::memory_order_acquire) != target) guard.relax();
   analysis::hb_acquire(&f);
 }
@@ -85,10 +91,16 @@ inline void barrier_init(BarrierState& b, std::uint32_t n) noexcept {
 }
 
 /// Arrive and wait.  `local_sense` must be a per-participant variable that
-/// starts at 0 and is only ever passed to this barrier.
-inline void barrier_arrive(BarrierState& b, std::uint32_t& local_sense) {
+/// starts at 0 and is only ever passed to this barrier.  `trace_scope` tags
+/// the span: 0 = node barrier, 1 + s = barrier of socket s.
+inline void barrier_arrive(BarrierState& b, std::uint32_t& local_sense,
+                           std::uint8_t trace_scope = 0) {
   fault_point("barrier");
   sync_count_barrier();
+  // The span's t0 is this rank's arrival; the harvester groups same-ordinal
+  // arrivals across ranks (SPMD barrier sequence) into max-minus-min skew.
+  trace::Span sp(trace::Phase::barrier, detail::g_sync_counts.barriers,
+                 trace_scope);
   local_sense ^= 1u;
   // HB model: the acq_rel RMW joins this rank with every earlier arriver
   // (release sequence on `arrived`); the winner thus carries the join of
@@ -148,9 +160,12 @@ inline void dissemination_init(DisseminationBarrierState& b,
 }
 
 inline void dissemination_arrive(DisseminationBarrierState& b, int rank,
-                                 DisseminationToken& tok) {
+                                 DisseminationToken& tok,
+                                 std::uint8_t trace_scope = 0) {
   fault_point("barrier");
   sync_count_barrier();
+  trace::Span sp(trace::Phase::barrier, detail::g_sync_counts.barriers,
+                 trace_scope);
   const auto n = b.nparticipants;
   ++tok.epoch;
   int round = 0;
@@ -160,7 +175,7 @@ inline void dissemination_arrive(DisseminationBarrierState& b, int rank,
     // side happens in spin_wait_ge below / on the peer).
     analysis::hb_acq_rel(&b.flags[round][peer].v);
     b.flags[round][peer].v.fetch_add(1, std::memory_order_acq_rel);
-    spin_wait_ge(b.flags[round][rank].v, tok.epoch);
+    spin_wait_ge(b.flags[round][rank].v, tok.epoch, trace::Phase::barrier);
   }
 }
 

@@ -26,6 +26,7 @@
 #include "yhccl/runtime/shm_region.hpp"
 #include "yhccl/runtime/sync.hpp"
 #include "yhccl/runtime/topology.hpp"
+#include "yhccl/trace/trace.hpp"
 
 namespace yhccl::rt {
 
@@ -59,6 +60,9 @@ struct TeamConfig {
   /// 0 disables, < 0 keeps the process-wide setting (or $YHCCL_SYNC_TIMEOUT
   /// when set).  Note the timeout is process-wide, not per-team.
   double sync_timeout = -1.0;
+  /// Phase tracer activation (docs/observability.md); `env` defers to
+  /// $YHCCL_TRACE at construction.
+  trace::Mode trace = trace::Mode::env;
 };
 
 /// Eager FIFO + rendezvous descriptor for one directed rank pair.
@@ -106,7 +110,7 @@ class RankCtx;
 class Team {
  public:
   explicit Team(TeamConfig cfg);
-  virtual ~Team() = default;
+  virtual ~Team();
   Team(const Team&) = delete;
   Team& operator=(const Team&) = delete;
 
@@ -169,6 +173,14 @@ class Team {
   /// Max of the per-rank wall times (collectives finish at the slowest rank).
   double max_time() const;
 
+  // ---- phase tracer (YHCCL_TRACE, docs/observability.md) -------------------
+  /// Non-null when this team traces (mode spans or flight).  The rings live
+  /// in the shared mapping, so the parent of a ProcessTeam can harvest them
+  /// after the children exited.
+  trace::TraceBuffer* trace_buffer() noexcept { return trace_; }
+  const trace::TraceBuffer* trace_buffer() const noexcept { return trace_; }
+  trace::Mode trace_mode() const noexcept { return trace_mode_; }
+
   // ---- happens-before race checker (YHCCL_CHECK=hb) -----------------------
   /// Non-null when this team runs with the vector-clock checker.
   analysis::HbChecker* hb_checker() noexcept { return hb_; }
@@ -202,8 +214,17 @@ class Team {
   std::size_t off_heap_ = 0;
   std::size_t off_scratch_ = 0;
   std::size_t off_hb_ = 0;
+  std::size_t off_trace_ = 0;
   TeamShared* shared_ = nullptr;
   analysis::HbChecker* hb_ = nullptr;
+  trace::TraceBuffer* trace_ = nullptr;
+  trace::Mode trace_mode_ = trace::Mode::off;
+  bool flight_dumped_ = false;  ///< one flight dump per fault, not per retry
+
+ private:
+  /// Write the flight-recorder dump for the abort currently recorded in the
+  /// team's fault word (flight mode only; no-op when already dumped).
+  void flight_dump();
 };
 
 /// Per-rank handle passed to SPMD functions; everything a collective needs.

@@ -16,8 +16,9 @@ namespace yhccl::rt {
 
 void PageLockTable::lock(std::uintptr_t src_page) {
   fault_point("pagelock");
+  trace::Span sp(trace::Phase::pagelock, src_page / kPageBytes);
   auto& l = locks_[(src_page / kPageBytes) % kLocks].v;
-  SpinGuard guard("page-lock wait");
+  SpinGuard guard("page-lock wait", trace::Phase::pagelock);
   for (;;) {
     std::uint32_t expect = 0;
     if (l.compare_exchange_weak(expect, 1, std::memory_order_acquire,

@@ -25,6 +25,10 @@ void SpinGuard::relax() {
     return;
   }
   // Sleep stage: the wait is ms-scale or worse — stop burning the core.
+  if (!marked_) {
+    marked_ = true;
+    trace::stall_marker(ph_);
+  }
   fault_check_dead();
   timespec ts{0, sleep_ns_};
   nanosleep(&ts, nullptr);

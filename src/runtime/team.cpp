@@ -6,6 +6,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <new>
 #include <numeric>
 
@@ -13,6 +14,7 @@
 #include "yhccl/common/error.hpp"
 #include "yhccl/common/time.hpp"
 #include "yhccl/copy/kernels.hpp"
+#include "yhccl/trace/export.hpp"
 
 namespace yhccl::rt {
 
@@ -105,6 +107,16 @@ Team::Team(TeamConfig cfg) : cfg_(cfg), topo_(cfg.nranks, cfg.nsockets) {
   const std::size_t hb_bytes =
       with_hb ? analysis::HbChecker::required_bytes(hb_cells) : 0;
 
+  // Phase tracer: rings live in the same shared mapping so fork()ed ranks'
+  // records survive their exit and the parent harvests them after reaping.
+  trace_mode_ = trace::resolve_mode(cfg_.trace);
+  const std::uint32_t trace_slots =
+      trace_mode_ == trace::Mode::off ? 0 : trace::slots_from_env();
+  const std::size_t trace_bytes =
+      trace_mode_ == trace::Mode::off
+          ? 0
+          : trace::TraceBuffer::required_bytes(cfg_.nranks, trace_slots);
+
   std::size_t off = round_up(sizeof(TeamShared), kPageAlign);
   off_channels_ = off;
   off = round_up(off + nchan * sizeof(FifoChannel), kPageAlign);
@@ -116,6 +128,8 @@ Team::Team(TeamConfig cfg) : cfg_(cfg), topo_(cfg.nranks, cfg.nsockets) {
   off = round_up(off + cfg_.scratch_bytes, kPageAlign);
   off_hb_ = off;
   off = round_up(off + hb_bytes, kPageAlign);
+  off_trace_ = off;
+  off = round_up(off + trace_bytes, kPageAlign);
 
   region_ = ShmRegion::create_anonymous(off);
   shared_ = new (region_.data()) TeamShared();
@@ -133,6 +147,59 @@ Team::Team(TeamConfig cfg) : cfg_(cfg), topo_(cfg.nranks, cfg.nsockets) {
                     "coll-scratch");
     hb_->add_region(region_.data() + off_heap_, cfg_.shared_heap_bytes,
                     "shared-heap");
+  }
+  if (trace_mode_ != trace::Mode::off)
+    trace_ = trace::TraceBuffer::create(region_.data() + off_trace_,
+                                        trace_bytes, cfg_.nranks, trace_slots,
+                                        trace_mode_);
+}
+
+Team::~Team() {
+  // Convenience export: with $YHCCL_TRACE_DIR set, every traced team leaves
+  // a Chrome-trace JSON behind without the app calling the exporter itself.
+  if (trace_ == nullptr) return;
+  const char* dir = trace::trace_dir();
+  if (dir == nullptr) return;
+  try {
+    trace::Harvest h(*trace_);
+    if (h.total_events() == 0) return;
+    const std::string path = std::string(dir) + "/yhccl_trace_" +
+                             std::to_string(getpid()) + ".json";
+    std::ofstream out(path);
+    if (out) out << h.chrome_json().dump(1) << '\n';
+  } catch (...) {
+    // Destructor: a full trace is best-effort, never a crash on teardown.
+  }
+}
+
+void Team::flight_dump() {
+  if (trace_ == nullptr || flight_dumped_) return;
+  const FaultInfo f = last_fault();
+  if (f.kind == FaultKind::none) return;
+  flight_dumped_ = true;
+  try {
+    trace::Harvest h(*trace_);
+    trace::FlightContext fc;
+    fc.fault = describe_fault(f);
+    fc.rank = f.rank;
+    fc.epoch = f.epoch;
+    const bench::Json j = h.flight_json(fc);
+    const char* dir = trace::trace_dir();
+    if (dir != nullptr) {
+      const std::string path = std::string(dir) + "/yhccl_flight_" +
+                               std::to_string(getpid()) + ".json";
+      std::ofstream out(path);
+      if (out) out << j.dump(1) << '\n';
+      std::fprintf(stderr, "[yhccl trace] flight-recorder dump: %s\n",
+                   path.c_str());
+    } else {
+      std::fprintf(stderr,
+                   "[yhccl trace] flight-recorder dump (set YHCCL_TRACE_DIR "
+                   "to write a file):\n%s\n",
+                   j.dump(1).c_str());
+    }
+  } catch (...) {
+    // Fault path: the dump must never mask the collective's own error.
   }
 }
 
@@ -175,25 +242,37 @@ void Team::run(const std::function<void(RankCtx&)>& fn) {
   }
   const std::uint64_t epoch =
       fs.team_epoch.load(std::memory_order_acquire);
-  run_ranks([&, epoch](int rank) {
-    RankCtx ctx(*this, rank);
-    FaultRunScope fault_scope(shared_->fault, fault_plan_, rank, nranks_,
-                              epoch, forked_ranks());
-    HbRunScope hb_scope(hb_, rank);
-    copy::dav_reset();
-    copy::kernel_counts_reset();
-    sync_counts_reset();
-    const double t0 = wall_seconds();
-    fn(ctx);
-    const double t1 = wall_seconds();
-    shared_->dav_out[rank] = copy::dav_read();
-    shared_->time_out[rank] = t1 - t0;
-    shared_->kernels_out[rank] = copy::kernel_counts_read();
-    shared_->sync_out[rank] = sync_counts_read();
-    // Surface races as a per-rank failure: the ThreadTeam rethrows it, the
-    // ProcessTeam turns it into a non-zero child exit.
-    hb_scope.check();
-  });
+  flight_dumped_ = false;  // a fresh run may fault afresh
+  try {
+    run_ranks([&, epoch](int rank) {
+      RankCtx ctx(*this, rank);
+      FaultRunScope fault_scope(shared_->fault, fault_plan_, rank, nranks_,
+                                epoch, forked_ranks());
+      HbRunScope hb_scope(hb_, rank);
+      // The rank's trace ring is indexed by *original* rank id so harvests
+      // line up across recoveries that shrank the membership.
+      trace::TraceRunScope trace_scope(
+          trace_, active_[static_cast<std::size_t>(rank)]);
+      copy::dav_reset();
+      copy::kernel_counts_reset();
+      sync_counts_reset();
+      const double t0 = wall_seconds();
+      fn(ctx);
+      const double t1 = wall_seconds();
+      shared_->dav_out[rank] = copy::dav_read();
+      shared_->time_out[rank] = t1 - t0;
+      shared_->kernels_out[rank] = copy::kernel_counts_read();
+      shared_->sync_out[rank] = sync_counts_read();
+      // Surface races as a per-rank failure: the ThreadTeam rethrows it, the
+      // ProcessTeam turns it into a non-zero child exit.
+      hb_scope.check();
+    });
+  } catch (...) {
+    // Coherent abort: every surviving rank has unwound, the rings are
+    // quiesced — the flight recorder captures what everyone was doing.
+    if (trace_mode_ == trace::Mode::flight) flight_dump();
+    throw;
+  }
 }
 
 FaultInfo Team::recover() {
@@ -202,6 +281,10 @@ FaultInfo Team::recover() {
   // a lock or sits in a spin loop — shared state can be rebuilt in place.
   auto& fs = shared_->fault;
   const FaultInfo info = last_fault();
+
+  // The flight recorder fires before the rebuild wipes the abort word (a
+  // no-op when run() already dumped this fault, or when nothing aborted).
+  if (trace_mode_ == trace::Mode::flight) flight_dump();
 
   // Membership: drop ranks whose *process* died (reap bookkeeping).  A
   // thread-backed rank's death is only a modelling device — the thread is
@@ -271,7 +354,19 @@ FaultInfo Team::recover() {
 
   // New epoch: a stale rank resumed from before recovery hits the epoch
   // fence in fault_point instead of tearing the rebuilt state.
-  fs.team_epoch.fetch_add(1, std::memory_order_acq_rel);
+  const std::uint64_t new_epoch =
+      fs.team_epoch.fetch_add(1, std::memory_order_acq_rel) + 1;
+
+  // Recovery epochs land on the parent-side control ring (no rank context
+  // is installed here, so the instant is pushed by hand).
+  if (trace_ != nullptr) {
+    const std::uint64_t t = trace::trace_now();
+    trace_->push(trace_->control_ring(),
+                 trace::Rec{t, t, new_epoch,
+                            static_cast<std::uint8_t>(trace::Phase::recover),
+                            0, 0, trace::kFlagInstant, 0});
+  }
+  flight_dumped_ = false;  // the next epoch's fault deserves its own dump
   return info;
 }
 
@@ -319,12 +414,14 @@ RankCtx::RankCtx(Team& team, int rank)
 }
 
 void RankCtx::barrier() {
-  barrier_arrive(team_->shared().node_barrier, persist_->node_sense);
+  barrier_arrive(team_->shared().node_barrier, persist_->node_sense,
+                 /*trace_scope=*/0);
 }
 
 void RankCtx::socket_barrier() {
   barrier_arrive(team_->shared().socket_barrier[socket()],
-                 persist_->sock_sense);
+                 persist_->sock_sense,
+                 static_cast<std::uint8_t>(1 + socket()));
 }
 
 std::uint64_t RankCtx::next_seq() {
@@ -340,11 +437,13 @@ void RankCtx::step_publish(std::uint64_t v) {
   sync_count_flag_post();
   analysis::hb_release(&team_->shared().step[rank_].v);
   team_->shared().step[rank_].v.store(v, std::memory_order_release);
+  trace::instant(trace::Phase::flag_post, v);
 }
 
 void RankCtx::step_wait(int peer, std::uint64_t v) {
   fault_point("flag");
   sync_count_flag_wait();
+  trace::Span sp(trace::Phase::flag_wait, v);
   spin_wait_ge(team_->shared().step[peer].v, v);
 }
 
@@ -366,7 +465,7 @@ void RankCtx::publish_buffer(int slot, const void* p, std::size_t bytes) {
 RemoteBuf RankCtx::remote_buffer(int peer, int slot) const {
   YHCCL_REQUIRE(slot >= 0 && slot < kRegistrySlots, "registry slot");
   const auto& w = team_->shared().registry[peer][slot];
-  SpinGuard guard("remote-buffer seqlock read");
+  SpinGuard guard("remote-buffer seqlock read", trace::Phase::rndv);
   for (;;) {
     const std::uint64_t s1 = w.seq.load(std::memory_order_acquire);
     if ((s1 & 1) == 0) {
@@ -391,6 +490,7 @@ RemoteBuf RankCtx::remote_buffer(int peer, int slot) const {
 void RankCtx::send(int dst, const void* p, std::size_t n, int tag) {
   fault_point("fifo");
   YHCCL_REQUIRE(dst >= 0 && dst < nranks_ && dst != rank_, "bad send peer");
+  trace::Span sp(trace::Phase::fifo, n);
   auto& ch = team_->channel(rank_, dst);
   std::byte* data = team_->channel_data(rank_, dst);
   const std::size_t chunk = config().chunk_bytes;
@@ -398,7 +498,7 @@ void RankCtx::send(int dst, const void* p, std::size_t n, int tag) {
   std::size_t off = 0;
   do {
     const std::uint64_t t = ch.tail.load(std::memory_order_relaxed);
-    SpinGuard guard("pt2pt send slot wait");
+    SpinGuard guard("pt2pt send slot wait", trace::Phase::fifo);
     while (t - ch.head.load(std::memory_order_acquire) >= FifoChannel::kSlots)
       guard.relax();
     analysis::hb_acquire(&ch.head);  // slot reuse: consumer freed it
@@ -415,6 +515,7 @@ void RankCtx::send(int dst, const void* p, std::size_t n, int tag) {
 void RankCtx::recv(int src, void* p, std::size_t n, int tag) {
   fault_point("fifo");
   YHCCL_REQUIRE(src >= 0 && src < nranks_ && src != rank_, "bad recv peer");
+  trace::Span sp(trace::Phase::fifo, n);
   auto& ch = team_->channel(src, rank_);
   std::byte* data = team_->channel_data(src, rank_);
   const std::size_t chunk = config().chunk_bytes;
@@ -422,7 +523,7 @@ void RankCtx::recv(int src, void* p, std::size_t n, int tag) {
   std::size_t off = 0;
   do {
     const std::uint64_t h = ch.head.load(std::memory_order_relaxed);
-    spin_wait_ge(ch.tail, h + 1);
+    spin_wait_ge(ch.tail, h + 1, trace::Phase::fifo);
     const auto slot = static_cast<std::size_t>(h % FifoChannel::kSlots);
     const auto [len, mtag] = ch.meta[slot];
     YHCCL_REQUIRE(mtag == tag, "pt2pt tag mismatch");
@@ -437,6 +538,7 @@ void RankCtx::recv(int src, void* p, std::size_t n, int tag) {
 void RankCtx::sendrecv(int dst, const void* sbuf, std::size_t sn, int src,
                        void* rbuf, std::size_t rn, int tag) {
   fault_point("fifo");
+  trace::Span span(trace::Phase::fifo, sn + rn);
   auto& out = team_->channel(rank_, dst);
   auto& in = team_->channel(src, rank_);
   std::byte* out_data = team_->channel_data(rank_, dst);
@@ -450,7 +552,7 @@ void RankCtx::sendrecv(int dst, const void* sbuf, std::size_t sn, int src,
   const std::size_t rchunks = rn == 0 ? 1 : ceil_div(rn, chunk);
   std::size_t sent = 0, received = 0;
   std::size_t soff = 0, roff = 0;
-  SpinGuard guard("sendrecv progress");
+  SpinGuard guard("sendrecv progress", trace::Phase::fifo);
   while (sent < schunks || received < rchunks) {
     bool progressed = false;
     if (sent < schunks) {
@@ -503,8 +605,9 @@ void RankCtx::sendrecv_zc(int dst, const void* sbuf, std::size_t sn, int src,
   out.rndv_pid = getpid();
   analysis::hb_release(&out.rndv_posted);
   out.rndv_posted.store(s, std::memory_order_release);
-  recv_zc(src, rbuf, rn, mode);
-  spin_wait_ge(out.rndv_done, s);
+  recv_zc(src, rbuf, rn, mode);  // has its own rndv span for the pull side
+  trace::Span sp(trace::Phase::rndv, sn);
+  spin_wait_ge(out.rndv_done, s, trace::Phase::rndv);
 }
 
 // ---------------------------------------------------------------------------
@@ -525,7 +628,8 @@ void RankCtx::send_zc(int dst, const void* p, std::size_t n) {
   ch.rndv_pid = getpid();
   analysis::hb_release(&ch.rndv_posted);
   ch.rndv_posted.store(s, std::memory_order_release);
-  spin_wait_ge(ch.rndv_done, s);
+  trace::Span sp(trace::Phase::rndv, n);
+  spin_wait_ge(ch.rndv_done, s, trace::Phase::rndv);
 }
 
 void RankCtx::recv_zc(int src, void* p, std::size_t n, RemoteMode mode) {
@@ -534,7 +638,13 @@ void RankCtx::recv_zc(int src, void* p, std::size_t n, RemoteMode mode) {
   // rndv_done: single-writer counter (receiver side only), same argument
   // as rndv_posted in send_zc above.
   const std::uint64_t s = ch.rndv_done.load(std::memory_order_relaxed) + 1;
-  spin_wait_ge(ch.rndv_posted, s);
+  {
+    // Span covers only the descriptor wait: remote_read below may take page
+    // locks whose own wait span must not nest inside (and double-count in)
+    // an rndv one.
+    trace::Span sp(trace::Phase::rndv, n);
+    spin_wait_ge(ch.rndv_posted, s, trace::Phase::rndv);
+  }
   YHCCL_REQUIRE(ch.rndv_bytes == n, "rendezvous size mismatch");
   RemoteBuf rb{ch.rndv_ptr, ch.rndv_bytes, ch.rndv_pid};
   if (n > 0) remote_read(p, rb, 0, n, mode, nullptr);

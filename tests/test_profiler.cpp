@@ -103,6 +103,56 @@ TEST(Profiler, RecordsDispatchedKernelTier) {
             std::string::npos);
 }
 
+TEST(Profiler, JsonReportRoundTripsExactly) {
+  CollProfiler prof;
+  copy::KernelCounts kc;
+  kc.calls[0] = 7;
+  rt::SyncCounts sc{12, 34, 56};
+  prof.add(CollKind::allreduce, 1 << 20, 0.5, copy::Dav{1000, 500}, kc, sc,
+           /*wait_seconds=*/0.125);
+  prof.add(CollKind::reduce_scatter, 2 << 20, 0.25, copy::Dav{400, 200});
+  prof.add_skew(CollKind::allreduce, 9, 1.5e-3, 4.0e-4);
+
+  const bench::Json j = prof.report_json();
+  EXPECT_EQ(j["schema"].as_string(), "yhccl-profiler/1");
+  // Round-trip through the serialized text, not just the value tree.
+  std::string perr;
+  const bench::Json back_j = bench::Json::parse(j.dump(2), &perr);
+  ASSERT_TRUE(perr.empty()) << perr;
+  const CollProfiler back = CollProfiler::from_json(back_j);
+
+  for (int k = 0; k < static_cast<int>(CollKind::kCount_); ++k) {
+    const auto& a = prof.get(static_cast<CollKind>(k));
+    const auto& b = back.get(static_cast<CollKind>(k));
+    EXPECT_EQ(a.calls, b.calls) << k;
+    EXPECT_EQ(a.payload_bytes, b.payload_bytes) << k;
+    EXPECT_EQ(a.seconds, b.seconds) << k;
+    EXPECT_EQ(a.wait_seconds, b.wait_seconds) << k;
+    EXPECT_EQ(a.dav, b.dav) << k;
+    EXPECT_EQ(a.kernels, b.kernels) << k;
+    EXPECT_EQ(a.sync, b.sync) << k;
+    EXPECT_EQ(a.skew_barriers, b.skew_barriers) << k;
+    EXPECT_EQ(a.skew_sum, b.skew_sum) << k;
+    EXPECT_EQ(a.skew_max, b.skew_max) << k;
+  }
+  EXPECT_EQ(back.get(CollKind::allreduce).work_seconds(), 0.5 - 0.125);
+  EXPECT_THROW(CollProfiler::from_json(bench::Json::object()), Error);
+}
+
+TEST(Profiler, WaitWorkSplitIsSane) {
+  CollProfiler prof;
+  prof.add(CollKind::reduce, 64, 0.1, copy::Dav{}, {}, {}, 0.04);
+  const auto& r = prof.get(CollKind::reduce);
+  EXPECT_DOUBLE_EQ(r.work_seconds(), 0.06);
+  // The tracer's TSC clock can jitter past the wall clock on tiny calls:
+  // work time clamps at zero instead of going negative.
+  CollProfiler over;
+  over.add(CollKind::reduce, 64, 0.1, copy::Dav{}, {}, {}, 0.11);
+  EXPECT_EQ(over.get(CollKind::reduce).work_seconds(), 0.0);
+  const auto rep = over.report();
+  EXPECT_NE(rep.find("wait(s)"), std::string::npos);
+}
+
 TEST(Profiler, ResetClearsEverything) {
   CollProfiler prof;
   prof.add(CollKind::broadcast, 123, 1.0, copy::Dav{9, 9});

@@ -64,6 +64,51 @@ TEST(Trace, FromCsvRejectsGarbage) {
                Error);
 }
 
+/// Expect from_csv to raise and name the offending line in its message.
+void expect_csv_error(const std::string& csv, const std::string& needle) {
+  try {
+    CollTrace::from_csv(csv);
+    ADD_FAILURE() << "accepted: " << csv;
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "message '" << e.what() << "' lacks '" << needle << "'";
+  }
+}
+
+TEST(Trace, FromCsvRejectsMalformedInputWithLineNumbers) {
+  const std::string hdr = "kind,count,dtype,op,root,seconds\n";
+  expect_csv_error("", "missing header");
+  expect_csv_error("bogus,header\n", "line 1");
+  expect_csv_error(hdr + "allreduce,1,f64,sum,0\n", "expected 6 fields");
+  expect_csv_error(hdr + "allreduce,1,f64,sum,0,0.1,extra\n", "got 7");
+  expect_csv_error(hdr + "warpdrive,1,f64,sum,0,0.1\n",
+                   "unknown collective kind");
+  expect_csv_error(hdr + "allreduce,1,f128,sum,0,0.1\n", "unknown dtype");
+  expect_csv_error(hdr + "allreduce,1,f64,xor,0,0.1\n", "unknown op");
+  expect_csv_error(hdr + "allreduce,12x,f64,sum,0,0.1\n", "bad count");
+  expect_csv_error(hdr + "allreduce,-3,f64,sum,0,0.1\n", "bad count");
+  expect_csv_error(hdr + "allreduce,1,f64,sum,-1,0.1\n", "out of range");
+  expect_csv_error(hdr + "allreduce,1,f64,sum,100000,0.1\n", "out of range");
+  expect_csv_error(hdr + "allreduce,1,f64,sum,0,fast\n", "bad seconds");
+  expect_csv_error(hdr + "allreduce,1,f64,sum,0,-0.5\n", "negative");
+  // The line number counts from the top of the file, header included.
+  expect_csv_error(hdr + "allreduce,1,f64,sum,0,0.1\n"
+                         "reduce,zz,f64,sum,0,0.1\n",
+                   "line 3");
+}
+
+TEST(Trace, FromCsvToleratesCrlfAndBlankLines) {
+  const auto t = CollTrace::from_csv(
+      "kind,count,dtype,op,root,seconds\r\n"
+      "allreduce,42,f32,sum,0,0.25\r\n"
+      "\r\n"
+      "reduce,7,i64,max,3,0.5\n");
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.events()[0].kind, CollKind::allreduce);
+  EXPECT_EQ(t.events()[0].count, 42u);
+  EXPECT_EQ(t.events()[1].root, 3);
+}
+
 TEST(Trace, ReplayExecutesEveryEventUnderAnyArm) {
   const int p = 4;
   auto& team = cached_team(p, 2);
