@@ -36,6 +36,7 @@ benches=(
   ablation_switching
   ablation_sync_cost
   ablation_alltoall
+  ablation_tuner
   kernel_dispatch
 )
 
@@ -46,3 +47,21 @@ done
 
 "$bindir/bench_compare" merge "$out" "$tmp"/BENCH_*.json
 "$bindir/bench_compare" check "$out"
+
+# Auto-tuner leg (docs/tuning.md): distill the campaign into a plan file
+# (loadable via $YHCCL_PLAN_FILE), validate it, and gate the paired
+# switch-static vs switch-tuned series from ablation_tuner — the tuned
+# schedule must never be significantly slower than the static rules.
+# YHCCL_TUNED_GATE=warn demotes a gate failure to a warning: on noisy
+# shared runners at tiny scale a single cell's CIs can disjoint by
+# chance (the same stance CI takes on timing diffs generally).
+plans="${out%.json}_plans.json"
+"$bindir/plan_check" warm "$out" "$plans"
+"$bindir/plan_check" check "$plans"
+if ! "$bindir/bench_compare" tuned "$out"; then
+  if [ "${YHCCL_TUNED_GATE:-hard}" = warn ]; then
+    echo "warning: tuned-vs-static gate failed (YHCCL_TUNED_GATE=warn, not fatal)" >&2
+  else
+    exit 1
+  fi
+fi

@@ -33,10 +33,11 @@ namespace yhccl::coll {
 using rt::RankCtx;
 
 enum class Algorithm : int {
-  automatic,        ///< paper §5.1 switching rules
+  automatic,        ///< paper §5.1 switching rules (tuner-eligible)
   ma_flat,          ///< movement-avoiding reduction, single level (§3.3)
   ma_socket_aware,  ///< two-level socket-aware MA (§3.3, Fig. 7)
   dpml_two_level,   ///< hierarchical parallel reduction for small messages
+  pipelined,        ///< sliced pipeline (broadcast/allgather only, §3.4)
 };
 
 constexpr const char* algorithm_name(Algorithm a) noexcept {
@@ -45,6 +46,7 @@ constexpr const char* algorithm_name(Algorithm a) noexcept {
     case Algorithm::ma_flat: return "ma";
     case Algorithm::ma_socket_aware: return "socket-ma";
     case Algorithm::dpml_two_level: return "dpml-2l";
+    case Algorithm::pipelined: return "pipelined";
   }
   return "?";
 }

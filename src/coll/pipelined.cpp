@@ -31,7 +31,8 @@ std::size_t pipeline_slice(std::size_t total, const CollOpts& opts) {
 void pipelined_broadcast(RankCtx& ctx, void* buf, std::size_t count,
                          Datatype d, int root, const CollOpts& opts) {
   trace::CollScope coll_scope(detail::trace_coll_id(CollKind::broadcast),
-                              count * dtype_size(d));
+                              count * dtype_size(d),
+                              detail::trace_alg_id(Algorithm::pipelined));
   if (count == 0 || ctx.nranks() == 1) return;
   const int p = ctx.nranks();
   const std::size_t s = count * dtype_size(d);
@@ -87,7 +88,8 @@ void pipelined_allgather(RankCtx& ctx, const void* send, void* recv,
                          std::size_t count, Datatype d,
                          const CollOpts& opts) {
   trace::CollScope coll_scope(detail::trace_coll_id(CollKind::allgather),
-                              count * dtype_size(d));
+                              count * dtype_size(d),
+                              detail::trace_alg_id(Algorithm::pipelined));
   if (count == 0) return;
   const int p = ctx.nranks();
   const std::size_t s = count * dtype_size(d);

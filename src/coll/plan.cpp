@@ -1,0 +1,266 @@
+// Plan keys, packing, the analytic prior and the candidate-arm tables
+// (docs/tuning.md).  Everything here is a pure function of its arguments:
+// the agreement argument in plan.hpp leans on that.
+#include <algorithm>
+#include <bit>
+
+#include "yhccl/coll/detail.hpp"
+#include "yhccl/coll/plan.hpp"
+
+namespace yhccl::coll::plan {
+
+namespace {
+
+bool is_reduction(CollKind k) noexcept {
+  return k == CollKind::allreduce || k == CollKind::reduce ||
+         k == CollKind::reduce_scatter;
+}
+
+bool socket_topology(const rt::Topology& topo) noexcept {
+  return topo.nsockets() > 1 && topo.nranks() % topo.nsockets() == 0;
+}
+
+}  // namespace
+
+// ---- key packing ------------------------------------------------------------
+// fields: kind 0-3 | dtype 4-7 | op 8-11 | bucket 12-19 | ranks 20-31 |
+// sockets 32-39.  kMaxRanks = 256 and kMaxSockets = 16 fit with room.
+
+std::uint64_t PlanKey::packed_fields() const noexcept {
+  std::uint64_t f = static_cast<std::uint64_t>(kind) & 0xf;
+  f |= (static_cast<std::uint64_t>(dtype) & 0xf) << 4;
+  f |= (static_cast<std::uint64_t>(op) & 0xf) << 8;
+  f |= static_cast<std::uint64_t>(bucket) << 12;
+  f |= (static_cast<std::uint64_t>(ranks) & 0xfff) << 20;
+  f |= (static_cast<std::uint64_t>(sockets) & 0xff) << 32;
+  return f;
+}
+
+PlanKey PlanKey::from_fields(std::uint64_t f) noexcept {
+  PlanKey k;
+  k.kind = static_cast<CollKind>(f & 0xf);
+  k.dtype = static_cast<Datatype>((f >> 4) & 0xf);
+  k.op = static_cast<ReduceOp>((f >> 8) & 0xf);
+  k.bucket = static_cast<std::uint8_t>((f >> 12) & 0xff);
+  k.ranks = static_cast<int>((f >> 20) & 0xfff);
+  k.sockets = static_cast<int>((f >> 32) & 0xff);
+  return k;
+}
+
+std::uint64_t PlanKey::hash(std::uint64_t team_sig,
+                            std::uint64_t opts_sig) const noexcept {
+  std::uint64_t h = rt::plan_mix64(packed_fields());
+  h = rt::plan_mix64(h ^ team_sig);
+  h = rt::plan_mix64(h ^ opts_sig);
+  return h != 0 ? h : 1;
+}
+
+std::uint64_t opts_signature(const CollOpts& opts) noexcept {
+  std::uint64_t h = 0;
+  const auto fold = [&h](std::uint64_t v) {
+    h = rt::plan_mix64(h ^ rt::plan_mix64(v));
+  };
+  fold(static_cast<std::uint64_t>(opts.policy));
+  fold(opts.slice_max);
+  fold(opts.slice_min);
+  fold(opts.small_msg_threshold);
+  fold(opts.dpml_chunk);
+  fold(opts.dpml_flat ? 1 : 0);
+  return h;
+}
+
+// ---- size buckets -----------------------------------------------------------
+
+std::uint8_t bucket_of(CollKind kind, std::size_t msg_bytes,
+                       const CollOpts& opts) noexcept {
+  if (msg_bytes == 0) return 0;
+  auto b = static_cast<std::uint8_t>(std::bit_width(msg_bytes - 1));
+  // The §5.1 threshold may land inside a power-of-two bucket; splitting on
+  // it keeps the static decision constant within every (bucket, side) class
+  // for arbitrary thresholds, so the prior is exact, never approximate.
+  if (is_reduction(kind) && msg_bytes > opts.small_msg_threshold) b |= 0x40;
+  return b;
+}
+
+std::size_t bucket_rep_bytes(CollKind kind, std::uint8_t bucket,
+                             const CollOpts& opts) noexcept {
+  const std::size_t hi = std::size_t{1} << (bucket & 0x3f);
+  if (is_reduction(kind) && (bucket & 0x40) == 0)
+    return std::min(hi, opts.small_msg_threshold);
+  return hi;
+}
+
+PlanKey make_key(CollKind kind, std::size_t msg_bytes, Datatype d,
+                 ReduceOp op, const rt::Topology& topo,
+                 const CollOpts& opts) noexcept {
+  PlanKey k;
+  k.kind = kind;
+  k.dtype = d;
+  k.op = is_reduction(kind) ? op : ReduceOp::sum;
+  k.bucket = bucket_of(kind, msg_bytes, opts);
+  k.ranks = topo.nranks();
+  k.sockets = topo.nsockets();
+  return k;
+}
+
+// ---- plan packing -----------------------------------------------------------
+// word: valid 63 | algorithm 0-3 | nt 4-5 | slice_log2 8-13 |
+// chunk_log2 16-21 | nt_prior 24 | source 25-26 | arm 28-31.
+
+std::uint64_t Plan::pack() const noexcept {
+  std::uint64_t w = std::uint64_t{1} << 63;
+  w |= static_cast<std::uint64_t>(algorithm) & 0xf;
+  w |= (static_cast<std::uint64_t>(nt) & 0x3) << 4;
+  w |= static_cast<std::uint64_t>(slice_log2 & 0x3f) << 8;
+  w |= static_cast<std::uint64_t>(chunk_log2 & 0x3f) << 16;
+  if (nt_prior) w |= std::uint64_t{1} << 24;
+  w |= (static_cast<std::uint64_t>(source) & 0x3) << 25;
+  w |= static_cast<std::uint64_t>(arm & 0xf) << 28;
+  return w;
+}
+
+Plan Plan::unpack(std::uint64_t w) noexcept {
+  Plan p;
+  p.algorithm = static_cast<Algorithm>(w & 0xf);
+  p.nt = static_cast<NtChoice>((w >> 4) & 0x3);
+  p.slice_log2 = static_cast<std::uint8_t>((w >> 8) & 0x3f);
+  p.chunk_log2 = static_cast<std::uint8_t>((w >> 16) & 0x3f);
+  p.nt_prior = ((w >> 24) & 1) != 0;
+  p.source = static_cast<PlanSource>((w >> 25) & 0x3);
+  p.arm = static_cast<std::uint8_t>((w >> 28) & 0xf);
+  return p;
+}
+
+void Plan::apply(CollOpts& o) const noexcept {
+  const CollOpts defaults{};
+  if (o.policy == copy::CopyPolicy::adaptive) {
+    if (nt == NtChoice::temporal) o.policy = copy::CopyPolicy::always_temporal;
+    if (nt == NtChoice::stream) o.policy = copy::CopyPolicy::always_nt;
+  }
+  if (slice_log2 != 0 && o.slice_max == defaults.slice_max)
+    o.slice_max = std::size_t{1} << slice_log2;
+  if (chunk_log2 != 0 && o.dpml_chunk == defaults.dpml_chunk)
+    o.dpml_chunk = std::size_t{1} << chunk_log2;
+}
+
+// ---- analytic prior ---------------------------------------------------------
+
+Algorithm choose_reduction_algorithm(const rt::Topology& topo,
+                                     std::size_t msg_bytes,
+                                     const CollOpts& opts) noexcept {
+  if (opts.algorithm != Algorithm::automatic) return opts.algorithm;
+  if (msg_bytes <= opts.small_msg_threshold) return Algorithm::dpml_two_level;
+  if (socket_topology(topo)) return Algorithm::ma_socket_aware;
+  return Algorithm::ma_flat;
+}
+
+bool prior_nt(CollKind kind, std::size_t msg_bytes, int p, int m,
+              const copy::CacheConfig& cache,
+              std::size_t slice_max) noexcept {
+  const std::size_t I =
+      std::max(round_up(slice_max, kCacheline), kCacheline);
+  const std::size_t s = msg_bytes;
+  std::size_t w = 0;
+  switch (kind) {
+    case CollKind::reduce_scatter:
+      w = detail::WorkSet::reduce_scatter(s, p, I);
+      break;
+    case CollKind::allreduce:
+      // W = 2sp + m*p*I > C  <=>  s > (C - m*p*I)/(2p): exactly the §5.4
+      // switch point model::nt_switch_point_allreduce computes.
+      w = detail::WorkSet::allreduce(s, p, m, I);
+      break;
+    case CollKind::reduce:
+      w = detail::WorkSet::reduce(s, p, m, I);
+      break;
+    case CollKind::broadcast:
+      w = detail::WorkSet::broadcast(s, p, I);
+      break;
+    case CollKind::allgather:
+      w = detail::WorkSet::allgather(s, p, I);
+      break;
+    default:
+      break;
+  }
+  return w > cache.available(p);
+}
+
+Plan prior_plan(const PlanKey& key, const CollOpts& opts,
+                const rt::Topology& topo,
+                const copy::CacheConfig& cache) noexcept {
+  Plan p;
+  const std::size_t rep = bucket_rep_bytes(key.kind, key.bucket, opts);
+  p.algorithm = is_reduction(key.kind)
+                    ? choose_reduction_algorithm(topo, rep, opts)
+                    : Algorithm::pipelined;
+  p.nt = NtChoice::adaptive;  // per-slice Algorithm 1 — the legacy behavior
+  p.nt_prior = prior_nt(key.kind, rep, topo.nranks(), topo.nsockets(), cache,
+                        opts.slice_max);
+  p.source = PlanSource::prior;
+  p.arm = 0;
+  return p;
+}
+
+// ---- candidate arms ---------------------------------------------------------
+
+namespace {
+
+int build_arms(const PlanKey& key, const CollOpts& opts,
+               const rt::Topology& topo, const copy::CacheConfig& cache,
+               Plan out[rt::kPlanMaxArms]) noexcept {
+  const Plan prior = prior_plan(key, opts, topo, cache);
+  int n = 0;
+  out[n++] = prior;
+  if (is_reduction(key.kind)) {
+    const Algorithm alts[] = {Algorithm::dpml_two_level, Algorithm::ma_flat,
+                              Algorithm::ma_socket_aware};
+    for (const Algorithm a : alts) {
+      if (a == prior.algorithm) continue;
+      if (a == Algorithm::ma_socket_aware && !socket_topology(topo)) continue;
+      Plan p = prior;
+      p.algorithm = a;
+      out[n++] = p;
+    }
+  } else if (opts.slice_max == CollOpts{}.slice_max) {
+    // Alternative pipeline depths around the paper's Imax = 256 KB; apply()
+    // honors them only when the caller kept the default, so these arms are
+    // meaningful exactly when they are enumerated.
+    for (const std::uint8_t lg : {std::uint8_t{16}, std::uint8_t{20}}) {
+      Plan p = prior;
+      p.slice_log2 = lg;
+      out[n++] = p;
+    }
+  }
+  if (opts.policy == copy::CopyPolicy::adaptive &&
+      n + 2 <= rt::kPlanMaxArms) {
+    Plan p = prior;
+    p.nt = NtChoice::stream;
+    out[n++] = p;
+    p = prior;
+    p.nt = NtChoice::temporal;
+    out[n++] = p;
+  }
+  for (int i = 0; i < n; ++i) {
+    out[i].arm = static_cast<std::uint8_t>(i);
+    if (i != 0) out[i].source = PlanSource::online;
+  }
+  return n;
+}
+
+}  // namespace
+
+int arm_count(const PlanKey& key, const CollOpts& opts,
+              const rt::Topology& topo) noexcept {
+  Plan arms[rt::kPlanMaxArms];
+  return build_arms(key, opts, topo, copy::CacheConfig{}, arms);
+}
+
+Plan arm_plan(int arm, const PlanKey& key, const CollOpts& opts,
+              const rt::Topology& topo,
+              const copy::CacheConfig& cache) noexcept {
+  Plan arms[rt::kPlanMaxArms];
+  const int n = build_arms(key, opts, topo, cache, arms);
+  return arms[arm >= 0 && arm < n ? arm : 0];
+}
+
+}  // namespace yhccl::coll::plan

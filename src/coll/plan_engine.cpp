@@ -1,0 +1,155 @@
+// The per-call tuner engine: resolve a plan at collective entry, feed the
+// measured time back at exit (docs/tuning.md).
+//
+// Hot path (warm cache, prior mode): one hash, one bounded probe, one
+// acquire load, zero allocation, zero barriers.  Online mode adds exactly
+// two barriers per call (leading in resolve, trailing in finish); their
+// release/acquire edges are what make rank 0's refinement race-free.
+#include "yhccl/coll/plan.hpp"
+#include "yhccl/common/time.hpp"
+
+namespace yhccl::coll::plan {
+
+namespace {
+
+thread_local std::uint64_t tl_last_plan = 0;
+
+}  // namespace
+
+std::uint64_t last_plan_word() noexcept { return tl_last_plan; }
+
+TunedCall::TunedCall(rt::RankCtx& ctx, CollKind kind, std::size_t msg_bytes,
+                     Datatype d, ReduceOp op, const CollOpts& opts)
+    : opts_(opts), base_opts_(opts) {
+  rt::Team& team = ctx.team();
+  auto* reg = team.plan_registry();
+  if (reg == nullptr || msg_bytes == 0 ||
+      opts.algorithm != Algorithm::automatic)
+    return;  // bypass: the caller runs the legacy static path
+
+  // One-time $YHCCL_PLAN_FILE handshake; a warm registry costs one load.
+  warm_now(team);
+
+  key_ = make_key(kind, msg_bytes, d, op, team.topo(), opts);
+  const std::uint64_t hash =
+      key_.hash(team.plan_signature(), opts_signature(opts));
+  online_ = team.tune_mode() == rt::TuneMode::online;
+
+  rt::PlanSlot* slot = nullptr;
+  if (online_) {
+    // Leading barrier: rank 0 publishes refined plan words strictly after
+    // the previous call's trailing barrier, so arriving here guarantees
+    // every rank reads the same committed word below.
+    ctx.barrier();
+    slot = reg->acquire(hash, key_.packed_fields());
+  } else {
+    // prior mode: the registry is read-only (analytic prior + loaded
+    // plans); no insertions, no barriers, no cross-rank protocol needed.
+    slot = reg->find(hash);
+  }
+
+  const std::uint64_t word =
+      slot != nullptr ? slot->plan.load(std::memory_order_acquire) : 0;
+  if (word != 0)
+    plan_ = Plan::unpack(word);
+  else
+    plan_ = prior_plan(key_, base_opts_, team.topo(), ctx.cache());
+  narms_ = arm_count(key_, base_opts_, team.topo());
+
+  if (online_ && slot != nullptr && narms_ > 1) {
+    // Epsilon-greedy exploration.  The schedule is a pure function of
+    // (key hash, shared tune_seq), so every rank flips the same coin and
+    // picks the same arm with no communication.  tune_seq advances
+    // identically everywhere because collectives are called in the same
+    // order on every rank (MPI semantics).
+    const std::uint64_t seq = ctx.next_tune_seq();
+    std::uint32_t eps = reg->eps_mille();
+    const auto wait = reg->class_wait(static_cast<int>(kind));
+    if (wait > 0.5) eps = eps * 2 > 1000 ? 1000 : eps * 2;
+    const std::uint64_t mix =
+        rt::plan_mix64(hash ^ seq * 0x9e3779b97f4a7c15ull);
+    if (mix % 1000 < eps) {
+      const int arm = static_cast<int>(
+          (mix >> 32) % static_cast<std::uint64_t>(narms_));
+      plan_ = arm_plan(arm, key_, base_opts_, team.topo(), ctx.cache());
+      if (ctx.rank() == 0) reg->note_explore();
+    }
+  }
+
+  if (ctx.rank() == 0) {
+    // Only rank 0 bumps the slot counter, so "first lookup ever" (the
+    // cache miss) is deterministic even when another rank won the
+    // slot-claiming CAS.
+    const bool hit =
+        slot != nullptr &&
+        slot->hits.fetch_add(1, std::memory_order_relaxed) > 0;
+    reg->note_lookup(hit);
+  }
+
+  plan_.apply(opts_);
+  slot_ = slot;
+  active_ = true;
+  finished_ = false;
+  if (online_) t0_ = wall_seconds();
+  tl_last_plan = plan_.pack();
+}
+
+void TunedCall::finish(rt::RankCtx& ctx) {
+  if (!active_ || finished_) return;
+  finished_ = true;
+  if (!online_) return;
+  const double dt = wall_seconds() - t0_;
+  // Trailing barrier: every rank's plan-word read for *this* call happened
+  // before this point, so rank 0 may rewrite the word without racing a
+  // reader.  The next reader is behind the next call's leading barrier,
+  // which rank 0 only reaches after the store below.
+  ctx.barrier();
+  if (ctx.rank() != 0 || slot_ == nullptr) return;
+
+  slot_->update_arm(plan_.arm, dt);
+
+  // Refinement: commit the best-measured arm once it has at least two
+  // samples and beats the incumbent by > 3% (hysteresis against noise).
+  const std::uint64_t word = slot_->plan.load(std::memory_order_relaxed);
+  const int cur = word != 0 ? Plan::unpack(word).arm : 0;
+  int best = -1;
+  double best_t = 0;
+  for (int a = 0; a < narms_; ++a) {
+    if (slot_->arm_n[a].load(std::memory_order_relaxed) == 0) continue;
+    const double t = slot_->ewma_seconds(a);
+    if (best < 0 || t < best_t) {
+      best = a;
+      best_t = t;
+    }
+  }
+  if (best < 0 || best == cur) return;
+  if (slot_->arm_n[best].load(std::memory_order_relaxed) < 2) return;
+  if (slot_->arm_n[cur].load(std::memory_order_relaxed) == 0) return;
+  if (best_t >= 0.97 * slot_->ewma_seconds(cur)) return;
+
+  Plan p = arm_plan(best, key_, base_opts_, ctx.team().topo(), ctx.cache());
+  p.source = PlanSource::online;
+  slot_->plan.store(p.pack(), std::memory_order_release);
+  ctx.team().plan_registry()->note_commit();
+}
+
+Plan query(const rt::Team& team, CollKind kind, std::size_t msg_bytes,
+           Datatype d, ReduceOp op, const CollOpts& opts) {
+  const PlanKey key = make_key(kind, msg_bytes, d, op, team.topo(), opts);
+  if (const auto* reg = team.plan_registry()) {
+    const auto* slot =
+        reg->find(key.hash(team.plan_signature(), opts_signature(opts)));
+    if (slot != nullptr) {
+      const std::uint64_t w = slot->plan.load(std::memory_order_acquire);
+      if (w != 0) return Plan::unpack(w);
+    }
+  }
+  return prior_plan(key, opts, team.topo(), team.config().cache);
+}
+
+rt::PlanRegistryStats tune_stats(const rt::Team& team) {
+  const auto* reg = team.plan_registry();
+  return reg != nullptr ? reg->stats() : rt::PlanRegistryStats{};
+}
+
+}  // namespace yhccl::coll::plan

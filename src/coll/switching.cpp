@@ -1,74 +1,124 @@
-// Algorithm switching (paper §5.1 and Fig. 4): the generic entry points
-// route small reductions to the two-level DPML parallel reduction (cheap
-// synchronization) and everything else to the socket-aware MA reduction
-// (minimal data movement), falling back to flat MA on single-socket teams.
+// Algorithm switching (paper §5.1 and Fig. 4), routed through the plan
+// cache (docs/tuning.md): the generic entry points resolve a cached plan
+// for (collective, size bucket, shape) and dispatch on its algorithm.
+// With the tuner at its default (prior mode) the served plans reproduce
+// the paper's static rules bit for bit — small reductions go to the
+// two-level DPML parallel reduction (cheap synchronization), everything
+// else to the socket-aware MA reduction (minimal data movement), falling
+// back to flat MA on single-socket teams — while warmed or online-refined
+// plans can override the choice per size class.  Callers forcing an
+// explicit opts.algorithm bypass the tuner entirely.
 #include "yhccl/coll/coll.hpp"
 #include "yhccl/coll/detail.hpp"
+#include "yhccl/coll/plan.hpp"
 
 namespace yhccl::coll {
 
 Algorithm choose_reduction_algorithm(const RankCtx& ctx,
                                      std::size_t msg_bytes,
                                      const CollOpts& opts) {
-  if (opts.algorithm != Algorithm::automatic) return opts.algorithm;
-  if (msg_bytes <= opts.small_msg_threshold) return Algorithm::dpml_two_level;
-  auto& topo = const_cast<RankCtx&>(ctx).team().topo();
-  if (topo.nsockets() > 1 && topo.nranks() % topo.nsockets() == 0)
-    return Algorithm::ma_socket_aware;
-  return Algorithm::ma_flat;
+  return plan::choose_reduction_algorithm(ctx.team().topo(), msg_bytes, opts);
 }
+
+namespace {
+
+/// Decision for one reduction call: the tuned plan when the tuner is
+/// active, the static §5.1 rule otherwise (tuner off / explicit arm).
+Algorithm reduction_algorithm(const plan::TunedCall& tc, RankCtx& ctx,
+                              std::size_t total, const CollOpts& opts) {
+  const Algorithm a = tc.active()
+                          ? tc.plan().algorithm
+                          : choose_reduction_algorithm(ctx, total, opts);
+  YHCCL_REQUIRE(a != Algorithm::pipelined,
+                "the pipelined algorithm serves broadcast/allgather only");
+  return a;
+}
+
+}  // namespace
 
 void reduce_scatter(RankCtx& ctx, const void* send, void* recv,
                     std::size_t count, Datatype d, ReduceOp op,
                     const CollOpts& opts) {
+  // §5.1 sizes reduce-scatter by its total input vector.
   const std::size_t total =
       count * dtype_size(d) * static_cast<std::size_t>(ctx.nranks());
-  switch (choose_reduction_algorithm(ctx, total, opts)) {
+  plan::TunedCall tc(ctx, CollKind::reduce_scatter, total, d, op, opts);
+  const CollOpts& o = tc.active() ? tc.opts() : opts;
+  switch (reduction_algorithm(tc, ctx, total, opts)) {
     case Algorithm::dpml_two_level:
-      return dpml_two_level_reduce_scatter(ctx, send, recv, count, d, op,
-                                           opts);
+      dpml_two_level_reduce_scatter(ctx, send, recv, count, d, op, o);
+      break;
     case Algorithm::ma_socket_aware:
-      return socket_ma_reduce_scatter(ctx, send, recv, count, d, op, opts);
+      socket_ma_reduce_scatter(ctx, send, recv, count, d, op, o);
+      break;
     default:
-      return ma_reduce_scatter(ctx, send, recv, count, d, op, opts);
+      ma_reduce_scatter(ctx, send, recv, count, d, op, o);
+      break;
   }
+  tc.finish(ctx);
 }
 
 void allreduce(RankCtx& ctx, const void* send, void* recv, std::size_t count,
                Datatype d, ReduceOp op, const CollOpts& opts) {
   const std::size_t total = count * dtype_size(d);
-  switch (choose_reduction_algorithm(ctx, total, opts)) {
+  plan::TunedCall tc(ctx, CollKind::allreduce, total, d, op, opts);
+  const CollOpts& o = tc.active() ? tc.opts() : opts;
+  switch (reduction_algorithm(tc, ctx, total, opts)) {
     case Algorithm::dpml_two_level:
-      return dpml_two_level_allreduce(ctx, send, recv, count, d, op, opts);
+      dpml_two_level_allreduce(ctx, send, recv, count, d, op, o);
+      break;
     case Algorithm::ma_socket_aware:
-      return socket_ma_allreduce(ctx, send, recv, count, d, op, opts);
+      socket_ma_allreduce(ctx, send, recv, count, d, op, o);
+      break;
     default:
-      return ma_allreduce(ctx, send, recv, count, d, op, opts);
+      ma_allreduce(ctx, send, recv, count, d, op, o);
+      break;
   }
+  tc.finish(ctx);
 }
 
 void reduce(RankCtx& ctx, const void* send, void* recv, std::size_t count,
             Datatype d, ReduceOp op, int root, const CollOpts& opts) {
   const std::size_t total = count * dtype_size(d);
-  switch (choose_reduction_algorithm(ctx, total, opts)) {
+  plan::TunedCall tc(ctx, CollKind::reduce, total, d, op, opts);
+  const CollOpts& o = tc.active() ? tc.opts() : opts;
+  switch (reduction_algorithm(tc, ctx, total, opts)) {
     case Algorithm::dpml_two_level:
-      return dpml_two_level_reduce(ctx, send, recv, count, d, op, root,
-                                   opts);
+      dpml_two_level_reduce(ctx, send, recv, count, d, op, root, o);
+      break;
     case Algorithm::ma_socket_aware:
-      return socket_ma_reduce(ctx, send, recv, count, d, op, root, opts);
+      socket_ma_reduce(ctx, send, recv, count, d, op, root, o);
+      break;
     default:
-      return ma_reduce(ctx, send, recv, count, d, op, root, opts);
+      ma_reduce(ctx, send, recv, count, d, op, root, o);
+      break;
   }
+  tc.finish(ctx);
 }
+
+// Broadcast and allgather have a single implementation (the §3.4 sliced
+// pipeline), so any explicit opts.algorithm — Algorithm::pipelined to name
+// it, or a reduction arm when one CollOpts drives a mixed trace replay —
+// simply bypasses the tuner and runs the pipeline with the caller's
+// schedule; Algorithm::automatic routes through the plan cache, which can
+// tune the pipeline slice size per size class.
 
 void broadcast(RankCtx& ctx, void* buf, std::size_t count, Datatype d,
                int root, const CollOpts& opts) {
-  pipelined_broadcast(ctx, buf, count, d, root, opts);
+  plan::TunedCall tc(ctx, CollKind::broadcast, count * dtype_size(d), d,
+                     ReduceOp::sum, opts);
+  pipelined_broadcast(ctx, buf, count, d, root,
+                      tc.active() ? tc.opts() : opts);
+  tc.finish(ctx);
 }
 
 void allgather(RankCtx& ctx, const void* send, void* recv, std::size_t count,
                Datatype d, const CollOpts& opts) {
-  pipelined_allgather(ctx, send, recv, count, d, opts);
+  plan::TunedCall tc(ctx, CollKind::allgather, count * dtype_size(d), d,
+                     ReduceOp::sum, opts);
+  pipelined_allgather(ctx, send, recv, count, d,
+                      tc.active() ? tc.opts() : opts);
+  tc.finish(ctx);
 }
 
 }  // namespace yhccl::coll

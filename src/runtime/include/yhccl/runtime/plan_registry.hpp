@@ -1,0 +1,177 @@
+// Shared-memory plan registry: the storage layer of the collective
+// auto-tuner (docs/tuning.md).
+//
+// The registry is a fixed-size open-addressing hash table of PlanSlots
+// living *inside the team's shared mapping*, so thread-backed and
+// fork()-backed ranks see the same table at the same address and a plan
+// committed by rank 0 is visible to every rank.  All hot-path operations
+// are lock-free single-word atomics: a warm lookup is one hash, a short
+// probe over `hash` words and one acquire load of the packed plan — no
+// allocation, no locks, no barriers.
+//
+// The registry stores *packed* 64-bit keys and plans; what the bits mean
+// (algorithm choice, slice schedule, NT decision) is owned by the
+// collective layer (yhccl/coll/plan.hpp).  This split keeps the runtime
+// free of collective semantics while the mapping layout stays runtime
+// business, mirroring HbChecker and TraceBuffer.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "yhccl/common/types.hpp"
+#include "yhccl/copy/cache_model.hpp"
+#include "yhccl/runtime/topology.hpp"
+
+namespace yhccl::rt {
+
+/// Auto-tuner activation (TeamConfig::tune; docs/tuning.md).
+enum class TuneMode : std::uint8_t {
+  env,     ///< defer to $YHCCL_TUNE at construction (default: prior)
+  off,     ///< legacy static switching; no registry is allocated
+  prior,   ///< serve cached plans (analytic prior + warmed files), no updates
+  online,  ///< prior + epsilon-greedy exploration and rank-0 refinement
+};
+
+/// Resolve `env` against $YHCCL_TUNE (off|prior|online; unset -> prior).
+TuneMode resolve_tune_mode(TuneMode cfg);
+const char* tune_mode_name(TuneMode m) noexcept;
+
+/// Exploration rate for TuneMode::online, per mille.  $YHCCL_TUNE_EPS is a
+/// probability in [0, 1]; unset -> 0.1.
+std::uint32_t tune_eps_mille_from_env();
+
+/// Arms per plan slot.  The collective layer derives at most this many
+/// candidate schedules per key (algorithm x NT / slice variants).
+inline constexpr int kPlanMaxArms = 6;
+/// Per-class feedback channels in the header (one per collective kind).
+inline constexpr int kPlanClasses = 8;
+/// Slots in every team's registry (open addressing, bounded probe).
+inline constexpr std::uint32_t kPlanSlots = 512;
+
+/// 64-bit finalizer (splitmix64); the registry's only hash.
+constexpr std::uint64_t plan_mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Machine/topology identity a plan is valid for: ranks, socket layout and
+/// the cache-capacity model (§4.2) the NT prior depends on.  Persisted
+/// plans are only loaded into teams with a matching signature.
+std::uint64_t plan_signature(const Topology& topo,
+                             const copy::CacheConfig& cache) noexcept;
+
+/// One cached plan.  `hash` is the probe identity (0 = empty); `fields`
+/// holds the unhashed key bits so persistence can reconstruct the key;
+/// `plan` is the committed packed plan (0 = none committed yet: every rank
+/// recomputes the deterministic prior instead).  Arm statistics are
+/// written by rank 0 only (single-writer; stored as double bit patterns).
+struct PlanSlot {
+  std::atomic<std::uint64_t> hash{0};
+  std::atomic<std::uint64_t> fields{0};
+  std::atomic<std::uint64_t> plan{0};
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> wait_ewma{0};  ///< wait-fraction EWMA (bits)
+  std::atomic<std::uint64_t> arm_ewma[kPlanMaxArms]{};  ///< seconds (bits)
+  std::atomic<std::uint32_t> arm_n[kPlanMaxArms]{};     ///< samples per arm
+
+  double ewma_seconds(int arm) const noexcept;
+  /// Single-writer EWMA fold (alpha = 1/4; first sample seeds the average).
+  void update_arm(int arm, double seconds) noexcept;
+};
+
+struct PlanRegistryStats {
+  std::uint64_t lookups = 0;   ///< resolved calls (rank 0's count)
+  std::uint64_t hits = 0;      ///< of which: slot already existed
+  std::uint64_t misses = 0;    ///< of which: slot inserted (or table full)
+  std::uint64_t inserts = 0;   ///< slots claimed (any rank's CAS win)
+  std::uint64_t explores = 0;  ///< online exploration steps taken
+  std::uint64_t commits = 0;   ///< plan-word rewrites from refinement
+  std::uint64_t loaded = 0;    ///< plans installed from files/warming
+  std::uint64_t entries = 0;   ///< live slots right now
+};
+
+class PlanRegistry {
+ public:
+  static std::size_t required_bytes(std::uint32_t slots) noexcept;
+
+  /// Placement-construct a registry over `bytes` of zeroed shared memory.
+  static PlanRegistry* create(void* mem, std::size_t bytes,
+                              std::uint32_t slots, std::uint32_t eps_mille);
+
+  std::uint32_t capacity() const noexcept { return slots_; }
+  std::uint32_t eps_mille() const noexcept { return eps_mille_; }
+
+  /// Probe for `hash` (nonzero).  Null when absent or the probe window is
+  /// exhausted.  Wait-free: at most kProbe loads.
+  PlanSlot* find(std::uint64_t hash) noexcept;
+  const PlanSlot* find(std::uint64_t hash) const noexcept;
+
+  /// Find-or-insert.  All ranks race the claiming CAS with identical
+  /// `fields`, so the loser's view is the winner's slot.  Null when the
+  /// probe window is full (callers fall back to the computed prior).
+  /// `inserted` (optional) reports whether this call claimed the slot.
+  PlanSlot* acquire(std::uint64_t hash, std::uint64_t fields,
+                    bool* inserted = nullptr) noexcept;
+
+  /// Slot iteration for persistence/diagnostics (includes empty slots).
+  PlanSlot& slot(std::uint32_t i) noexcept { return slots_begin()[i]; }
+  const PlanSlot& slot(std::uint32_t i) const noexcept {
+    return const_cast<PlanRegistry*>(this)->slots_begin()[i];
+  }
+
+  /// Lazy file-warm handshake: 0 = cold, 1 = one rank is loading, 2 = warm.
+  std::atomic<std::uint32_t>& warm_word() noexcept { return warm_state_; }
+
+  // Diagnostics counters.  The per-call ones (lookup/explore/commit) are
+  // bumped by rank 0 only, so stats count calls, not calls x ranks.
+  void note_lookup(bool hit) noexcept {
+    lookups_.fetch_add(1, std::memory_order_relaxed);
+    (hit ? hits_ : misses_).fetch_add(1, std::memory_order_relaxed);
+  }
+  void note_explore() noexcept {
+    explores_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void note_commit() noexcept {
+    commits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void note_loaded() noexcept {
+    loaded_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  PlanRegistryStats stats() const noexcept;
+
+  /// Per-collective-class wait-fraction EWMA fed back from the profiler
+  /// (plan::note_profile); biases online exploration toward sync-bound
+  /// collectives.  Single-writer (parent-side, team quiesced).
+  double class_wait(int cls) const noexcept;
+  void fold_class_wait(int cls, double wait_fraction) noexcept;
+
+ private:
+  PlanRegistry(std::uint32_t slots, std::uint32_t eps_mille) noexcept
+      : slots_(slots), eps_mille_(eps_mille) {}
+
+  PlanSlot* slots_begin() noexcept {
+    return reinterpret_cast<PlanSlot*>(reinterpret_cast<std::byte*>(this) +
+                                       sizeof(PlanRegistry));
+  }
+
+  static constexpr std::uint32_t kProbe = 16;
+
+  std::uint32_t slots_;
+  std::uint32_t eps_mille_;
+  std::atomic<std::uint32_t> warm_state_{0};
+  std::atomic<std::uint64_t> lookups_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> inserts_{0};
+  std::atomic<std::uint64_t> explores_{0};
+  std::atomic<std::uint64_t> commits_{0};
+  std::atomic<std::uint64_t> loaded_{0};
+  std::atomic<std::uint64_t> class_wait_bits_[kPlanClasses]{};
+};
+
+}  // namespace yhccl::rt

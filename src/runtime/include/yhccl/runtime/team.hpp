@@ -22,6 +22,7 @@
 #include "yhccl/copy/dav.hpp"
 #include "yhccl/copy/isa.hpp"
 #include "yhccl/runtime/fault.hpp"
+#include "yhccl/runtime/plan_registry.hpp"
 #include "yhccl/runtime/remote_access.hpp"
 #include "yhccl/runtime/shm_region.hpp"
 #include "yhccl/runtime/sync.hpp"
@@ -63,6 +64,10 @@ struct TeamConfig {
   /// Phase tracer activation (docs/observability.md); `env` defers to
   /// $YHCCL_TRACE at construction.
   trace::Mode trace = trace::Mode::env;
+  /// Auto-tuner plan cache (docs/tuning.md); `env` defers to $YHCCL_TUNE
+  /// at construction (unset -> prior, which reproduces the static §5.1
+  /// switching rules from the analytic prior).
+  TuneMode tune = TuneMode::env;
 };
 
 /// Eager FIFO + rendezvous descriptor for one directed rank pair.
@@ -97,6 +102,7 @@ struct TeamShared {
   alignas(kCacheline) std::atomic<std::uint64_t> heap_cursor{0};
   struct alignas(kCacheline) Persist {
     std::uint64_t coll_seq = 0;
+    std::uint64_t tune_seq = 0;  ///< tuner resolve counter (docs/tuning.md)
     std::uint32_t node_sense = 0;
     std::uint32_t sock_sense = 0;
   };
@@ -181,6 +187,18 @@ class Team {
   const trace::TraceBuffer* trace_buffer() const noexcept { return trace_; }
   trace::Mode trace_mode() const noexcept { return trace_mode_; }
 
+  // ---- auto-tuner plan cache (YHCCL_TUNE, docs/tuning.md) ------------------
+  /// Non-null when the tuner is active (mode prior or online).  Lives in
+  /// the shared mapping: every rank of both backends sees the same table,
+  /// and cached plans survive across run() calls.
+  PlanRegistry* plan_registry() noexcept { return plans_; }
+  const PlanRegistry* plan_registry() const noexcept { return plans_; }
+  TuneMode tune_mode() const noexcept { return tune_mode_; }
+  /// Identity cached plans are valid for (topology layout + cache model);
+  /// recomputed when recovery shrinks the membership, so stale plans from
+  /// the old shape simply stop matching.
+  std::uint64_t plan_signature() const noexcept { return plan_sig_; }
+
   // ---- happens-before race checker (YHCCL_CHECK=hb) -----------------------
   /// Non-null when this team runs with the vector-clock checker.
   analysis::HbChecker* hb_checker() noexcept { return hb_; }
@@ -215,10 +233,14 @@ class Team {
   std::size_t off_scratch_ = 0;
   std::size_t off_hb_ = 0;
   std::size_t off_trace_ = 0;
+  std::size_t off_plans_ = 0;
   TeamShared* shared_ = nullptr;
   analysis::HbChecker* hb_ = nullptr;
   trace::TraceBuffer* trace_ = nullptr;
   trace::Mode trace_mode_ = trace::Mode::off;
+  PlanRegistry* plans_ = nullptr;
+  TuneMode tune_mode_ = TuneMode::off;
+  std::uint64_t plan_sig_ = 0;
   bool flight_dumped_ = false;  ///< one flight dump per fault, not per retry
 
  private:
@@ -235,6 +257,7 @@ class RankCtx {
   int rank() const noexcept { return rank_; }
   int nranks() const noexcept { return nranks_; }
   Team& team() noexcept { return *team_; }
+  const Team& team() const noexcept { return *team_; }
   const TeamConfig& config() const noexcept { return team_->config(); }
   const copy::CacheConfig& cache() const noexcept {
     return team_->config().cache;
@@ -264,6 +287,11 @@ class RankCtx {
   /// Per-call sequence number; identical across ranks because collectives
   /// are invoked in the same order everywhere (MPI semantics).
   std::uint64_t next_seq();
+
+  /// Tuner resolve counter, same cross-rank-identical property as
+  /// next_seq(); the online explore schedule hashes it so every rank takes
+  /// the same exploration step without communicating (docs/tuning.md).
+  std::uint64_t next_tune_seq() { return ++persist_->tune_seq; }
 
   /// Publish my pipeline progress (release) / wait on a peer's (acquire).
   /// Values must be strictly increasing within a team epoch; collectives

@@ -44,6 +44,22 @@ class Topology {
     return rank - socket_base(socket_of(rank));
   }
 
+  /// Stable identity of this rank-to-socket layout (FNV-1a over the block
+  /// partition).  Two topologies with the same signature behave identically
+  /// for every socket-aware algorithm; the auto-tuner keys cached plans on
+  /// it so persisted plans never leak across layouts (docs/tuning.md).
+  std::uint64_t signature() const noexcept {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    const auto fold = [&h](std::uint64_t v) {
+      h = (h ^ v) * 0x100000001b3ull;
+    };
+    fold(static_cast<std::uint64_t>(nranks_));
+    fold(static_cast<std::uint64_t>(nsockets_));
+    for (int s = 0; s < nsockets_; ++s)
+      fold(static_cast<std::uint64_t>(socket_size(s)));
+    return h;
+  }
+
  private:
   int nranks_ = 1;
   int nsockets_ = 1;

@@ -117,6 +117,14 @@ Team::Team(TeamConfig cfg) : cfg_(cfg), topo_(cfg.nranks, cfg.nsockets) {
           ? 0
           : trace::TraceBuffer::required_bytes(cfg_.nranks, trace_slots);
 
+  // Auto-tuner plan cache: one shared table per team so every rank of both
+  // backends resolves collectives to the same cached plan (docs/tuning.md).
+  tune_mode_ = resolve_tune_mode(cfg_.tune);
+  plan_sig_ = rt::plan_signature(topo_, cfg_.cache);
+  const std::size_t plan_bytes =
+      tune_mode_ == TuneMode::off ? 0
+                                  : PlanRegistry::required_bytes(kPlanSlots);
+
   std::size_t off = round_up(sizeof(TeamShared), kPageAlign);
   off_channels_ = off;
   off = round_up(off + nchan * sizeof(FifoChannel), kPageAlign);
@@ -130,6 +138,8 @@ Team::Team(TeamConfig cfg) : cfg_(cfg), topo_(cfg.nranks, cfg.nsockets) {
   off = round_up(off + hb_bytes, kPageAlign);
   off_trace_ = off;
   off = round_up(off + trace_bytes, kPageAlign);
+  off_plans_ = off;
+  off = round_up(off + plan_bytes, kPageAlign);
 
   region_ = ShmRegion::create_anonymous(off);
   shared_ = new (region_.data()) TeamShared();
@@ -152,6 +162,9 @@ Team::Team(TeamConfig cfg) : cfg_(cfg), topo_(cfg.nranks, cfg.nsockets) {
     trace_ = trace::TraceBuffer::create(region_.data() + off_trace_,
                                         trace_bytes, cfg_.nranks, trace_slots,
                                         trace_mode_);
+  if (plan_bytes != 0)
+    plans_ = PlanRegistry::create(region_.data() + off_plans_, plan_bytes,
+                                  kPlanSlots, tune_eps_mille_from_env());
 }
 
 Team::~Team() {
@@ -301,6 +314,11 @@ FaultInfo Team::recover() {
   }
   const int nsockets = std::min(cfg_.nsockets, nranks_);
   topo_ = Topology(nranks_, nsockets);
+  // Cached plans persist across recovery (slot updates are single-word
+  // atomics, so an abort cannot tear them); the refreshed signature keys
+  // the shrunken topology into its own plan space, so plans cached for the
+  // old shape simply stop matching.
+  plan_sig_ = rt::plan_signature(topo_, cfg_.cache);
 
   // Re-initialize every piece of shared synchronization state the aborted
   // collective may have left torn.

@@ -1,0 +1,554 @@
+// Auto-tuner plan cache (docs/tuning.md): prior fidelity to the §5.1/§5.4
+// static rules, cache hit/miss accounting, cross-rank agreement under
+// online exploration on both backends, persistence round-trips, warming
+// from bench reports, and the zero-allocation warm path.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "test_util.hpp"
+#include "yhccl/coll/coll.hpp"
+#include "yhccl/coll/plan.hpp"
+#include "yhccl/coll/profiler.hpp"
+#include "yhccl/model/dav_model.hpp"
+#include "yhccl/runtime/process_team.hpp"
+#include "yhccl/runtime/thread_team.hpp"
+
+using namespace yhccl;
+namespace plan = yhccl::coll::plan;
+using coll::Algorithm;
+using coll::CollKind;
+using coll::CollOpts;
+
+// ---- global allocation counter for the zero-alloc warm-path test ------------
+
+static std::atomic<std::uint64_t> g_allocs{0};
+
+// GCC flags free() on a replaced operator new's result; ours is malloc-backed.
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void* operator new(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+struct EnvGuard {
+  EnvGuard(const char* name, const char* value) : name_(name) {
+    if (const char* old = std::getenv(name)) old_ = old, had_ = true;
+    if (value != nullptr)
+      ::setenv(name, value, 1);
+    else
+      ::unsetenv(name);
+  }
+  ~EnvGuard() {
+    if (had_)
+      ::setenv(name_, old_.c_str(), 1);
+    else
+      ::unsetenv(name_);
+  }
+  const char* name_;
+  std::string old_;
+  bool had_ = false;
+};
+
+rt::TeamConfig tuned_cfg(int p, int m, rt::TuneMode mode) {
+  rt::TeamConfig cfg;
+  cfg.nranks = p;
+  cfg.nsockets = m;
+  cfg.scratch_bytes = 24u << 20;
+  cfg.shared_heap_bytes = 4u << 20;
+  cfg.tune = mode;
+  return cfg;
+}
+
+/// Run `calls` identical allreduces, logging each rank's served plan word
+/// into `words[call * nranks + rank]` (shared memory, both backends).
+void run_logged_allreduce(rt::Team& team, int calls, std::size_t count,
+                          std::uint64_t* words, const CollOpts& opts = {}) {
+  const int p = team.nranks();
+  team.run([&](rt::RankCtx& ctx) {
+    std::vector<double> in(count), out(count);
+    test::fill_buffer(in.data(), count, Datatype::f64, ctx.rank(),
+                      ReduceOp::sum);
+    for (int c = 0; c < calls; ++c) {
+      coll::allreduce(ctx, in.data(), out.data(), count, Datatype::f64,
+                      ReduceOp::sum, opts);
+      words[static_cast<std::size_t>(c) * p + ctx.rank()] =
+          plan::last_plan_word();
+    }
+  });
+}
+
+}  // namespace
+
+// ---- the prior reproduces the static rules ----------------------------------
+
+TEST(PlanPrior, MatchesStaticSwitchingRuleForEverySizeAndThreshold) {
+  const rt::Topology topo(8, 2);
+  const copy::CacheConfig cache = copy::CacheConfig::node_a();
+  for (const std::size_t threshold :
+       {std::size_t{256} << 10, std::size_t{300000}, std::size_t{1} << 20}) {
+    CollOpts opts;
+    opts.small_msg_threshold = threshold;
+    for (const auto kind :
+         {CollKind::allreduce, CollKind::reduce, CollKind::reduce_scatter}) {
+      for (std::size_t base : {std::size_t{1}, std::size_t{64},
+                               std::size_t{4} << 10, std::size_t{256} << 10,
+                               threshold, std::size_t{1} << 20,
+                               std::size_t{16} << 20}) {
+        for (std::size_t bytes :
+             {base, base + 1, base > 1 ? base - 1 : base}) {
+          const auto key = plan::make_key(kind, bytes, Datatype::f64,
+                                          ReduceOp::sum, topo, opts);
+          const auto p = plan::prior_plan(key, opts, topo, cache);
+          EXPECT_EQ(p.algorithm,
+                    plan::choose_reduction_algorithm(topo, bytes, opts))
+              << coll::coll_kind_name(kind) << " bytes=" << bytes
+              << " threshold=" << threshold;
+        }
+      }
+    }
+  }
+  // Single-socket and ragged topologies fall back to flat MA above the
+  // threshold.
+  const rt::Topology flat(6, 1), ragged(7, 2);
+  CollOpts opts;
+  EXPECT_EQ(plan::choose_reduction_algorithm(flat, 1u << 20, opts),
+            Algorithm::ma_flat);
+  EXPECT_EQ(plan::choose_reduction_algorithm(ragged, 1u << 20, opts),
+            Algorithm::ma_flat);
+}
+
+TEST(PlanPrior, NtAdvisoryMatchesPaperSwitchPoint) {
+  // §5.4: the allreduce work set crosses the cache capacity exactly at
+  // model::nt_switch_point_allreduce.
+  for (const auto& cache :
+       {copy::CacheConfig::node_a(), copy::CacheConfig::node_b(),
+        copy::CacheConfig::cluster_c()}) {
+    for (const int p : {4, 16, 64}) {
+      for (const int m : {1, 2}) {
+        const std::size_t imax = CollOpts{}.slice_max;
+        const std::size_t sstar = model::nt_switch_point_allreduce(
+            cache.available(p), p, m, imax);
+        if (sstar == 0) continue;  // everything streams on this machine
+        EXPECT_FALSE(
+            plan::prior_nt(CollKind::allreduce, sstar, p, m, cache, imax))
+            << "p=" << p << " m=" << m;
+        EXPECT_TRUE(plan::prior_nt(CollKind::allreduce, sstar + 1, p, m,
+                                   cache, imax))
+            << "p=" << p << " m=" << m;
+      }
+    }
+  }
+}
+
+TEST(PlanKeyPacking, FieldsAndPlanWordsRoundTrip) {
+  plan::PlanKey key;
+  key.kind = CollKind::reduce_scatter;
+  key.dtype = Datatype::i32;
+  key.op = ReduceOp::band;
+  key.bucket = 0x40 | 21;
+  key.ranks = 255;
+  key.sockets = 15;
+  const auto k2 = plan::PlanKey::from_fields(key.packed_fields());
+  EXPECT_EQ(k2.kind, key.kind);
+  EXPECT_EQ(k2.dtype, key.dtype);
+  EXPECT_EQ(k2.op, key.op);
+  EXPECT_EQ(k2.bucket, key.bucket);
+  EXPECT_EQ(k2.ranks, key.ranks);
+  EXPECT_EQ(k2.sockets, key.sockets);
+
+  plan::Plan p;
+  p.algorithm = Algorithm::ma_socket_aware;
+  p.nt = plan::NtChoice::stream;
+  p.slice_log2 = 20;
+  p.chunk_log2 = 13;
+  p.nt_prior = true;
+  p.source = plan::PlanSource::online;
+  p.arm = 3;
+  const auto w = p.pack();
+  EXPECT_NE(w, 0u);
+  const auto p2 = plan::Plan::unpack(w);
+  EXPECT_EQ(p2.algorithm, p.algorithm);
+  EXPECT_EQ(p2.nt, p.nt);
+  EXPECT_EQ(p2.slice_log2, p.slice_log2);
+  EXPECT_EQ(p2.chunk_log2, p.chunk_log2);
+  EXPECT_EQ(p2.nt_prior, p.nt_prior);
+  EXPECT_EQ(p2.source, p.source);
+  EXPECT_EQ(p2.arm, p.arm);
+}
+
+// ---- cache behavior ----------------------------------------------------------
+
+TEST(PlanCache, HitMissAccountingAndCorrectResults) {
+  EnvGuard eps("YHCCL_TUNE_EPS", "0");  // no exploration: pure cache test
+  rt::ThreadTeam team(tuned_cfg(4, 2, rt::TuneMode::online));
+  const std::size_t count = 4096;
+  auto* words = reinterpret_cast<std::uint64_t*>(
+      team.shared_alloc(sizeof(std::uint64_t) * 4 * 3));
+  run_logged_allreduce(team, 3, count, words);
+
+  const auto st = plan::tune_stats(team);
+  EXPECT_EQ(st.lookups, 3u);
+  EXPECT_EQ(st.misses, 1u);  // first call inserts the slot
+  EXPECT_EQ(st.hits, 2u);
+  EXPECT_EQ(st.entries, 1u);
+  EXPECT_EQ(st.inserts, 1u);
+  EXPECT_EQ(st.explores, 0u);
+
+  // A different size class gets its own slot.
+  run_logged_allreduce(team, 1, count * 64, words);
+  EXPECT_EQ(plan::tune_stats(team).entries, 2u);
+
+  // Tuner off: no registry, stats all zero.
+  rt::ThreadTeam off(tuned_cfg(4, 2, rt::TuneMode::off));
+  EXPECT_EQ(off.plan_registry(), nullptr);
+  EXPECT_EQ(plan::tune_stats(off).lookups, 0u);
+}
+
+TEST(PlanCache, QueryServesPriorUntilACommitExists) {
+  rt::ThreadTeam team(tuned_cfg(8, 2, rt::TuneMode::prior));
+  const CollOpts opts;
+  const auto small = plan::query(team, CollKind::allreduce, 4u << 10,
+                                 Datatype::f64, ReduceOp::sum, opts);
+  EXPECT_EQ(small.algorithm, Algorithm::dpml_two_level);
+  EXPECT_EQ(small.source, plan::PlanSource::prior);
+  const auto large = plan::query(team, CollKind::allreduce, 4u << 20,
+                                 Datatype::f64, ReduceOp::sum, opts);
+  EXPECT_EQ(large.algorithm, Algorithm::ma_socket_aware);
+  const auto bcast = plan::query(team, CollKind::broadcast, 1u << 20,
+                                 Datatype::f64, ReduceOp::sum, opts);
+  EXPECT_EQ(bcast.algorithm, Algorithm::pipelined);
+}
+
+// ---- cross-rank agreement ----------------------------------------------------
+
+template <typename TeamT>
+static void agreement_case(rt::TuneMode mode, const char* eps) {
+  EnvGuard g("YHCCL_TUNE_EPS", eps);
+  const int p = 8, calls = 48;
+  TeamT team(tuned_cfg(p, 2, mode));
+  auto* words = reinterpret_cast<std::uint64_t*>(
+      team.shared_alloc(sizeof(std::uint64_t) * p * calls));
+  run_logged_allreduce(team, calls, 16384, words);
+  for (int c = 0; c < calls; ++c)
+    for (int r = 1; r < p; ++r)
+      ASSERT_EQ(words[c * p + r], words[c * p])
+          << "rank " << r << " diverged on call " << c;
+}
+
+TEST(PlanAgreement, AllRanksServeTheSamePlanWhileExploring_Threads) {
+  agreement_case<rt::ThreadTeam>(rt::TuneMode::online, "0.5");
+}
+
+TEST(PlanAgreement, AllRanksServeTheSamePlanWhileExploring_Processes) {
+  agreement_case<rt::ProcessTeam>(rt::TuneMode::online, "0.5");
+}
+
+TEST(PlanAgreement, ThreadAndForkBackendsExploreIdentically) {
+  // With eps = 1 every call serves the explored arm, which is a pure
+  // function of (key hash, tune_seq) — so the served sequence must be
+  // bit-identical across backends.
+  EnvGuard g("YHCCL_TUNE_EPS", "1");
+  const int p = 4, calls = 24;
+  std::vector<std::uint64_t> seq[2];
+  int which = 0;
+  for (which = 0; which < 2; ++which) {
+    std::unique_ptr<rt::Team> team;
+    if (which == 0)
+      team = std::make_unique<rt::ThreadTeam>(
+          tuned_cfg(p, 2, rt::TuneMode::online));
+    else
+      team = std::make_unique<rt::ProcessTeam>(
+          tuned_cfg(p, 2, rt::TuneMode::online));
+    auto* words = reinterpret_cast<std::uint64_t*>(
+        team->shared_alloc(sizeof(std::uint64_t) * p * calls));
+    run_logged_allreduce(*team, calls, 16384, words);
+    for (int c = 0; c < calls; ++c) seq[which].push_back(words[c * p]);
+  }
+  EXPECT_EQ(seq[0], seq[1]);
+  // ... and exploration actually happened (eps = 1 explores every call
+  // once the slot exists, i.e. from call 2 on).
+  bool explored = false;
+  for (const auto w : seq[0])
+    if (plan::Plan::unpack(w).arm != 0) explored = true;
+  EXPECT_TRUE(explored);
+}
+
+TEST(PlanOnline, ExploredArmsStillComputeCorrectReductions) {
+  EnvGuard g("YHCCL_TUNE_EPS", "1");
+  rt::ThreadTeam team(tuned_cfg(6, 2, rt::TuneMode::online));
+  const std::size_t count = 5000;
+  team.run([&](rt::RankCtx& ctx) {
+    std::vector<double> in(count), out(count);
+    test::fill_buffer(in.data(), count, Datatype::f64, ctx.rank(),
+                      ReduceOp::sum);
+    for (int c = 0; c < 30; ++c) {
+      coll::allreduce(ctx, in.data(), out.data(), count, Datatype::f64,
+                      ReduceOp::sum);
+      ASSERT_TRUE(test::check_reduced(out.data(), count, Datatype::f64,
+                                      ctx.nranks(), ReduceOp::sum));
+    }
+  });
+  EXPECT_GT(plan::tune_stats(team).explores, 0u);
+}
+
+// ---- explicit-algorithm handling (satellite 2) -------------------------------
+
+TEST(PlanBypass, ExplicitAlgorithmsBypassTheTunerAndAreHonored) {
+  rt::ThreadTeam team(tuned_cfg(4, 2, rt::TuneMode::online));
+  team.run([&](rt::RankCtx& ctx) {
+    std::vector<double> buf(1024, ctx.rank() == 0 ? 7.0 : 0.0);
+    CollOpts opts;
+    opts.algorithm = Algorithm::pipelined;  // explicit: allowed for bcast
+    coll::broadcast(ctx, buf.data(), buf.size(), Datatype::f64, 0, opts);
+    for (double v : buf) ASSERT_EQ(v, 7.0);
+
+    std::vector<double> in(1024), out(1024);
+    test::fill_buffer(in.data(), in.size(), Datatype::f64, ctx.rank(),
+                      ReduceOp::sum);
+    opts.algorithm = Algorithm::ma_flat;  // explicit arm for a reduction
+    coll::allreduce(ctx, in.data(), out.data(), in.size(), Datatype::f64,
+                    ReduceOp::sum, opts);
+    ASSERT_TRUE(test::check_reduced(out.data(), out.size(), Datatype::f64,
+                                    ctx.nranks(), ReduceOp::sum));
+  });
+  // Explicit calls never touch the cache.
+  EXPECT_EQ(plan::tune_stats(team).lookups, 0u);
+
+  // A reduction arm passed to broadcast (one CollOpts driving a mixed
+  // trace replay) bypasses the tuner and runs the pipeline as before.
+  team.run([&](rt::RankCtx& ctx) {
+    std::vector<double> buf(64, ctx.rank() == 0 ? 3.0 : 0.0);
+    CollOpts opts;
+    opts.algorithm = Algorithm::ma_flat;
+    coll::broadcast(ctx, buf.data(), buf.size(), Datatype::f64, 0, opts);
+    for (double v : buf) ASSERT_EQ(v, 3.0);
+  });
+  EXPECT_EQ(plan::tune_stats(team).lookups, 0u);
+
+  // The pipeline arm is rejected by the reductions.
+  rt::ThreadTeam single(tuned_cfg(2, 1, rt::TuneMode::off));
+  EXPECT_THROW(single.run([&](rt::RankCtx& ctx) {
+    double in = 1, out = 0;
+    CollOpts opts;
+    opts.algorithm = Algorithm::pipelined;
+    coll::allreduce(ctx, &in, &out, 1, Datatype::f64, ReduceOp::sum, opts);
+  }),
+               Error);
+}
+
+// ---- persistence -------------------------------------------------------------
+
+namespace {
+
+/// A minimal bench report with two arms per size for allreduce: flat MA
+/// "wins" on the large size, dpml on the small one.
+bench::Json fake_bench_report(int ranks, int sockets,
+                              const copy::CacheConfig& cache) {
+  bench::Json doc = bench::Json::object();
+  doc.set("schema", "yhccl-bench/1");
+  bench::Json machine = bench::Json::object();
+  machine.set("llc_bytes", cache.llc_bytes);
+  machine.set("l2_per_core", cache.l2_per_core);
+  machine.set("llc_inclusive", cache.llc_inclusive);
+  doc.set("machine", machine);
+  bench::Json series = bench::Json::array();
+  const auto cell = [&](const char* alg, std::size_t bytes, double median) {
+    bench::Json s = bench::Json::object();
+    s.set("bench", "fake");
+    s.set("collective", "allreduce");
+    s.set("algorithm", alg);
+    s.set("ranks", ranks);
+    s.set("sockets", sockets);
+    s.set("bytes", bytes);
+    bench::Json t = bench::Json::object();
+    t.set("median_s", median);
+    s.set("time", t);
+    series.push_back(s);
+  };
+  cell("flat-MA", 4u << 20, 1e-3);    // beats the socket-aware prior
+  cell("socket-MA", 4u << 20, 2e-3);
+  cell("dpml-2l", 4u << 10, 1e-5);
+  cell("flat-MA", 4u << 10, 9e-5);
+  cell("mpi-baseline", 4u << 20, 1e-9);  // unknown arm: must be skipped
+  doc.set("series", series);
+  return doc;
+}
+
+}  // namespace
+
+TEST(PlanPersistence, WarmFromBenchThenLoadOverridesThePrior) {
+  const int p = 8, m = 2;
+  rt::ThreadTeam team(tuned_cfg(p, m, rt::TuneMode::prior));
+  const auto plans =
+      plan::warm_from_bench(fake_bench_report(p, m, team.config().cache));
+  plan::validate_plan_json(plans);
+  ASSERT_EQ(plans["plans"].size(), 2u);
+
+  ASSERT_EQ(plan::load_plans(team, plans), 2);
+  // 4 MB allreduce: prior says socket-MA, the bench data says flat MA.
+  const auto tuned = plan::query(team, CollKind::allreduce, 4u << 20,
+                                 Datatype::f64, ReduceOp::sum);
+  EXPECT_EQ(tuned.algorithm, Algorithm::ma_flat);
+  EXPECT_EQ(tuned.source, plan::PlanSource::bench);
+  // 4 KB allreduce: bench agrees with the prior (dpml).
+  EXPECT_EQ(plan::query(team, CollKind::allreduce, 4u << 10, Datatype::f64,
+                        ReduceOp::sum)
+                .algorithm,
+            Algorithm::dpml_two_level);
+  // Unrelated keys still serve the prior.
+  EXPECT_EQ(plan::query(team, CollKind::reduce, 4u << 20, Datatype::f64,
+                        ReduceOp::sum)
+                .source,
+            plan::PlanSource::prior);
+
+  // The tuned decision is what actually runs.
+  auto* words =
+      reinterpret_cast<std::uint64_t*>(team.shared_alloc(sizeof(std::uint64_t) * p));
+  team.run([&](rt::RankCtx& ctx) {
+    const std::size_t count = (4u << 20) / sizeof(double);
+    std::vector<double> a(count), b(count);
+    test::fill_buffer(a.data(), count, Datatype::f64, ctx.rank(),
+                      ReduceOp::sum);
+    coll::allreduce(ctx, a.data(), b.data(), count, Datatype::f64,
+                    ReduceOp::sum);
+    words[ctx.rank()] = plan::last_plan_word();
+  });
+  EXPECT_EQ(plan::Plan::unpack(words[0]).algorithm, Algorithm::ma_flat);
+}
+
+TEST(PlanPersistence, SaveLoadSaveIsAFixpointWithIdenticalDecisions) {
+  const int p = 8, m = 2;
+  rt::ThreadTeam a(tuned_cfg(p, m, rt::TuneMode::prior));
+  const auto warmed =
+      plan::warm_from_bench(fake_bench_report(p, m, a.config().cache));
+  ASSERT_GT(plan::load_plans(a, warmed), 0);
+  const auto saved = plan::save_plans(a);
+  plan::validate_plan_json(saved);
+
+  rt::ThreadTeam b(tuned_cfg(p, m, rt::TuneMode::prior));
+  ASSERT_EQ(plan::load_plans(b, saved),
+            static_cast<int>(saved["plans"].size()));
+  const auto saved2 = plan::save_plans(b);
+  EXPECT_EQ(saved.dump(2), saved2.dump(2));
+
+  for (const std::size_t bytes : {4u << 10, 64u << 10, 1u << 20, 4u << 20}) {
+    const auto pa = plan::query(a, CollKind::allreduce, bytes, Datatype::f64,
+                                ReduceOp::sum);
+    const auto pb = plan::query(b, CollKind::allreduce, bytes, Datatype::f64,
+                                ReduceOp::sum);
+    EXPECT_EQ(pa.pack(), pb.pack()) << "bytes=" << bytes;
+  }
+
+  // Plans from a different shape or machine never load.
+  rt::ThreadTeam other(tuned_cfg(4, 1, rt::TuneMode::prior));
+  EXPECT_EQ(plan::load_plans(other, saved), 0);
+}
+
+TEST(PlanPersistence, PlanFileEnvWarmsTheRegistryOnFirstUse) {
+  const int p = 8, m = 2;
+  const std::string path = ::testing::TempDir() + "yhccl_plans_test.json";
+  {
+    rt::ThreadTeam staging(tuned_cfg(p, m, rt::TuneMode::prior));
+    const auto warmed = plan::warm_from_bench(
+        fake_bench_report(p, m, staging.config().cache));
+    ASSERT_GT(plan::load_plans(staging, warmed), 0);
+    plan::save_plans_file(staging, path);
+  }
+  EnvGuard g("YHCCL_PLAN_FILE", path.c_str());
+  rt::ThreadTeam team(tuned_cfg(p, m, rt::TuneMode::prior));
+  auto* words =
+      reinterpret_cast<std::uint64_t*>(team.shared_alloc(sizeof(std::uint64_t) * p));
+  run_logged_allreduce(team, 1, (4u << 20) / sizeof(double), words);
+  EXPECT_EQ(plan::Plan::unpack(words[0]).algorithm, Algorithm::ma_flat);
+  EXPECT_EQ(plan::Plan::unpack(words[0]).source, plan::PlanSource::bench);
+  EXPECT_GT(plan::tune_stats(team).loaded, 0u);
+
+  // A missing file warns but serves the prior; a malformed one throws.
+  EnvGuard g2("YHCCL_PLAN_FILE", "/nonexistent/plans.json");
+  rt::ThreadTeam cold(tuned_cfg(p, m, rt::TuneMode::prior));
+  plan::warm_now(cold);
+  EXPECT_EQ(plan::tune_stats(cold).loaded, 0u);
+  const auto bad = bench::Json::parse("{\"schema\": \"nope\"}");
+  EXPECT_THROW(plan::validate_plan_json(bad), Error);
+}
+
+// ---- profiler feedback -------------------------------------------------------
+
+TEST(PlanFeedback, ProfilerWaitFractionBiasesTheRegistry) {
+  rt::ThreadTeam team(tuned_cfg(4, 2, rt::TuneMode::online));
+  coll::CollProfiler prof;
+  prof.add(CollKind::allreduce, 1024, 1.0, copy::Dav{}, {}, {},
+           /*wait_seconds=*/0.9);
+  plan::note_profile(team, prof);
+  EXPECT_NEAR(team.plan_registry()->class_wait(
+                  static_cast<int>(CollKind::allreduce)),
+              0.9, 1e-12);
+  EXPECT_EQ(team.plan_registry()->class_wait(
+                static_cast<int>(CollKind::broadcast)),
+            0.0);
+}
+
+// ---- the warm path allocates nothing -----------------------------------------
+
+TEST(PlanHotPath, WarmRepeatCallDoesNotAllocate) {
+  EnvGuard g("YHCCL_TUNE_EPS", "0");
+  rt::ThreadTeam team(tuned_cfg(4, 2, rt::TuneMode::online));
+  const std::size_t count = 16384;
+  auto* in = reinterpret_cast<double*>(
+      team.shared_alloc(sizeof(double) * count * 4));
+  auto* out = reinterpret_cast<double*>(
+      team.shared_alloc(sizeof(double) * count * 4));
+  auto* delta = reinterpret_cast<std::uint64_t*>(
+      team.shared_alloc(sizeof(std::uint64_t)));
+  team.run([&](rt::RankCtx& ctx) {
+    double* my_in = in + count * ctx.rank();
+    double* my_out = out + count * ctx.rank();
+    test::fill_buffer(my_in, count, Datatype::f64, ctx.rank(),
+                      ReduceOp::sum);
+    // Warm the slot (plus the registry's file handshake) first.
+    for (int c = 0; c < 2; ++c)
+      coll::allreduce(ctx, my_in, my_out, count, Datatype::f64,
+                      ReduceOp::sum);
+    ctx.barrier();
+    const std::uint64_t before = g_allocs.load();
+    for (int c = 0; c < 8; ++c)
+      coll::allreduce(ctx, my_in, my_out, count, Datatype::f64,
+                      ReduceOp::sum);
+    ctx.barrier();
+    if (ctx.rank() == 0) *delta = g_allocs.load() - before;
+  });
+  EXPECT_EQ(*delta, 0u) << "warm-path collective calls allocated";
+}
+
+// ---- recovery ----------------------------------------------------------------
+
+TEST(PlanRecovery, RegistrySurvivesRecoverAndReKeysTheTopology) {
+  EnvGuard g("YHCCL_TUNE_EPS", "0");
+  rt::ThreadTeam team(tuned_cfg(4, 2, rt::TuneMode::online));
+  auto* words = reinterpret_cast<std::uint64_t*>(
+      team.shared_alloc(sizeof(std::uint64_t) * 4));
+  run_logged_allreduce(team, 2, 4096, words);
+  const auto before = plan::tune_stats(team);
+  EXPECT_EQ(before.entries, 1u);
+  team.recover();
+  // Same membership after a thread-team recovery: the signature and the
+  // cached entry both survive, so the next call is a hit.
+  run_logged_allreduce(team, 1, 4096, words);
+  const auto after = plan::tune_stats(team);
+  EXPECT_EQ(after.entries, 1u);
+  EXPECT_EQ(after.hits, before.hits + 1);
+}
