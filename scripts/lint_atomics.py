@@ -1,0 +1,234 @@
+#!/usr/bin/env python3
+"""Reject raw atomics in the model-checked layers (docs/analysis.md §MC).
+
+Every synchronization primitive in src/runtime and src/trace must be
+declared as yhccl::mc::atomic<T> (and fences issued via YHCCL_MC_FENCE /
+mc::fence) so that -DYHCCL_MC=ON builds can interpose the model checker.
+A raw std::atomic, a <atomic>/<stdatomic.h> include, or a GCC
+__atomic_*/__sync_* builtin in those trees silently escapes verification,
+so this lint fails the build on any of them.
+
+When the libclang Python bindings are available the scanner lexes each
+file with clang and inspects real tokens (comments and string literals
+can never trip it); otherwise it falls back to a self-contained scanner
+that strips comments/literals textually.  Both paths apply the same
+rules, so the fallback keeps CI and bare containers honest.
+
+Suppress a single deliberate use with a trailing `// lint-atomics: allow`.
+
+Usage: scripts/lint_atomics.py [--root REPO] [DIR ...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+SCAN_DIRS = ["src/runtime", "src/trace"]
+EXTENSIONS = {".cpp", ".hpp", ".h", ".cc", ".cxx"}
+ALLOW_MARK = "lint-atomics: allow"
+
+RULES = [
+    (
+        re.compile(r"\bstd\s*::\s*atomic\b"),
+        "raw std::atomic (declare it as yhccl::mc::atomic<T>)",
+    ),
+    (
+        re.compile(r"\bstd\s*::\s*atomic_\w+"),
+        "raw std:: atomic free function (use mc::fence / YHCCL_MC_FENCE)",
+    ),
+    (
+        re.compile(r"\batomic_thread_fence\b|\batomic_signal_fence\b"),
+        "raw atomic fence (use mc::fence / YHCCL_MC_FENCE)",
+    ),
+    (
+        re.compile(r"\b__atomic_\w+"),
+        "GCC __atomic_* builtin bypasses the model checker",
+    ),
+    (
+        re.compile(r"\b__sync_\w+"),
+        "legacy __sync_* builtin bypasses the model checker",
+    ),
+    (
+        re.compile(r'#\s*include\s*[<"](atomic|stdatomic\.h)[>"]'),
+        "include yhccl/mc/atomic.hpp instead of the raw atomics header",
+    ),
+]
+
+
+def strip_comments_and_literals(text: str) -> str:
+    """Blank out comments and string/char literals, preserving newlines so
+    line numbers survive.  Handles // and /* */, escapes inside literals,
+    and leaves the `lint-atomics: allow` marker detectable per line (the
+    caller re-checks the raw line for it)."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        else:  # string or char literal
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if (state == "string" and c == '"') or (
+                state == "char" and c == "'"
+            ):
+                state = "code"
+                out.append(" ")
+            else:
+                out.append("\n" if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+def strip_with_libclang(path: pathlib.Path) -> str | None:
+    """Rebuild the file's code text from clang's token stream (no comments,
+    literal payloads blanked).  Returns None when libclang is unusable."""
+    try:
+        from clang import cindex  # type: ignore
+    except Exception:
+        return None
+    try:
+        tu = cindex.Index.create().parse(
+            str(path),
+            args=["-x", "c++", "-std=c++20", "-fsyntax-only", "-w"],
+            options=cindex.TranslationUnit.PARSE_DETAILED_PROCESSING_RECORD,
+        )
+    except Exception:
+        return None
+    text = path.read_text(encoding="utf-8", errors="replace")
+    lines = [" " * len(l) for l in text.split("\n")]
+    for tok in tu.get_tokens(extent=tu.cursor.extent):
+        if tok.kind.name in ("COMMENT", "LITERAL"):
+            continue
+        loc = tok.location
+        if loc.file is None or loc.file.name != str(path):
+            continue
+        row = loc.line - 1
+        col = loc.column - 1
+        spelling = tok.spelling
+        if row >= len(lines):
+            continue
+        line = lines[row]
+        lines[row] = line[:col] + spelling + line[col + len(spelling):]
+    return "\n".join(lines)
+
+
+def scan_file(path: pathlib.Path, use_libclang: bool) -> list[str]:
+    raw_lines = path.read_text(encoding="utf-8", errors="replace").split("\n")
+    code = strip_with_libclang(path) if use_libclang else None
+    if code is None:
+        code = strip_comments_and_literals(
+            "\n".join(raw_lines)
+        )
+    findings = []
+    for lineno, line in enumerate(code.split("\n"), start=1):
+        raw = raw_lines[lineno - 1] if lineno - 1 < len(raw_lines) else ""
+        if ALLOW_MARK in raw:
+            continue
+        for pattern, why in RULES:
+            if pattern.search(line):
+                findings.append(f"{path}:{lineno}: {why}")
+                break
+    return findings
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    ap.add_argument(
+        "--root",
+        type=pathlib.Path,
+        default=pathlib.Path(__file__).resolve().parent.parent,
+        help="repository root (default: the script's parent repo)",
+    )
+    ap.add_argument(
+        "--no-libclang",
+        action="store_true",
+        help="force the self-contained scanner",
+    )
+    ap.add_argument(
+        "dirs",
+        nargs="*",
+        default=SCAN_DIRS,
+        help=f"directories to scan, relative to --root (default: {SCAN_DIRS})",
+    )
+    args = ap.parse_args()
+
+    use_libclang = not args.no_libclang
+    try:
+        from clang import cindex  # noqa: F401
+    except Exception:
+        use_libclang = False
+
+    files = []
+    for d in args.dirs:
+        base = args.root / d
+        if not base.is_dir():
+            print(f"lint_atomics: missing directory {base}", file=sys.stderr)
+            return 2
+        files += sorted(
+            p for p in base.rglob("*") if p.suffix in EXTENSIONS
+        )
+
+    findings = []
+    for f in files:
+        findings += scan_file(f, use_libclang)
+
+    mode = "libclang" if use_libclang else "textual"
+    if findings:
+        for f in findings:
+            print(f)
+        print(
+            f"lint_atomics: {len(findings)} raw atomic use(s) in the "
+            f"model-checked layers ({mode} scan of {len(files)} files)",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"lint_atomics: OK ({mode} scan, {len(files)} files, "
+        f"{len(RULES)} rules)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,6 +36,8 @@
 #include <cstdint>
 #include <string>
 
+#include "yhccl/mc/atomic.hpp"
+
 namespace yhccl::analysis {
 
 class HbChecker;
@@ -201,11 +203,25 @@ inline void hb_acq_rel(const void* obj) noexcept {
 }
 
 inline void hb_read(const void* p, std::size_t n, const char* site) noexcept {
+#ifdef YHCCL_MC
+  // Under a model-checking session the same instrumentation feeds the
+  // checker's exact (vector-clock-per-interleaving) race detector instead.
+  if (mc::session_active()) {
+    mc::detail::sess_data(p, n, /*write=*/false, site);
+    return;
+  }
+#endif
   auto& t = detail::tl_hb;
   if (t.chk != nullptr) t.chk->on_access(t.rank, p, n, /*is_write=*/false, site);
 }
 
 inline void hb_write(const void* p, std::size_t n, const char* site) noexcept {
+#ifdef YHCCL_MC
+  if (mc::session_active()) {
+    mc::detail::sess_data(p, n, /*write=*/true, site);
+    return;
+  }
+#endif
   auto& t = detail::tl_hb;
   if (t.chk != nullptr) t.chk->on_access(t.rank, p, n, /*is_write=*/true, site);
 }

@@ -1,0 +1,103 @@
+// Stateless model checker for the sync layer (docs/analysis.md §MC).
+//
+// mc::explore() runs a small protocol Spec — 2..4 model ranks as ucontext
+// fibers on one OS thread — and exhaustively enumerates
+//
+//   * scheduling choices: which rank performs its next pending atomic op,
+//     pruned with dynamic partial-order reduction + sleep sets, and
+//   * reads-from choices: which modification-order predecessor each atomic
+//     load observes, among the candidates the C++ memory model permits for
+//     the relaxed/acquire/release orders the code actually uses.
+//
+// Violations (harness mc::require failures, plain-memory data races,
+// deadlocks / lost wakeups, uncaught exceptions) carry a replayable
+// schedule string; mc::replay() re-executes one schedule deterministically,
+// optionally with the flight recorder attached (see
+// src/analysis/mc/protocols.cpp::counterexample_flight).
+//
+// Only meaningful in -DYHCCL_MC=ON builds; the header is empty otherwise.
+#pragma once
+
+#ifdef YHCCL_MC
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "yhccl/mc/atomic.hpp"
+
+namespace yhccl::mc {
+
+struct Options {
+  long max_execs = 200000;     ///< executions before giving up (incomplete)
+  long max_steps = 20000;      ///< per-execution step cap (runaway guard)
+  double max_seconds = 30.0;   ///< wall-clock exploration budget
+  WeakPoint mutation = WeakPoint::none;  ///< seeded weakening to apply
+  bool stop_at_first = true;   ///< stop exploring at the first violation
+
+  /// CI knobs: $YHCCL_MC_MAX_EXECS, $YHCCL_MC_BUDGET (seconds).
+  static Options from_env();
+};
+
+struct Violation {
+  std::string kind;      ///< "assert" | "race" | "deadlock" | "exception"
+  std::string message;
+  std::string schedule;  ///< replayable: pass to mc::replay()
+};
+
+struct Result {
+  bool complete = false;  ///< state space exhausted within budget
+  long execs = 0;         ///< executions explored
+  long steps = 0;         ///< total scheduling steps
+  long truncated = 0;     ///< executions cut off by max_steps
+  double seconds = 0.0;
+  std::vector<Violation> violations;
+
+  bool clean() const noexcept { return complete && violations.empty(); }
+  bool caught() const noexcept { return !violations.empty(); }
+};
+
+/// A checkable protocol instance.  reset() reinitialises the shared state
+/// (runs outside the session: plain execution), body(rank) is the per-rank
+/// protocol, check_final() runs after every rank finished.  Bodies use the
+/// production sync primitives directly; assertions use mc::require.
+struct Spec {
+  int nthreads = 2;
+  std::function<void()> reset;
+  std::function<void(int)> body;
+  std::function<void()> check_final;
+};
+
+/// Replay environment: exempts an address range from interception (the
+/// flight-recorder ring lives there) and observes fiber switches (tid, or
+/// -1 when control returns to the scheduler) so the caller can swap
+/// thread-local trace contexts per model rank.
+struct ReplayEnv {
+  const void* passthrough = nullptr;
+  std::size_t passthrough_bytes = 0;
+  std::function<void(int)> on_resume;
+};
+
+/// Exhaustive DPOR + sleep-set + reads-from exploration.
+Result explore(const Spec& spec, const Options& opt = {});
+
+/// Deterministically re-execute one schedule string.
+Result replay(const Spec& spec, const std::string& schedule,
+              const Options& opt = {}, const ReplayEnv* env = nullptr);
+
+/// Harness assertion: records a violation with the current schedule and
+/// aborts the executing fiber.  Usable from Spec bodies and check_final.
+void require(bool ok, const char* msg);
+
+/// Cooperative yield for harness-level spin loops (rt::SpinGuard already
+/// yields via its model-checker early-out; this is for bare loops).
+void spin_pause();
+
+/// Pretty names for addresses in violation messages ("sense", "tail", ...).
+void set_label(const void* addr, std::size_t bytes, std::string name);
+void clear_labels();
+
+}  // namespace yhccl::mc
+
+#endif  // YHCCL_MC

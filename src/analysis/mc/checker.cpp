@@ -1,0 +1,942 @@
+// The model-checking engine behind yhccl::mc (see checker.hpp and
+// docs/analysis.md §MC for the user-facing story).
+//
+// Execution model
+// ---------------
+// Each model rank is a ucontext fiber on one OS thread.  A fiber runs real
+// runtime code until it reaches a *gate*: an intercepted mc::atomic
+// load/store/RMW/CAS, or a SpinGuard yield.  At a gate it parks its pending
+// operation and swaps to the scheduler, which picks the next (thread,
+// reads-from) choice, applies the operation's semantic effect against the
+// explored history, and resumes the fiber with the result.
+//
+// Memory model (the subset the runtime uses)
+// ------------------------------------------
+// Per-location modification order == execution order of its stores; a load
+// may read any store not yet overwritten by something happens-before it
+// (write-read coherence) and no older than what its thread already read
+// (read-read coherence).  Happens-before is tracked with vector clocks:
+// release stores publish the writer's clock, acquire loads join it; relaxed
+// stores publish the clock of the writer's last release fence; relaxed
+// loads bank the message for a later acquire fence; RMWs always read the
+// newest store and extend its release sequence (msg chaining).  seq_cst is
+// modeled as acq_rel — the protocols never rely on the single total order.
+// A failed CAS reads the newest store.  Spurious CAS failures are not
+// modeled.
+//
+// Spin loops
+// ----------
+// SpinGuard::relax() yields to the scheduler in MC builds.  A parked
+// spinner watches the locations it loaded since its previous yield and is
+// runnable only when one of them has a store it has not read yet; when
+// re-run it must read something newer (bounded fairness — models that a
+// real spin loop eventually observes every store).  A spinner whose watch
+// set can never advance while all peers are done is reported as a deadlock
+// (lost wakeup).
+//
+// Plain-memory race detection rides on the analysis::hb_read/hb_write
+// instrumentation already present in the copy/reduce kernels and sync
+// paths: overlapping accesses from different ranks, at least one write,
+// not ordered by the model's happens-before, are a violation.
+#ifdef YHCCL_MC
+
+#include "yhccl/mc/checker.hpp"
+
+#include <ucontext.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace yhccl::mc {
+
+namespace {
+
+constexpr int kMaxT = 4;
+constexpr std::size_t kStackBytes = 256 * 1024;
+
+// Thrown by mc::require to unwind the violating fiber; the violation is
+// recorded before the throw.
+struct McAbort : std::exception {
+  const char* what() const noexcept override { return "mc violation"; }
+};
+
+inline bool is_acq(std::memory_order o) noexcept {
+  return o == std::memory_order_acquire || o == std::memory_order_consume ||
+         o == std::memory_order_acq_rel || o == std::memory_order_seq_cst;
+}
+inline bool is_rel(std::memory_order o) noexcept {
+  return o == std::memory_order_release || o == std::memory_order_acq_rel ||
+         o == std::memory_order_seq_cst;
+}
+inline std::uint64_t mask_width(std::uint64_t v, unsigned size) noexcept {
+  return size >= 8 ? v : (v & ((std::uint64_t{1} << (8 * size)) - 1));
+}
+
+struct VC {
+  std::uint32_t c[kMaxT] = {0, 0, 0, 0};
+  void join(const VC& o) noexcept {
+    for (int i = 0; i < kMaxT; ++i)
+      if (o.c[i] > c[i]) c[i] = o.c[i];
+  }
+};
+
+struct StoreRec {
+  std::uint64_t bits = 0;
+  int tid = -1;               // -1: the location's initial value
+  std::uint32_t selfclk = 0;  // writer's own clock component at this store
+  VC msg;                     // what an acquire read of this store joins
+};
+
+struct Loc {
+  std::vector<StoreRec> hist;  // modification order; hist[0] = initial
+};
+
+enum class OpKind : std::uint8_t { load, store, rmw, cas, spin };
+
+struct Pending {
+  OpKind kind = OpKind::spin;
+  void* addr = nullptr;
+  std::uint64_t a = 0;    // store value / rmw delta / cas expected
+  std::uint64_t b = 0;    // cas desired
+  std::uint64_t cur = 0;  // underlying bits at the gate (initial capture)
+  unsigned size = 8;
+  std::memory_order mo = std::memory_order_seq_cst;
+  std::memory_order mo2 = std::memory_order_seq_cst;  // cas failure order
+};
+
+struct Access {  // plain-memory access, for race detection
+  std::uintptr_t lo = 0, hi = 0;
+  int tid = 0;
+  bool write = false;
+  const char* site = nullptr;
+  std::uint32_t selfclk = 0;
+};
+
+// One node of the DFS spine.  The spine persists across executions: the
+// prefix up to the last changed choice is replayed, everything deeper is
+// re-discovered.
+struct StepRec {
+  int tid = 0;
+  int rf = 0;       // reads-from choice: index among candidates, 0 = oldest
+  int rf_next = 1;  // next rf alternative to try at this node
+  int ncand = 1;    // candidate count (loads; recomputed each execution)
+  OpKind kind = OpKind::spin;
+  bool writeish = false;
+  void* addr = nullptr;
+  std::uint32_t selftc = 0;  // thread's trace-clock component at this step
+  unsigned enabled = 0;      // enabled threads at the pre-state
+  unsigned sleep = 0;        // sleep set at the pre-state
+  unsigned done = 0;         // thread choices fully explored here
+  unsigned backtrack = 0;    // DPOR-requested thread choices
+};
+
+struct ThreadSt {
+  ucontext_t ctx{};
+  std::unique_ptr<char[]> stack;
+  bool finished = false;
+  bool has_pending = false;
+  bool at_spin = false;
+  Pending pend;
+  std::uint64_t result = 0;
+  bool cas_ok = false;
+  VC vc;           // happens-before clock
+  VC fence_rel;    // clock at the last release fence
+  VC acq_pending;  // joined msgs of relaxed loads (consumed by acquire fence)
+  VC tvc;          // DPOR trace clock (dependence order)
+  std::map<void*, std::uint32_t> last_read;  // coherence floor per location
+  std::vector<void*> reads_window;  // locations loaded since last yield
+  std::vector<void*> watch;         // spin watch set (set when parking)
+  // Oldest store index loaded per location since the last yield: if any
+  // entry lags that location's latest store at park time, re-running the
+  // iteration can produce a different result with no new stores.
+  std::map<void*, std::uint32_t> window_min_read;
+  bool spin_retry = false;  // parked iteration can differ on re-run
+
+  void reset_run() {
+    finished = has_pending = at_spin = false;
+    spin_retry = false;
+    window_min_read.clear();
+    pend = Pending{};
+    result = 0;
+    cas_ok = false;
+    vc = fence_rel = acq_pending = tvc = VC{};
+    last_read.clear();
+    reads_window.clear();
+    watch.clear();
+  }
+};
+
+enum class ExecEnd { done, violated, sleep_pruned, truncated, invalid };
+
+struct Session {
+  const Spec* spec = nullptr;
+  Options opt;
+  const ReplayEnv* env = nullptr;
+  bool intercepting = false;
+  int cur_tid = -1;  // fiber currently running; -1 = scheduler
+  int nt = 2;
+  ucontext_t sched_ctx{};
+  ThreadSt th[kMaxT];
+  std::map<void*, Loc> locs;
+  struct LocTc {
+    VC all, w;
+  };
+  std::map<void*, LocTc> loctc;  // per-location DPOR trace clocks
+  std::vector<Access> accesses;
+  std::vector<StepRec> stack;  // DFS spine
+  std::size_t exec_len = 0;    // steps executed this run
+  unsigned cur_sleep = 0;
+  int spawn_tid = 0;  // tid handed to the next fiber entry (avoids
+                      // makecontext's int-vararg function-pointer cast)
+  bool violated = false;
+  long steps_this = 0;
+  Result res;
+};
+
+thread_local Session* g_sess = nullptr;
+
+// Address labels for readable violation messages.
+std::map<std::uintptr_t, std::pair<std::size_t, std::string>>& labels() {
+  static std::map<std::uintptr_t, std::pair<std::size_t, std::string>> m;
+  return m;
+}
+
+std::string label_for(const void* p) {
+  const auto a = reinterpret_cast<std::uintptr_t>(p);
+  auto& m = labels();
+  auto it = m.upper_bound(a);
+  if (it != m.begin()) {
+    --it;
+    if (a < it->first + it->second.first) {
+      const std::uintptr_t off = a - it->first;
+      if (off == 0) return it->second.second;
+      std::ostringstream os;
+      os << it->second.second << "+" << off;
+      return os.str();
+    }
+  }
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%p", p);
+  return buf;
+}
+
+std::string schedule_string(const Session& s) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < s.exec_len; ++i) {
+    const StepRec& e = s.stack[i];
+    if (i) os << '.';
+    os << 't' << e.tid;
+    if (e.kind == OpKind::load && (e.ncand > 1 || e.rf > 0))
+      os << ':' << e.rf;
+  }
+  return os.str();
+}
+
+void record_violation(Session* s, const char* kind, const std::string& msg) {
+  if (s->violated) return;  // first violation per execution
+  s->violated = true;
+  s->res.violations.push_back(Violation{kind, msg, schedule_string(*s)});
+}
+
+bool in_passthrough(const Session* s, const void* p) noexcept {
+  if (!s->env || !s->env->passthrough) return false;
+  const auto a = reinterpret_cast<std::uintptr_t>(p);
+  const auto lo = reinterpret_cast<std::uintptr_t>(s->env->passthrough);
+  return a >= lo && a < lo + s->env->passthrough_bytes;
+}
+
+void fiber_tramp() {
+  Session* s = g_sess;
+  const int tid = s->spawn_tid;
+  try {
+    s->spec->body(tid);
+  } catch (const McAbort&) {
+    // recorded by mc::require
+  } catch (const std::exception& e) {
+    record_violation(s, "exception", e.what());
+  } catch (...) {
+    record_violation(s, "exception", "unknown exception in model rank");
+  }
+  ThreadSt& t = s->th[tid];
+  t.finished = true;
+  t.has_pending = false;
+  t.at_spin = false;
+  // uc_link returns control to the scheduler.
+}
+
+void resume(Session* s, int tid) {
+  s->cur_tid = tid;
+  if (s->env && s->env->on_resume) s->env->on_resume(tid);
+  swapcontext(&s->sched_ctx, &s->th[tid].ctx);
+  s->cur_tid = -1;
+  if (s->env && s->env->on_resume) s->env->on_resume(-1);
+}
+
+Loc& get_loc(Session* s, const Pending& p) {
+  auto it = s->locs.find(p.addr);
+  if (it == s->locs.end()) {
+    Loc l;
+    StoreRec init;
+    init.bits = mask_width(p.cur, p.size);
+    l.hist.push_back(init);
+    it = s->locs.emplace(p.addr, std::move(l)).first;
+  }
+  return it->second;
+}
+
+bool spin_runnable(const Session* s, const ThreadSt& t) {
+  if (t.watch.empty()) return true;
+  // The parked iteration observed at least one non-latest store, so its
+  // coherence floors advanced: re-running it can produce a different result
+  // with no help from other threads (a seqlock reader whose recheck outran
+  // its header read retries against current values, not future stores).
+  if (t.spin_retry) return true;
+  for (void* a : t.watch) {
+    auto it = s->locs.find(a);
+    if (it == s->locs.end()) continue;
+    const auto latest = static_cast<std::uint32_t>(it->second.hist.size() - 1);
+    const auto lr = t.last_read.count(a) ? t.last_read.at(a) : 0u;
+    if (latest > lr) return true;
+  }
+  return false;
+}
+
+unsigned enabled_mask(const Session* s) {
+  unsigned m = 0;
+  for (int i = 0; i < s->nt; ++i) {
+    const ThreadSt& t = s->th[i];
+    if (t.finished) continue;
+    if (t.at_spin) {
+      if (spin_runnable(s, t)) m |= 1u << i;
+    } else if (t.has_pending) {
+      m |= 1u << i;
+    }
+  }
+  return m;
+}
+
+// DPOR: the freshly executed step conflicts with the most recent earlier
+// step on the same location from another thread; if that step is not
+// dependence-ordered before us, request its thread (or, if it is not
+// enabled there, every enabled thread) as an alternative at that node.
+void dpor_backtrack(Session* s, std::size_t k, int tid, void* addr,
+                    bool writeish, const VC& pre_tvc) {
+  if (addr == nullptr) return;
+  for (std::size_t j = k; j-- > 0;) {
+    StepRec& si = s->stack[j];
+    if (si.addr != addr || si.tid == tid) continue;
+    if (!(si.writeish || writeish)) continue;
+    if (si.selftc > pre_tvc.c[si.tid]) {
+      const unsigned b = 1u << tid;
+      if (si.enabled & b)
+        si.backtrack |= b;
+      else
+        si.backtrack |= si.enabled;
+    }
+    break;  // only the most recent conflicting step
+  }
+}
+
+// Apply the semantic effect of the chosen step against the history.
+void exec_step(Session* s, StepRec& e, std::size_t k) {
+  const int tid = e.tid;
+  ThreadSt& t = s->th[tid];
+  ++s->steps_this;
+
+  if (t.at_spin) {
+    e.kind = OpKind::spin;
+    e.addr = nullptr;
+    e.ncand = 1;
+    e.writeish = false;
+    t.at_spin = false;   // watch stays active until the next yield
+    t.spin_retry = false;  // the retry this flag justified is now running
+    return;
+  }
+
+  const Pending p = t.pend;
+  e.kind = p.kind;
+  e.addr = p.addr;
+  Loc& loc = get_loc(s, p);
+  const VC pre_tvc = t.tvc;
+
+  switch (p.kind) {
+    case OpKind::load: {
+      const auto latest = static_cast<std::uint32_t>(loc.hist.size() - 1);
+      // Write-read coherence floor: newest store already happens-before us.
+      std::uint32_t hbf = 0;
+      for (std::uint32_t m = latest; m > 0; --m) {
+        const StoreRec& sr = loc.hist[m];
+        if (sr.tid < 0 || sr.selfclk <= t.vc.c[sr.tid]) {
+          hbf = m;
+          break;
+        }
+      }
+      const std::uint32_t lr =
+          t.last_read.count(p.addr) ? t.last_read[p.addr] : 0u;
+      std::uint32_t floor = std::max(hbf, lr);
+      // Spin fairness: a watched location with unread stores must advance.
+      const bool watched =
+          std::find(t.watch.begin(), t.watch.end(), p.addr) != t.watch.end();
+      if (watched && latest > lr) floor = std::max(floor, lr + 1);
+      e.ncand = static_cast<int>(latest - floor + 1);
+      const std::uint32_t idx =
+          floor + static_cast<std::uint32_t>(
+                      std::min(e.rf, e.ncand - 1));
+      const StoreRec& sr = loc.hist[idx];
+      t.result = sr.bits;
+      t.last_read[p.addr] = std::max(lr, idx);
+      const auto [wit, fresh] = t.window_min_read.emplace(p.addr, idx);
+      if (!fresh) wit->second = std::min(wit->second, idx);
+      if (is_acq(p.mo))
+        t.vc.join(sr.msg);
+      else
+        t.acq_pending.join(sr.msg);
+      ++t.vc.c[tid];
+      e.writeish = false;
+      t.reads_window.push_back(p.addr);
+      t.tvc.join(s->loctc[p.addr].w);
+      break;
+    }
+    case OpKind::store: {
+      ++t.vc.c[tid];
+      StoreRec sr;
+      sr.bits = mask_width(p.a, p.size);
+      sr.tid = tid;
+      sr.selfclk = t.vc.c[tid];
+      sr.msg = is_rel(p.mo) ? t.vc : t.fence_rel;
+      loc.hist.push_back(sr);
+      e.writeish = true;
+      t.tvc.join(s->loctc[p.addr].all);
+      break;
+    }
+    case OpKind::rmw: {
+      const StoreRec prev = loc.hist.back();
+      t.result = prev.bits;
+      t.last_read[p.addr] = static_cast<std::uint32_t>(loc.hist.size() - 1);
+      if (is_acq(p.mo))
+        t.vc.join(prev.msg);
+      else
+        t.acq_pending.join(prev.msg);
+      ++t.vc.c[tid];
+      StoreRec sr;
+      sr.bits = mask_width(prev.bits + p.a, p.size);
+      sr.tid = tid;
+      sr.selfclk = t.vc.c[tid];
+      sr.msg = prev.msg;  // RMWs continue the release sequence
+      sr.msg.join(is_rel(p.mo) ? t.vc : t.fence_rel);
+      loc.hist.push_back(sr);
+      e.writeish = true;
+      t.reads_window.push_back(p.addr);
+      t.tvc.join(s->loctc[p.addr].all);
+      break;
+    }
+    case OpKind::cas: {
+      const StoreRec prev = loc.hist.back();
+      t.last_read[p.addr] = static_cast<std::uint32_t>(loc.hist.size() - 1);
+      t.result = prev.bits;
+      if (prev.bits == mask_width(p.a, p.size)) {
+        t.cas_ok = true;
+        if (is_acq(p.mo))
+          t.vc.join(prev.msg);
+        else
+          t.acq_pending.join(prev.msg);
+        ++t.vc.c[tid];
+        StoreRec sr;
+        sr.bits = mask_width(p.b, p.size);
+        sr.tid = tid;
+        sr.selfclk = t.vc.c[tid];
+        sr.msg = prev.msg;
+        sr.msg.join(is_rel(p.mo) ? t.vc : t.fence_rel);
+        loc.hist.push_back(sr);
+        e.writeish = true;
+        t.tvc.join(s->loctc[p.addr].all);
+      } else {
+        t.cas_ok = false;
+        if (is_acq(p.mo2))
+          t.vc.join(prev.msg);
+        else
+          t.acq_pending.join(prev.msg);
+        ++t.vc.c[tid];
+        e.writeish = false;
+        t.tvc.join(s->loctc[p.addr].w);
+      }
+      t.reads_window.push_back(p.addr);
+      break;
+    }
+    case OpKind::spin:
+      break;  // handled above
+  }
+
+  ++t.tvc.c[tid];
+  e.selftc = t.tvc.c[tid];
+  s->loctc[p.addr].all.join(t.tvc);
+  if (e.writeish) s->loctc[p.addr].w.join(t.tvc);
+  dpor_backtrack(s, k, tid, p.addr, e.writeish, pre_tvc);
+}
+
+// Sleep-set maintenance: a slept thread stays asleep across a step it is
+// independent of; a dependent step wakes it.
+unsigned filter_sleep(const Session* s, unsigned sleepers, const StepRec& e) {
+  if (e.addr == nullptr) return sleepers;  // spin grants touch nothing
+  unsigned keep = 0;
+  for (int q = 0; q < s->nt; ++q) {
+    if (!(sleepers & (1u << q))) continue;
+    const ThreadSt& t = s->th[q];
+    bool dep = false;
+    if (!t.finished) {
+      if (t.at_spin) {
+        dep = e.writeish &&
+              std::find(t.watch.begin(), t.watch.end(), e.addr) !=
+                  t.watch.end();
+      } else if (t.has_pending && t.pend.addr == e.addr) {
+        const bool qw = t.pend.kind == OpKind::store ||
+                        t.pend.kind == OpKind::rmw ||
+                        t.pend.kind == OpKind::cas;
+        dep = qw || e.writeish;
+      }
+    }
+    if (!dep) keep |= 1u << q;
+  }
+  return keep;
+}
+
+std::string describe_stuck(const Session* s) {
+  std::ostringstream os;
+  os << "deadlock:";
+  for (int i = 0; i < s->nt; ++i) {
+    const ThreadSt& t = s->th[i];
+    if (t.finished) continue;
+    os << " t" << i;
+    if (t.at_spin) {
+      os << " spinning on {";
+      for (std::size_t j = 0; j < t.watch.size(); ++j)
+        os << (j ? ", " : "") << label_for(t.watch[j]);
+      os << "}";
+    } else if (t.has_pending) {
+      os << " pending op on " << label_for(t.pend.addr);
+    } else {
+      os << " blocked";
+    }
+    os << ";";
+  }
+  return os.str();
+}
+
+ExecEnd run_execution(Session* s, std::size_t forced_n) {
+  s->locs.clear();
+  s->loctc.clear();
+  s->accesses.clear();
+  s->cur_sleep = 0;
+  s->exec_len = 0;
+  s->violated = false;
+  s->steps_this = 0;
+  for (int i = 0; i < s->nt; ++i) s->th[i].reset_run();
+
+  s->intercepting = false;
+  if (s->spec->reset) s->spec->reset();
+  s->intercepting = true;
+
+  // Create and prime the fibers: run each to its first gate so pending
+  // operations are known before the first scheduling choice.
+  for (int i = 0; i < s->nt; ++i) {
+    ThreadSt& t = s->th[i];
+    if (!t.stack) t.stack.reset(new char[kStackBytes]);
+    getcontext(&t.ctx);
+    t.ctx.uc_stack.ss_sp = t.stack.get();
+    t.ctx.uc_stack.ss_size = kStackBytes;
+    t.ctx.uc_link = &s->sched_ctx;
+    makecontext(&t.ctx, fiber_tramp, 0);
+    s->spawn_tid = i;
+    resume(s, i);
+    if (s->violated) {
+      s->intercepting = false;
+      return ExecEnd::violated;
+    }
+  }
+
+  std::size_t k = 0;
+  while (true) {
+    const unsigned en = enabled_mask(s);
+    if (en == 0) {
+      bool all_done = true;
+      for (int i = 0; i < s->nt; ++i) all_done &= s->th[i].finished;
+      if (all_done) break;
+      record_violation(s, "deadlock", describe_stuck(s));
+      s->intercepting = false;
+      return ExecEnd::violated;
+    }
+
+    int tid;
+    StepRec* e;
+    if (k < forced_n) {
+      e = &s->stack[k];
+      if (!(en & (1u << e->tid))) {
+        std::ostringstream os;
+        os << "schedule step " << k << " picks t" << e->tid
+           << " which is not runnable";
+        record_violation(s, "invalid-schedule", os.str());
+        s->intercepting = false;
+        return ExecEnd::invalid;
+      }
+      e->enabled = en;
+      tid = e->tid;
+      exec_step(s, *e, k);
+      s->cur_sleep =
+          filter_sleep(s, (e->sleep | e->done) & ~(1u << tid), *e);
+    } else {
+      const unsigned choice = en & ~s->cur_sleep;
+      if (choice == 0) {
+        s->intercepting = false;
+        return ExecEnd::sleep_pruned;
+      }
+      tid = __builtin_ctz(choice);
+      s->stack.push_back(StepRec{});
+      e = &s->stack.back();
+      e->tid = tid;
+      e->enabled = en;
+      e->sleep = s->cur_sleep;
+      exec_step(s, *e, k);
+      s->cur_sleep = filter_sleep(s, e->sleep & ~(1u << tid), *e);
+    }
+    ++k;
+    s->exec_len = k;  // set before resuming: violations cite this step
+    resume(s, tid);
+    if (s->violated) {
+      s->intercepting = false;
+      return ExecEnd::violated;
+    }
+    if (s->steps_this > s->opt.max_steps) {
+      s->intercepting = false;
+      return ExecEnd::truncated;
+    }
+  }
+
+  s->intercepting = false;
+  if (s->spec->check_final) {
+    try {
+      s->spec->check_final();
+    } catch (const McAbort&) {
+      return ExecEnd::violated;
+    } catch (const std::exception& ex) {
+      record_violation(s, "exception", ex.what());
+      return ExecEnd::violated;
+    }
+  }
+  return s->violated ? ExecEnd::violated : ExecEnd::done;
+}
+
+int clamp_threads(int n) { return n < 2 ? 2 : (n > kMaxT ? kMaxT : n); }
+
+}  // namespace
+
+Options Options::from_env() {
+  Options o;
+  if (const char* e = std::getenv("YHCCL_MC_MAX_EXECS")) {
+    const long v = std::atol(e);
+    if (v > 0) o.max_execs = v;
+  }
+  if (const char* e = std::getenv("YHCCL_MC_BUDGET")) {
+    const double v = std::atof(e);
+    if (v > 0) o.max_seconds = v;
+  }
+  return o;
+}
+
+Result explore(const Spec& spec, const Options& opt) {
+  Session s;
+  s.spec = &spec;
+  s.opt = opt;
+  s.nt = clamp_threads(spec.nthreads);
+  Session* prev = g_sess;
+  g_sess = &s;
+  const auto t0 = std::chrono::steady_clock::now();
+  auto elapsed = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+  };
+
+  bool exhausted = false;
+  while (true) {
+    const ExecEnd end = run_execution(&s, s.stack.size());
+    ++s.res.execs;
+    s.res.steps += s.steps_this;
+    if (end == ExecEnd::truncated) ++s.res.truncated;
+    if ((end == ExecEnd::violated || end == ExecEnd::invalid) &&
+        opt.stop_at_first)
+      break;
+
+    // Backtrack: deepest node with an untried (rf or thread) alternative.
+    bool more = false;
+    while (!s.stack.empty()) {
+      StepRec& e = s.stack.back();
+      if (e.kind == OpKind::load && e.rf_next < e.ncand) {
+        e.rf = e.rf_next++;
+        more = true;
+        break;
+      }
+      e.done |= 1u << e.tid;
+      const unsigned cand = e.backtrack & e.enabled & ~e.done & ~e.sleep;
+      if (cand) {
+        e.tid = __builtin_ctz(cand);
+        e.rf = 0;
+        e.rf_next = 1;
+        e.ncand = 1;
+        more = true;
+        break;
+      }
+      s.stack.pop_back();
+    }
+    if (!more) {
+      exhausted = true;
+      break;
+    }
+    if (s.res.execs >= opt.max_execs || elapsed() > opt.max_seconds) break;
+  }
+
+  s.res.complete = exhausted && s.res.truncated == 0;
+  s.res.seconds = elapsed();
+  g_sess = prev;
+  return s.res;
+}
+
+Result replay(const Spec& spec, const std::string& schedule,
+              const Options& opt, const ReplayEnv* env) {
+  Session s;
+  s.spec = &spec;
+  s.opt = opt;
+  s.nt = clamp_threads(spec.nthreads);
+  s.env = env;
+
+  // Parse "t0.t1:2.t0" (separators: '.', ',' or whitespace; 't' optional).
+  std::string tok;
+  std::vector<StepRec> forced;
+  auto flush = [&] {
+    if (tok.empty()) return;
+    const char* c = tok.c_str();
+    if (*c == 't' || *c == 'T') ++c;
+    StepRec e;
+    e.tid = std::atoi(c);
+    if (const char* colon = std::strchr(c, ':')) e.rf = std::atoi(colon + 1);
+    e.rf_next = e.rf + 1;
+    forced.push_back(e);
+    tok.clear();
+  };
+  for (const char ch : schedule) {
+    if (ch == '.' || ch == ',' || ch == ' ' || ch == '\n' || ch == '\t')
+      flush();
+    else
+      tok.push_back(ch);
+  }
+  flush();
+  s.stack = std::move(forced);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  Session* prev = g_sess;
+  g_sess = &s;
+  run_execution(&s, s.stack.size());
+  g_sess = prev;
+  s.res.execs = 1;
+  s.res.steps = s.steps_this;
+  s.res.complete = true;
+  s.res.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return s.res;
+}
+
+void require(bool ok, const char* msg) {
+  if (ok) return;
+  Session* s = g_sess;
+  if (!s) throw std::runtime_error(msg);
+  record_violation(s, "assert", msg);
+  throw McAbort{};
+}
+
+void spin_pause() {
+  if (g_sess && g_sess->intercepting && g_sess->cur_tid >= 0)
+    detail::sess_spin_yield();
+}
+
+void set_label(const void* addr, std::size_t bytes, std::string name) {
+  labels()[reinterpret_cast<std::uintptr_t>(addr)] = {bytes,
+                                                      std::move(name)};
+}
+
+void clear_labels() { labels().clear(); }
+
+namespace detail {
+
+bool session_active() noexcept {
+  const Session* s = g_sess;
+  return s != nullptr && s->intercepting && s->cur_tid >= 0;
+}
+
+namespace {
+
+// Park the calling fiber's operation and hand control to the scheduler;
+// returns once the scheduler has applied the operation.
+std::uint64_t gate(Session* s, const Pending& p) {
+  ThreadSt& t = s->th[s->cur_tid];
+  t.pend = p;
+  t.has_pending = true;
+  swapcontext(&t.ctx, &s->sched_ctx);
+  t.has_pending = false;
+  return t.result;
+}
+
+}  // namespace
+
+std::uint64_t sess_load(const void* addr, std::uint64_t cur, unsigned size,
+                        std::memory_order o) {
+  Session* s = g_sess;
+  if (in_passthrough(s, addr)) return cur;
+  Pending p;
+  p.kind = OpKind::load;
+  p.addr = const_cast<void*>(addr);
+  p.cur = cur;
+  p.size = size;
+  p.mo = o;
+  return gate(s, p);
+}
+
+void sess_store(void* addr, std::uint64_t cur, std::uint64_t val,
+                unsigned size, std::memory_order o) {
+  Session* s = g_sess;
+  if (in_passthrough(s, addr)) return;
+  Pending p;
+  p.kind = OpKind::store;
+  p.addr = addr;
+  p.a = val;
+  p.cur = cur;
+  p.size = size;
+  p.mo = o;
+  gate(s, p);
+}
+
+std::uint64_t sess_rmw_add(void* addr, std::uint64_t cur, std::uint64_t delta,
+                           unsigned size, std::memory_order o) {
+  Session* s = g_sess;
+  if (in_passthrough(s, addr)) return cur;
+  Pending p;
+  p.kind = OpKind::rmw;
+  p.addr = addr;
+  p.a = delta;
+  p.cur = cur;
+  p.size = size;
+  p.mo = o;
+  return gate(s, p);
+}
+
+bool sess_cas(void* addr, std::uint64_t cur, std::uint64_t* expected,
+              std::uint64_t desired, unsigned size, std::memory_order ok,
+              std::memory_order fail) {
+  Session* s = g_sess;
+  if (in_passthrough(s, addr)) {
+    if (cur == *expected) return true;
+    *expected = cur;
+    return false;
+  }
+  Pending p;
+  p.kind = OpKind::cas;
+  p.addr = addr;
+  p.a = *expected;
+  p.b = desired;
+  p.cur = cur;
+  p.size = size;
+  p.mo = ok;
+  p.mo2 = fail;
+  const std::uint64_t seen = gate(s, p);
+  if (s->th[s->cur_tid].cas_ok) return true;
+  *expected = seen;
+  return false;
+}
+
+void sess_fence(std::memory_order o) {
+  Session* s = g_sess;
+  ThreadSt& t = s->th[s->cur_tid];
+  // Fences only shuffle thread-local clocks — not a scheduling point.
+  if (is_rel(o)) t.fence_rel = t.vc;
+  if (is_acq(o)) t.vc.join(t.acq_pending);
+}
+
+void sess_spin_yield() {
+  Session* s = g_sess;
+  ThreadSt& t = s->th[s->cur_tid];
+  t.at_spin = true;
+  t.spin_retry = false;
+  for (const auto& [a, mi] : t.window_min_read) {
+    const auto it = s->locs.find(a);
+    if (it == s->locs.end()) continue;
+    if (static_cast<std::uint32_t>(it->second.hist.size() - 1) > mi) {
+      t.spin_retry = true;
+      break;
+    }
+  }
+  t.window_min_read.clear();
+  t.watch = std::move(t.reads_window);
+  t.reads_window.clear();
+  swapcontext(&t.ctx, &s->sched_ctx);
+}
+
+void sess_data(const void* p, std::size_t n, bool write,
+               const char* site) noexcept {
+  Session* s = g_sess;
+  if (!s || s->cur_tid < 0 || n == 0 || s->violated) return;
+  if (in_passthrough(s, p)) return;
+  const int tid = s->cur_tid;
+  ThreadSt& t = s->th[tid];
+  ++t.vc.c[tid];
+  const auto lo = reinterpret_cast<std::uintptr_t>(p);
+  const std::uintptr_t hi = lo + n;
+  for (const Access& a : s->accesses) {
+    if (a.tid == tid) continue;
+    if (!(write || a.write)) continue;
+    if (a.hi <= lo || hi <= a.lo) continue;
+    if (a.selfclk <= t.vc.c[a.tid]) continue;  // ordered before us
+    std::ostringstream os;
+    os << "data race on " << label_for(p) << ": "
+       << (a.write ? "write" : "read") << " at " << (a.site ? a.site : "?")
+       << " (t" << a.tid << ") vs " << (write ? "write" : "read") << " at "
+       << (site ? site : "?") << " (t" << tid << ")";
+    record_violation(s, "race", os.str());
+    return;
+  }
+  for (Access& a : s->accesses) {
+    if (a.tid == tid && a.lo == lo && a.hi == hi && a.write == write) {
+      a.selfclk = t.vc.c[tid];
+      a.site = site;
+      return;
+    }
+  }
+  Access a;
+  a.lo = lo;
+  a.hi = hi;
+  a.tid = tid;
+  a.write = write;
+  a.site = site;
+  a.selfclk = t.vc.c[tid];
+  s->accesses.push_back(a);
+}
+
+std::memory_order sess_order(WeakPoint p, std::memory_order o) noexcept {
+  const Session* s = g_sess;
+  if (s && s->opt.mutation == p) return std::memory_order_relaxed;
+  return o;
+}
+
+}  // namespace detail
+
+}  // namespace yhccl::mc
+
+#endif  // YHCCL_MC

@@ -1,0 +1,550 @@
+#ifdef YHCCL_MC
+
+#include "yhccl/mc/protocols.hpp"
+
+#include <unistd.h>
+
+#include <cstring>
+#include <memory>
+
+#include "yhccl/analysis/hb.hpp"
+#include "yhccl/common/error.hpp"
+#include "yhccl/runtime/channel.hpp"
+#include "yhccl/runtime/plan_registry.hpp"
+#include "yhccl/runtime/remote_access.hpp"
+#include "yhccl/runtime/sync.hpp"
+#include "yhccl/trace/export.hpp"
+#include "yhccl/trace/trace.hpp"
+
+namespace yhccl::mc {
+
+namespace {
+
+using yhccl::analysis::hb_read;
+using yhccl::analysis::hb_write;
+
+// ---------------------------------------------------------------------------
+// flags: step_publish / spin_wait_ge payload visibility
+// ---------------------------------------------------------------------------
+
+Spec flags_spec(int n) {
+  struct St {
+    rt::PaddedFlag flag;
+    mc::atomic<std::uint64_t> payload{0};
+  };
+  auto st = std::make_shared<St>();
+  Spec s;
+  s.nthreads = n;
+  s.reset = [st] {
+    st->flag.v.store(0, std::memory_order_relaxed);
+    st->payload.store(0, std::memory_order_relaxed);
+    set_label(&st->flag.v, sizeof st->flag.v, "step-flag");
+    set_label(&st->payload, sizeof st->payload, "payload");
+  };
+  s.body = [st](int r) {
+    if (r == 0) {
+      st->payload.store(42, std::memory_order_relaxed);
+      rt::flag_publish(st->flag, 1);
+    } else {
+      rt::spin_wait_ge(st->flag.v, 1);
+      require(st->payload.load(std::memory_order_relaxed) == 42,
+              "progress flag observed without its payload");
+    }
+  };
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// barrier / dissemination: two write-barrier-read-barrier episodes.  The
+// trailing barrier of each episode fences the reads from the next episode's
+// writes, so a correct barrier admits exactly one value per (episode, slot).
+// ---------------------------------------------------------------------------
+
+template <class St, class Arrive>
+void barrier_episodes(const std::shared_ptr<St>& st, int n, int r,
+                      Arrive&& arrive) {
+  // Two episodes with a trailing barrier catch cross-epoch leaks (a rank
+  // racing ahead into the next round).  That depth is exhaustively explored
+  // at 2 ranks; at >= 3 a single write-arrive-read round keeps the state
+  // space within the CI budget while still covering the n-rank release.
+  const std::uint64_t episodes = n == 2 ? 2 : 1;
+  for (std::uint64_t e = 0; e < episodes; ++e) {
+    st->slot[r].store(100 * e + 10 + static_cast<std::uint64_t>(r),
+                      std::memory_order_relaxed);
+    arrive();
+    for (int q = 0; q < n; ++q)
+      require(st->slot[q].load(std::memory_order_relaxed) ==
+                  100 * e + 10 + static_cast<std::uint64_t>(q),
+              "barrier admitted a stale or early episode value");
+    if (n == 2) arrive();
+  }
+}
+
+Spec barrier_spec(int n) {
+  struct St {
+    rt::BarrierState bar;
+    std::uint32_t sense[4];
+    mc::atomic<std::uint64_t> slot[4];
+  };
+  auto st = std::make_shared<St>();
+  Spec s;
+  s.nthreads = n;
+  s.reset = [st, n] {
+    rt::barrier_init(st->bar, static_cast<std::uint32_t>(n));
+    for (int r = 0; r < 4; ++r) {
+      st->sense[r] = 0;
+      st->slot[r].store(0, std::memory_order_relaxed);
+    }
+    set_label(&st->bar.arrived, sizeof st->bar.arrived, "arrived");
+    set_label(&st->bar.sense, sizeof st->bar.sense, "sense");
+    set_label(st->slot, sizeof st->slot, "episode-slot");
+  };
+  s.body = [st, n](int r) {
+    barrier_episodes(st, n, r,
+                     [&] { rt::barrier_arrive(st->bar, st->sense[r]); });
+  };
+  return s;
+}
+
+Spec dissemination_spec(int n) {
+  struct St {
+    rt::DisseminationBarrierState bar;
+    rt::DisseminationToken tok[4];
+    mc::atomic<std::uint64_t> slot[4];
+  };
+  auto st = std::make_shared<St>();
+  Spec s;
+  s.nthreads = n;
+  s.reset = [st, n] {
+    rt::dissemination_init(st->bar, static_cast<std::uint32_t>(n));
+    // Only the flags the n-rank instance can touch need clearing.
+    for (int round = 0; round < rt::DisseminationBarrierState::kMaxRounds;
+         ++round)
+      for (int r = 0; r < n; ++r)
+        st->bar.flags[round][r].v.store(0, std::memory_order_relaxed);
+    for (int r = 0; r < 4; ++r) {
+      st->tok[r] = rt::DisseminationToken{};
+      st->slot[r].store(0, std::memory_order_relaxed);
+    }
+    set_label(st->slot, sizeof st->slot, "episode-slot");
+  };
+  s.body = [st, n](int r) {
+    barrier_episodes(st, n, r,
+                     [&] { rt::dissemination_arrive(st->bar, r, st->tok[r]); });
+  };
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// fifo: eager FIFO payload/meta publication and slot reuse.  Three messages
+// over kSlots == 2 make the third push reuse slot 0, exercising the
+// head-release (consumer-frees-slot) edge; 3 ranks relay through a second
+// channel so the middle rank runs both protocol roles.
+// ---------------------------------------------------------------------------
+
+constexpr std::size_t kFifoChunk = 8;
+
+struct FifoSt {
+  rt::FifoChannel ch01, ch12;
+  alignas(8) std::byte data01[rt::FifoChannel::kSlots * kFifoChunk];
+  alignas(8) std::byte data12[rt::FifoChannel::kSlots * kFifoChunk];
+  std::uint64_t vals[3];
+};
+
+void fifo_reset_channel(rt::FifoChannel& ch) {
+  ch.head.store(0, std::memory_order_relaxed);
+  ch.tail.store(0, std::memory_order_relaxed);
+  ch.rndv_posted.store(0, std::memory_order_relaxed);
+  ch.rndv_done.store(0, std::memory_order_relaxed);
+  for (auto& m : ch.meta) m = {};
+  ch.rndv_ptr = nullptr;
+  ch.rndv_bytes = 0;
+  ch.rndv_pid = 0;
+}
+
+Spec fifo_spec(int n) {
+  auto st = std::make_shared<FifoSt>();
+  Spec s;
+  s.nthreads = n;
+  const int nmsg = n == 2 ? 3 : 2;  // 3 ranks relay: keep the space bounded
+  s.reset = [st] {
+    fifo_reset_channel(st->ch01);
+    fifo_reset_channel(st->ch12);
+    std::memset(st->data01, 0, sizeof st->data01);
+    std::memset(st->data12, 0, sizeof st->data12);
+    st->vals[0] = 0xA1;
+    st->vals[1] = 0xA2;
+    st->vals[2] = 0xA3;
+    set_label(&st->ch01.head, sizeof st->ch01.head, "fifo01.head");
+    set_label(&st->ch01.tail, sizeof st->ch01.tail, "fifo01.tail");
+    set_label(&st->ch12.head, sizeof st->ch12.head, "fifo12.head");
+    set_label(&st->ch12.tail, sizeof st->ch12.tail, "fifo12.tail");
+  };
+  s.body = [st, n, nmsg](int r) {
+    constexpr int kTag = 7;
+    if (r == 0) {
+      for (int i = 0; i < nmsg; ++i)
+        rt::fifo_push_chunk(st->ch01, st->data01, kFifoChunk, &st->vals[i],
+                            sizeof(std::uint64_t), kTag);
+      return;
+    }
+    const bool last = r == n - 1;
+    auto& ch = r == 1 ? st->ch01 : st->ch12;
+    auto* data = r == 1 ? st->data01 : st->data12;
+    for (int i = 0; i < nmsg; ++i) {
+      std::uint64_t v = 0;
+      const std::size_t len =
+          rt::fifo_pop_chunk(ch, data, kFifoChunk, &v, sizeof v, kTag);
+      require(len == sizeof v, "fifo chunk length corrupted");
+      if (last)
+        require(v == st->vals[i], "fifo delivered a stale or torn payload");
+      else
+        rt::fifo_push_chunk(st->ch12, st->data12, kFifoChunk, &v, sizeof v,
+                            kTag);
+    }
+  };
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// rndv: rendezvous descriptor publication + sender buffer reuse.  Two posts
+// over one reused payload buffer: the drained edge must order the receiver's
+// pull before the sender's rewrite.  3 ranks chain 0 -> 1 -> 2.
+// ---------------------------------------------------------------------------
+
+Spec rndv_spec(int n) {
+  struct St {
+    rt::FifoChannel ch01, ch12;
+    std::uint64_t payload0;  // rank 0's buffer, reused across both posts
+    std::uint64_t relay1;    // rank 1's buffer in the 3-rank chain
+    std::uint64_t out[2];
+  };
+  auto st = std::make_shared<St>();
+  Spec s;
+  s.nthreads = n;
+  const int nposts = n == 2 ? 2 : 1;
+  s.reset = [st] {
+    fifo_reset_channel(st->ch01);
+    fifo_reset_channel(st->ch12);
+    st->payload0 = 0;
+    st->relay1 = 0;
+    st->out[0] = st->out[1] = 0;
+    set_label(&st->ch01.rndv_posted, sizeof st->ch01.rndv_posted,
+              "rndv01.posted");
+    set_label(&st->ch01.rndv_done, sizeof st->ch01.rndv_done, "rndv01.done");
+  };
+  s.body = [st, n, nposts](int r) {
+    const std::uint64_t vals[2] = {0xAB, 0xCD};
+    if (r == 0) {
+      for (int i = 0; i < nposts; ++i) {
+        hb_write(&st->payload0, sizeof st->payload0, "rndv payload");
+        st->payload0 = vals[i];
+        const std::uint64_t t =
+            rt::rndv_post(st->ch01, &st->payload0, sizeof st->payload0,
+                          getpid());
+        rt::rndv_wait_drained(st->ch01, t);
+      }
+      return;
+    }
+    if (r == 1 && n == 3) {
+      rt::rndv_pull(st->ch01, &st->relay1, sizeof st->relay1,
+                    rt::RemoteMode::direct);
+      const std::uint64_t t =
+          rt::rndv_post(st->ch12, &st->relay1, sizeof st->relay1, getpid());
+      rt::rndv_wait_drained(st->ch12, t);
+      return;
+    }
+    auto& ch = n == 2 ? st->ch01 : st->ch12;
+    for (int i = 0; i < nposts; ++i) {
+      rt::rndv_pull(ch, &st->out[i], sizeof st->out[i],
+                    rt::RemoteMode::direct);
+      require(st->out[i] == vals[i],
+              "rendezvous pull observed a stale or torn payload");
+    }
+  };
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// pagelock: the CMA page-lock must order critical sections (lock acquire
+// joins the previous unlock release); the guarded counter is plain data, so
+// a missing edge is a data race on it.
+// ---------------------------------------------------------------------------
+
+Spec pagelock_spec(int n) {
+  struct St {
+    rt::PageLockTable locks;
+    std::uint64_t counter;
+  };
+  auto st = std::make_shared<St>();
+  Spec s;
+  s.nthreads = n;
+  s.reset = [st] {
+    st->locks.reset();
+    st->counter = 0;
+    set_label(&st->counter, sizeof st->counter, "guarded-counter");
+  };
+  s.body = [st](int) {
+    st->locks.lock(0);
+    hb_read(&st->counter, sizeof st->counter, "guarded counter");
+    hb_write(&st->counter, sizeof st->counter, "guarded counter");
+    ++st->counter;
+    st->locks.unlock(0);
+  };
+  s.check_final = [st, n] {
+    require(st->counter == static_cast<std::uint64_t>(n),
+            "page lock lost an increment");
+  };
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// seqlock: RemoteWindow readers must only ever observe one of the fully
+// published descriptors, never a torn mix.  Two publishes make every mixed
+// tuple distinguishable from the allowed ones.
+// ---------------------------------------------------------------------------
+
+Spec seqlock_spec(int n) {
+  struct St {
+    rt::RemoteWindow w;
+    char bufa, bufb;
+  };
+  auto st = std::make_shared<St>();
+  Spec s;
+  s.nthreads = n;
+  s.reset = [st] {
+    st->w.seq.store(0, std::memory_order_relaxed);
+    st->w.ptr.store(nullptr, std::memory_order_relaxed);
+    st->w.bytes.store(0, std::memory_order_relaxed);
+    st->w.pid.store(0, std::memory_order_relaxed);
+    set_label(&st->w.seq, sizeof st->w.seq, "window.seq");
+    set_label(&st->w.ptr, sizeof st->w.ptr, "window.ptr");
+    set_label(&st->w.bytes, sizeof st->w.bytes, "window.bytes");
+    set_label(&st->w.pid, sizeof st->w.pid, "window.pid");
+  };
+  s.body = [st, n](int r) {
+    // Two publishes make every torn mix distinguishable from the allowed
+    // tuples; the second is exhaustively explored at one reader (n == 2)
+    // and dropped at two readers to bound the space.
+    const bool republish = n == 2;
+    if (r == 0) {
+      rt::window_publish(st->w, &st->bufa, 1, 1);
+      if (republish) rt::window_publish(st->w, &st->bufb, 2, 2);
+      return;
+    }
+    const rt::RemoteBuf rb = rt::window_read(st->w);
+    const bool initial = rb.ptr == nullptr && rb.bytes == 0 && rb.pid == 0;
+    const bool first = rb.ptr == &st->bufa && rb.bytes == 1 && rb.pid == 1;
+    const bool second = republish && rb.ptr == &st->bufb && rb.bytes == 2 &&
+                        rb.pid == 2;
+    require(initial || first || second,
+            "seqlock reader returned a torn descriptor");
+  };
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// plan: registry claim must publish the slot's fields with the hash CAS,
+// and a plan word committed before a barrier must be visible after it.
+// ---------------------------------------------------------------------------
+
+constexpr std::uint64_t kPlanHash = 0x1234567;
+constexpr std::uint64_t kPlanFields = 0xBEEF;
+constexpr std::uint64_t kPlanWord = 0xCAFE;
+
+Spec plan_spec(int n) {
+  struct St {
+    std::unique_ptr<std::byte[]> mem;
+    rt::PlanRegistry* reg = nullptr;
+    rt::BarrierState bar;
+    std::uint32_t sense[4];
+  };
+  auto st = std::make_shared<St>();
+  const std::uint32_t slots = 16;  // the registry's minimum (== probe window)
+  st->mem = std::make_unique<std::byte[]>(
+      rt::PlanRegistry::required_bytes(slots));
+  Spec s;
+  s.nthreads = n;
+  s.reset = [st, slots, n] {
+    std::memset(st->mem.get(), 0, rt::PlanRegistry::required_bytes(slots));
+    st->reg = rt::PlanRegistry::create(st->mem.get(),
+                                       rt::PlanRegistry::required_bytes(slots),
+                                       slots, 0);
+    rt::barrier_init(st->bar, static_cast<std::uint32_t>(n));
+    for (auto& se : st->sense) se = 0;
+  };
+  s.body = [st, n](int r) {
+    rt::PlanSlot* slot = nullptr;
+    if (r < (n == 2 ? 1 : 2)) {
+      // Claimers race the insert CAS with identical fields; the winner
+      // commits the plan word before the barrier.
+      bool inserted = false;
+      slot = st->reg->acquire(kPlanHash, kPlanFields, &inserted);
+      require(slot != nullptr, "plan registry probe window exhausted");
+      if (inserted)
+        slot->plan.store(kPlanWord, std::memory_order_release);
+    } else {
+      while ((slot = st->reg->find(kPlanHash)) == nullptr) spin_pause();
+    }
+    require(slot->fields.load(std::memory_order_relaxed) == kPlanFields,
+            "plan slot hash visible without its fields");
+    rt::barrier_arrive(st->bar, st->sense[r]);
+    require(slot->plan.load(std::memory_order_relaxed) == kPlanWord,
+            "committed plan word invisible after the trailing barrier");
+  };
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// ring: the trace ring's counter release must publish the 32-byte slot
+// record to a concurrent harvester (count/read pair).
+// ---------------------------------------------------------------------------
+
+Spec ring_spec(int n) {
+  struct St {
+    std::unique_ptr<std::byte[]> mem;
+    trace::TraceBuffer* buf = nullptr;
+  };
+  auto st = std::make_shared<St>();
+  constexpr std::uint32_t kSlots = 4;
+  const std::size_t bytes = trace::TraceBuffer::required_bytes(1, kSlots);
+  st->mem = std::make_unique<std::byte[]>(bytes);
+  Spec s;
+  s.nthreads = n;
+  s.reset = [st, bytes] {
+    std::memset(st->mem.get(), 0, bytes);
+    st->buf = trace::TraceBuffer::create(st->mem.get(), bytes, 1, kSlots,
+                                         trace::Mode::spans);
+  };
+  s.body = [st](int r) {
+    if (r == 0) {
+      for (std::uint64_t i = 0; i < 2; ++i) {
+        trace::Rec rec{};
+        rec.t0 = rec.t1 = i + 1;
+        rec.arg = 111 * (i + 1);
+        st->buf->push(0, rec);
+      }
+      return;
+    }
+    while (st->buf->count(0) < 2) spin_pause();
+    for (std::uint64_t i = 0; i < 2; ++i) {
+      const trace::Rec rec = st->buf->read(0, i);
+      require(rec.arg == 111 * (i + 1), "trace ring slot corrupted");
+    }
+  };
+  return s;
+}
+
+}  // namespace
+
+const std::vector<std::string>& protocol_names() {
+  static const std::vector<std::string> names = {
+      "flags", "barrier", "dissemination", "fifo",  "rndv",
+      "pagelock", "seqlock", "plan",        "ring"};
+  return names;
+}
+
+bool protocol_supports(const std::string& name, int nthreads) {
+  if (nthreads < 2) return false;
+  if (name == "fifo" || name == "rndv" || name == "ring" || name == "plan" ||
+      name == "seqlock")
+    return nthreads <= 3;
+  return nthreads <= 4;
+}
+
+Spec protocol_spec(const std::string& name, int nthreads) {
+  YHCCL_REQUIRE(protocol_supports(name, nthreads),
+                "unknown model-checker protocol or unsupported rank count");
+  if (name == "flags") return flags_spec(nthreads);
+  if (name == "barrier") return barrier_spec(nthreads);
+  if (name == "dissemination") return dissemination_spec(nthreads);
+  if (name == "fifo") return fifo_spec(nthreads);
+  if (name == "rndv") return rndv_spec(nthreads);
+  if (name == "pagelock") return pagelock_spec(nthreads);
+  if (name == "seqlock") return seqlock_spec(nthreads);
+  if (name == "plan") return plan_spec(nthreads);
+  return ring_spec(nthreads);
+}
+
+Result check_protocol(const std::string& name, int nthreads,
+                      const Options& opt) {
+  clear_labels();
+  const Result r = explore(protocol_spec(name, nthreads), opt);
+  clear_labels();
+  return r;
+}
+
+const std::vector<Mutation>& mutation_table() {
+  static const std::vector<Mutation> table = {
+      {WeakPoint::barrier_join_rmw, "barrier", 2},
+      {WeakPoint::barrier_sense_release, "barrier", 2},
+      {WeakPoint::dissem_signal_rmw, "dissemination", 2},
+      {WeakPoint::spin_acquire, "flags", 2},
+      {WeakPoint::step_publish_release, "flags", 2},
+      {WeakPoint::seqlock_writer_fence, "seqlock", 2},
+      {WeakPoint::seqlock_commit_release, "seqlock", 2},
+      {WeakPoint::seqlock_reader_fence, "seqlock", 2},
+      {WeakPoint::fifo_tail_release, "fifo", 2},
+      {WeakPoint::fifo_head_release, "fifo", 2},
+      {WeakPoint::rndv_post_release, "rndv", 2},
+      {WeakPoint::rndv_done_release, "rndv", 2},
+      {WeakPoint::pagelock_acquire, "pagelock", 2},
+      {WeakPoint::pagelock_release, "pagelock", 2},
+      {WeakPoint::ring_push_release, "ring", 2},
+      {WeakPoint::plan_claim_release, "plan", 2},
+  };
+  return table;
+}
+
+Result check_mutation(const Mutation& m, Options opt) {
+  opt.mutation = m.point;
+  clear_labels();
+  const Result r = explore(protocol_spec(m.protocol, m.nthreads), opt);
+  clear_labels();
+  return r;
+}
+
+std::string counterexample_flight(const std::string& protocol, int nthreads,
+                                  const std::string& schedule,
+                                  WeakPoint mutation) {
+  const Spec spec = protocol_spec(protocol, nthreads);
+
+  // One ring per model rank, outside the checker's jurisdiction: the
+  // passthrough range keeps the recorder's own atomics off the schedule.
+  constexpr std::uint32_t kSlots = 256;
+  const std::size_t bytes =
+      trace::TraceBuffer::required_bytes(nthreads, kSlots);
+  auto mem = std::make_unique<std::byte[]>(bytes);
+  trace::TraceBuffer* buf = trace::TraceBuffer::create(
+      mem.get(), bytes, nthreads, kSlots, trace::Mode::flight);
+
+  ReplayEnv env;
+  env.passthrough = mem.get();
+  env.passthrough_bytes = bytes;
+  env.on_resume = [buf](int tid) {
+    auto& c = trace::detail::tl_trace;
+    if (tid < 0) {
+      c = trace::detail::TraceCtx{};
+    } else {
+      c.buf = buf;
+      c.ring = tid;
+    }
+  };
+
+  Options opt = Options::from_env();
+  opt.mutation = mutation;
+  const Result r = replay(spec, schedule, opt, &env);
+  trace::detail::tl_trace = trace::detail::TraceCtx{};
+
+  trace::Harvest h(*buf);
+  trace::FlightContext fc;
+  fc.fault = r.violations.empty()
+                 ? "schedule replayed clean"
+                 : r.violations.front().kind + ": " +
+                       r.violations.front().message;
+  return h.flight_json(fc).dump(1);
+}
+
+}  // namespace yhccl::mc
+
+#endif  // YHCCL_MC

@@ -1,0 +1,133 @@
+#include "yhccl/runtime/channel.hpp"
+
+#include <algorithm>
+
+#include "yhccl/analysis/hb.hpp"
+#include "yhccl/common/error.hpp"
+#include "yhccl/copy/kernels.hpp"
+#include "yhccl/runtime/sync.hpp"
+#include "yhccl/trace/trace.hpp"
+
+namespace yhccl::rt {
+
+void fifo_push_chunk(FifoChannel& ch, std::byte* data, std::size_t chunk,
+                     const void* src, std::size_t len, int tag) {
+  const std::uint64_t t = ch.tail.load(std::memory_order_relaxed);
+  SpinGuard guard("pt2pt send slot wait", trace::Phase::fifo);
+  while (t - ch.head.load(std::memory_order_acquire) >= FifoChannel::kSlots)
+    guard.relax();
+  analysis::hb_acquire(&ch.head);  // slot reuse: consumer freed it
+  const auto slot = static_cast<std::size_t>(t % FifoChannel::kSlots);
+  if (len > 0) copy::t_copy(data + slot * chunk, src, len);
+  analysis::hb_write(&ch.meta[slot], sizeof(FifoChannel::SlotMeta),
+                     "fifo meta");
+  ch.meta[slot] = {static_cast<std::uint32_t>(len), tag};
+  analysis::hb_release(&ch.tail);
+  ch.tail.store(t + 1, YHCCL_MC_ORDER(fifo_tail_release,
+                                      std::memory_order_release));
+}
+
+bool fifo_try_push_chunk(FifoChannel& ch, std::byte* data, std::size_t chunk,
+                         const void* src, std::size_t len, int tag) {
+  const std::uint64_t t = ch.tail.load(std::memory_order_relaxed);
+  if (t - ch.head.load(std::memory_order_acquire) >= FifoChannel::kSlots)
+    return false;
+  analysis::hb_acquire(&ch.head);
+  const auto slot = static_cast<std::size_t>(t % FifoChannel::kSlots);
+  if (len > 0) copy::t_copy(data + slot * chunk, src, len);
+  analysis::hb_write(&ch.meta[slot], sizeof(FifoChannel::SlotMeta),
+                     "fifo meta");
+  ch.meta[slot] = {static_cast<std::uint32_t>(len), tag};
+  analysis::hb_release(&ch.tail);
+  ch.tail.store(t + 1, YHCCL_MC_ORDER(fifo_tail_release,
+                                      std::memory_order_release));
+  return true;
+}
+
+namespace {
+
+/// Shared tail of the two pop variants, entered once tail > head is known.
+std::size_t fifo_pop_ready(FifoChannel& ch, const std::byte* data,
+                           std::size_t chunk, std::uint64_t h, void* dst,
+                           std::size_t cap, int tag) {
+  const auto slot = static_cast<std::size_t>(h % FifoChannel::kSlots);
+  analysis::hb_read(&ch.meta[slot], sizeof(FifoChannel::SlotMeta),
+                    "fifo meta");
+  const auto [len, mtag] = ch.meta[slot];
+  YHCCL_REQUIRE(mtag == tag, "pt2pt tag mismatch");
+  YHCCL_REQUIRE(len <= cap, "pt2pt recv overflow");
+  if (len > 0) copy::t_copy(dst, data + slot * chunk, len);
+  analysis::hb_release(&ch.head);
+  ch.head.store(h + 1, YHCCL_MC_ORDER(fifo_head_release,
+                                      std::memory_order_release));
+  return len;
+}
+
+}  // namespace
+
+std::size_t fifo_pop_chunk(FifoChannel& ch, const std::byte* data,
+                           std::size_t chunk, void* dst, std::size_t cap,
+                           int tag) {
+  const std::uint64_t h = ch.head.load(std::memory_order_relaxed);
+  spin_wait_ge(ch.tail, h + 1, trace::Phase::fifo);
+  return fifo_pop_ready(ch, data, chunk, h, dst, cap, tag);
+}
+
+bool fifo_try_pop_chunk(FifoChannel& ch, const std::byte* data,
+                        std::size_t chunk, void* dst, std::size_t cap, int tag,
+                        std::size_t* len_out) {
+  const std::uint64_t h = ch.head.load(std::memory_order_relaxed);
+  if (ch.tail.load(std::memory_order_acquire) <= h) return false;
+  analysis::hb_acquire(&ch.tail);
+  *len_out = fifo_pop_ready(ch, data, chunk, h, dst, cap, tag);
+  return true;
+}
+
+std::uint64_t rndv_post(FifoChannel& ch, const void* p, std::size_t n,
+                        int pid) {
+  // rndv_posted: single-writer counter (sender side only) — the relaxed
+  // self-read+1 cannot tear or miss an update.  The descriptor fields are
+  // plain because the release store below publishes them and the receiver's
+  // acquire in spin_wait_ge(rndv_posted) reads them only afterwards; the
+  // sender's own rndv_wait_drained closes the edge before reuse.
+  const std::uint64_t s = ch.rndv_posted.load(std::memory_order_relaxed) + 1;
+  analysis::hb_write(&ch.rndv_ptr, sizeof ch.rndv_ptr, "rndv descriptor");
+  analysis::hb_write(&ch.rndv_bytes, sizeof ch.rndv_bytes, "rndv descriptor");
+  analysis::hb_write(&ch.rndv_pid, sizeof ch.rndv_pid, "rndv descriptor");
+  ch.rndv_ptr = p;
+  ch.rndv_bytes = n;
+  ch.rndv_pid = pid;
+  analysis::hb_release(&ch.rndv_posted);
+  ch.rndv_posted.store(s, YHCCL_MC_ORDER(rndv_post_release,
+                                         std::memory_order_release));
+  return s;
+}
+
+void rndv_wait_drained(FifoChannel& ch, std::uint64_t s) {
+  spin_wait_ge(ch.rndv_done, s, trace::Phase::rndv);
+}
+
+void rndv_pull(FifoChannel& ch, void* p, std::size_t n, RemoteMode mode,
+               PageLockTable* locks) {
+  // rndv_done: single-writer counter (receiver side only), same argument as
+  // rndv_posted in rndv_post above.
+  const std::uint64_t s = ch.rndv_done.load(std::memory_order_relaxed) + 1;
+  {
+    // Span covers only the descriptor wait: remote_read below may take page
+    // locks whose own wait span must not nest inside (and double-count in)
+    // an rndv one.
+    trace::Span sp(trace::Phase::rndv, n);
+    spin_wait_ge(ch.rndv_posted, s, trace::Phase::rndv);
+  }
+  analysis::hb_read(&ch.rndv_ptr, sizeof ch.rndv_ptr, "rndv descriptor");
+  analysis::hb_read(&ch.rndv_bytes, sizeof ch.rndv_bytes, "rndv descriptor");
+  analysis::hb_read(&ch.rndv_pid, sizeof ch.rndv_pid, "rndv descriptor");
+  YHCCL_REQUIRE(ch.rndv_bytes == n, "rendezvous size mismatch");
+  RemoteBuf rb{ch.rndv_ptr, ch.rndv_bytes, ch.rndv_pid};
+  if (n > 0) remote_read(p, rb, 0, n, mode, locks);
+  analysis::hb_release(&ch.rndv_done);
+  ch.rndv_done.store(s, YHCCL_MC_ORDER(rndv_done_release,
+                                       std::memory_order_release));
+}
+
+}  // namespace yhccl::rt

@@ -1,0 +1,82 @@
+// Point-to-point protocol engines: the eager FIFO and the rendezvous
+// (single-copy) exchange, factored out of RankCtx as free functions over a
+// bare FifoChannel.
+//
+// Two reasons for the split:
+//  * RankCtx::send/recv/sendrecv deal in messages (chunk loops, tracing,
+//    fault points); the functions here deal in the one-chunk protocol steps
+//    those loops are made of.
+//  * The model checker (yhccl/mc/checker.hpp) drives these engines directly
+//    with 2-4 model ranks and a standalone FifoChannel — no Team, no shared
+//    mapping — so the protocol under verification is byte-for-byte the one
+//    the collectives run.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "yhccl/common/types.hpp"
+#include "yhccl/mc/atomic.hpp"
+#include "yhccl/runtime/remote_access.hpp"
+
+namespace yhccl::rt {
+
+/// Eager FIFO + rendezvous descriptor for one directed rank pair.
+struct FifoChannel {
+  static constexpr std::uint64_t kSlots = 2;
+  struct SlotMeta {
+    std::uint32_t bytes;
+    std::int32_t tag;
+  };
+  alignas(kCacheline) mc::atomic<std::uint64_t> head{0};  // consumer
+  alignas(kCacheline) mc::atomic<std::uint64_t> tail{0};  // producer
+  SlotMeta meta[kSlots]{};
+  // Rendezvous (single-copy) protocol state.
+  alignas(kCacheline) mc::atomic<std::uint64_t> rndv_posted{0};
+  alignas(kCacheline) mc::atomic<std::uint64_t> rndv_done{0};
+  const void* rndv_ptr = nullptr;
+  std::size_t rndv_bytes = 0;
+  int rndv_pid = 0;
+};
+
+// ---- eager FIFO (two-copy) --------------------------------------------------
+// `data` is the channel's slot arena (kSlots x chunk bytes); `len <= chunk`.
+// The slot payload and meta are plain data guarded by the head/tail counters:
+// the tail release publishes a filled slot, the head release returns it.
+
+/// Blocking push of one chunk (spins while the ring is full).
+void fifo_push_chunk(FifoChannel& ch, std::byte* data, std::size_t chunk,
+                     const void* src, std::size_t len, int tag);
+
+/// Non-blocking push; false when the ring is full (sendrecv progress engine).
+bool fifo_try_push_chunk(FifoChannel& ch, std::byte* data, std::size_t chunk,
+                         const void* src, std::size_t len, int tag);
+
+/// Blocking pop of one chunk into `dst` (capacity `cap`); returns its length.
+std::size_t fifo_pop_chunk(FifoChannel& ch, const std::byte* data,
+                           std::size_t chunk, void* dst, std::size_t cap,
+                           int tag);
+
+/// Non-blocking pop; false when the ring is empty.
+bool fifo_try_pop_chunk(FifoChannel& ch, const std::byte* data,
+                        std::size_t chunk, void* dst, std::size_t cap, int tag,
+                        std::size_t* len_out);
+
+// ---- rendezvous (single-copy) -----------------------------------------------
+// The sender posts its buffer descriptor and waits for the receiver to drain
+// it; the receiver pulls straight from the sender's memory.  Descriptor
+// fields are plain data published by the rndv_posted release and retired by
+// the rndv_done release.
+
+/// Post my buffer on the channel; returns the ticket to wait on.
+std::uint64_t rndv_post(FifoChannel& ch, const void* p, std::size_t n,
+                        int pid);
+
+/// Wait until the receiver retired ticket `s` (my buffer is reusable).
+void rndv_wait_drained(FifoChannel& ch, std::uint64_t s);
+
+/// Wait for the next posted descriptor, pull `n` bytes into `p`, retire it.
+void rndv_pull(FifoChannel& ch, void* p, std::size_t n, RemoteMode mode,
+               PageLockTable* locks = nullptr);
+
+}  // namespace yhccl::rt

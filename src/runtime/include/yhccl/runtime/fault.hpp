@@ -29,12 +29,12 @@
 //    early-return kill logic the failure tests used to hand-roll.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <string>
 
 #include "yhccl/common/error.hpp"
 #include "yhccl/common/types.hpp"
+#include "yhccl/mc/atomic.hpp"
 
 namespace yhccl::rt {
 
@@ -58,12 +58,12 @@ std::string describe_fault(const FaultInfo& f);
 
 /// Per-rank liveness slot (shared mapping).
 struct alignas(kCacheline) HeartbeatSlot {
-  std::atomic<std::uint64_t> beat{0};  ///< bumps while the rank makes progress
-  std::atomic<std::uint64_t> seq{0};   ///< last collective sequence entered
-  std::atomic<std::uint64_t> epoch{0}; ///< team epoch the rank runs under
-  std::atomic<int> pid{0};             ///< rank pid (== parent for threads)
-  std::atomic<std::uint8_t> left{0};   ///< rank exited the SPMD function
-  std::atomic<std::uint8_t> dead{0};   ///< rank process died (reap/probe)
+  mc::atomic<std::uint64_t> beat{0};  ///< bumps while the rank makes progress
+  mc::atomic<std::uint64_t> seq{0};   ///< last collective sequence entered
+  mc::atomic<std::uint64_t> epoch{0}; ///< team epoch the rank runs under
+  mc::atomic<int> pid{0};             ///< rank pid (== parent for threads)
+  mc::atomic<std::uint8_t> left{0};   ///< rank exited the SPMD function
+  mc::atomic<std::uint8_t> dead{0};   ///< rank process died (reap/probe)
 };
 
 /// Fault-detection state embedded in TeamShared.
@@ -71,10 +71,10 @@ struct FaultState {
   /// Packed abort word: (epoch << 32) | ((rank + 1) << 8) | kind.
   /// 0 ⇔ no abort raised.  First CAS from 0 wins; later detectors adopt
   /// the winner's verdict so every survivor reports the same fault.
-  alignas(kCacheline) std::atomic<std::uint64_t> abort_word{0};
+  alignas(kCacheline) mc::atomic<std::uint64_t> abort_word{0};
   /// Bumped by Team::recover(); stale ranks (and stale abort words) from
   /// earlier epochs are fenced out by comparing against it.
-  alignas(kCacheline) std::atomic<std::uint64_t> team_epoch{1};
+  alignas(kCacheline) mc::atomic<std::uint64_t> team_epoch{1};
   HeartbeatSlot hb[kMaxFaultRanks];
 
   static std::uint64_t pack(const FaultInfo& f) noexcept {

@@ -16,11 +16,11 @@
 // business, mirroring HbChecker and TraceBuffer.
 #pragma once
 
-#include <atomic>
 #include <cstddef>
 #include <cstdint>
 
 #include "yhccl/common/types.hpp"
+#include "yhccl/mc/atomic.hpp"
 #include "yhccl/copy/cache_model.hpp"
 #include "yhccl/runtime/topology.hpp"
 
@@ -70,13 +70,13 @@ std::uint64_t plan_signature(const Topology& topo,
 /// recomputes the deterministic prior instead).  Arm statistics are
 /// written by rank 0 only (single-writer; stored as double bit patterns).
 struct PlanSlot {
-  std::atomic<std::uint64_t> hash{0};
-  std::atomic<std::uint64_t> fields{0};
-  std::atomic<std::uint64_t> plan{0};
-  std::atomic<std::uint64_t> hits{0};
-  std::atomic<std::uint64_t> wait_ewma{0};  ///< wait-fraction EWMA (bits)
-  std::atomic<std::uint64_t> arm_ewma[kPlanMaxArms]{};  ///< seconds (bits)
-  std::atomic<std::uint32_t> arm_n[kPlanMaxArms]{};     ///< samples per arm
+  mc::atomic<std::uint64_t> hash{0};
+  mc::atomic<std::uint64_t> fields{0};
+  mc::atomic<std::uint64_t> plan{0};
+  mc::atomic<std::uint64_t> hits{0};
+  mc::atomic<std::uint64_t> wait_ewma{0};  ///< wait-fraction EWMA (bits)
+  mc::atomic<std::uint64_t> arm_ewma[kPlanMaxArms]{};  ///< seconds (bits)
+  mc::atomic<std::uint32_t> arm_n[kPlanMaxArms]{};     ///< samples per arm
 
   double ewma_seconds(int arm) const noexcept;
   /// Single-writer EWMA fold (alpha = 1/4; first sample seeds the average).
@@ -124,7 +124,7 @@ class PlanRegistry {
   }
 
   /// Lazy file-warm handshake: 0 = cold, 1 = one rank is loading, 2 = warm.
-  std::atomic<std::uint32_t>& warm_word() noexcept { return warm_state_; }
+  mc::atomic<std::uint32_t>& warm_word() noexcept { return warm_state_; }
 
   // Diagnostics counters.  The per-call ones (lookup/explore/commit) are
   // bumped by rank 0 only, so stats count calls, not calls x ranks.
@@ -163,15 +163,15 @@ class PlanRegistry {
 
   std::uint32_t slots_;
   std::uint32_t eps_mille_;
-  std::atomic<std::uint32_t> warm_state_{0};
-  std::atomic<std::uint64_t> lookups_{0};
-  std::atomic<std::uint64_t> hits_{0};
-  std::atomic<std::uint64_t> misses_{0};
-  std::atomic<std::uint64_t> inserts_{0};
-  std::atomic<std::uint64_t> explores_{0};
-  std::atomic<std::uint64_t> commits_{0};
-  std::atomic<std::uint64_t> loaded_{0};
-  std::atomic<std::uint64_t> class_wait_bits_[kPlanClasses]{};
+  mc::atomic<std::uint32_t> warm_state_{0};
+  mc::atomic<std::uint64_t> lookups_{0};
+  mc::atomic<std::uint64_t> hits_{0};
+  mc::atomic<std::uint64_t> misses_{0};
+  mc::atomic<std::uint64_t> inserts_{0};
+  mc::atomic<std::uint64_t> explores_{0};
+  mc::atomic<std::uint64_t> commits_{0};
+  mc::atomic<std::uint64_t> loaded_{0};
+  mc::atomic<std::uint64_t> class_wait_bits_[kPlanClasses]{};
 };
 
 }  // namespace yhccl::rt

@@ -14,11 +14,11 @@
 // the kernel permits it (CAP_SYS_PTRACE / same-uid rules apply).
 #pragma once
 
-#include <atomic>
 #include <cstddef>
 #include <cstdint>
 
 #include "yhccl/common/types.hpp"
+#include "yhccl/mc/atomic.hpp"
 
 namespace yhccl::rt {
 
@@ -47,11 +47,18 @@ struct RemoteBuf {
 /// previous revision had no odd/even protocol at all — a reader could
 /// return a half-updated descriptor (caught by the hb checker audit).
 struct RemoteWindow {
-  std::atomic<std::uint64_t> seq{0};  ///< odd ⇔ write in progress
-  std::atomic<const void*> ptr{nullptr};
-  std::atomic<std::size_t> bytes{0};
-  std::atomic<int> pid{0};
+  mc::atomic<std::uint64_t> seq{0};  ///< odd ⇔ write in progress
+  mc::atomic<const void*> ptr{nullptr};
+  mc::atomic<std::size_t> bytes{0};
+  mc::atomic<int> pid{0};
 };
+
+/// Writer half of the seqlock (owning rank only): publish a new descriptor.
+void window_publish(RemoteWindow& w, const void* p, std::size_t bytes,
+                    int pid) noexcept;
+
+/// Reader half: spin for a consistent snapshot of the descriptor.
+RemoteBuf window_read(const RemoteWindow& w);
 
 enum class RemoteMode {
   direct,        ///< XPMEM-style: load remote memory straight through
@@ -74,7 +81,7 @@ class PageLockTable {
 
  private:
   struct alignas(kCacheline) Lock {
-    std::atomic<std::uint32_t> v{0};
+    mc::atomic<std::uint32_t> v{0};
   };
   Lock locks_[kLocks];
 };

@@ -10,12 +10,12 @@
 // counts down, and the reproduction host's oversubscribed teams stay live.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 
 #include "yhccl/analysis/hb.hpp"
 #include "yhccl/common/error.hpp"
 #include "yhccl/common/types.hpp"
+#include "yhccl/mc/atomic.hpp"
 #include "yhccl/runtime/fault.hpp"
 #include "yhccl/runtime/sync_counts.hpp"
 #include "yhccl/runtime/sync_timeout.hpp"
@@ -25,8 +25,10 @@ namespace yhccl::rt {
 
 /// One cacheline-padded atomic counter per rank; avoids false sharing on
 /// the flag array (§5.1: "avoid the cache line's false sharing").
+/// mc::atomic == std::atomic in normal builds; under -DYHCCL_MC the model
+/// checker intercepts it (yhccl/mc/atomic.hpp).
 struct alignas(kCacheline) PaddedFlag {
-  std::atomic<std::uint64_t> v{0};
+  mc::atomic<std::uint64_t> v{0};
 };
 static_assert(sizeof(PaddedFlag) == kCacheline);
 
@@ -59,28 +61,41 @@ class SpinGuard {
 };
 
 /// Spin until `f >= target` (acquire).
-inline void spin_wait_ge(const std::atomic<std::uint64_t>& f,
+inline void spin_wait_ge(const mc::atomic<std::uint64_t>& f,
                          std::uint64_t target,
                          trace::Phase ph = trace::Phase::flag_wait) {
   SpinGuard guard("progress-flag wait", ph);
-  while (f.load(std::memory_order_acquire) < target) guard.relax();
+  while (f.load(YHCCL_MC_ORDER(spin_acquire, std::memory_order_acquire)) <
+         target)
+    guard.relax();
   analysis::hb_acquire(&f);
 }
 
 /// Spin until `f == target` (acquire).
-inline void spin_wait_eq(const std::atomic<std::uint64_t>& f,
+inline void spin_wait_eq(const mc::atomic<std::uint64_t>& f,
                          std::uint64_t target,
                          trace::Phase ph = trace::Phase::flag_wait) {
   SpinGuard guard("progress-flag wait", ph);
-  while (f.load(std::memory_order_acquire) != target) guard.relax();
+  while (f.load(YHCCL_MC_ORDER(spin_acquire, std::memory_order_acquire)) !=
+         target)
+    guard.relax();
   analysis::hb_acquire(&f);
+}
+
+/// Publish a monotone progress value into a flag (the producer half of
+/// spin_wait_ge/_eq).  Extracted so the progress-flag protocol is a named,
+/// model-checkable unit rather than an inline store at each call site.
+inline void flag_publish(PaddedFlag& f, std::uint64_t v) noexcept {
+  analysis::hb_release(&f.v);
+  f.v.store(v,
+            YHCCL_MC_ORDER(step_publish_release, std::memory_order_release));
 }
 
 /// Sense-reversing central barrier.  Construct in shared memory; each
 /// participant keeps its own sense token (see RankCtx).
 struct BarrierState {
-  alignas(kCacheline) std::atomic<std::uint32_t> arrived{0};
-  alignas(kCacheline) std::atomic<std::uint32_t> sense{0};
+  alignas(kCacheline) mc::atomic<std::uint32_t> arrived{0};
+  alignas(kCacheline) mc::atomic<std::uint32_t> sense{0};
   std::uint32_t nparticipants = 0;
 };
 
@@ -109,15 +124,19 @@ inline void barrier_arrive(BarrierState& b, std::uint32_t& local_sense,
   // also finds the clock), and the winner re-acquires after observing the
   // full count to pick up ranks whose model release ran after its own.
   analysis::hb_acq_rel(&b.arrived);
-  if (b.arrived.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+  if (b.arrived.fetch_add(1, YHCCL_MC_ORDER(barrier_join_rmw,
+                                            std::memory_order_acq_rel)) +
+          1 ==
       b.nparticipants) {
     analysis::hb_acquire(&b.arrived);
     b.arrived.store(0, std::memory_order_relaxed);
     analysis::hb_release(&b.sense);
-    b.sense.store(local_sense, std::memory_order_release);
+    b.sense.store(local_sense, YHCCL_MC_ORDER(barrier_sense_release,
+                                              std::memory_order_release));
   } else {
     SpinGuard guard("barrier wait");
-    while (b.sense.load(std::memory_order_acquire) != local_sense)
+    while (b.sense.load(YHCCL_MC_ORDER(
+               spin_acquire, std::memory_order_acquire)) != local_sense)
       guard.relax();
     analysis::hb_acquire(&b.sense);
   }
@@ -174,7 +193,8 @@ inline void dissemination_arrive(DisseminationBarrierState& b, int rank,
     // acq_rel RMW: releases my clock into the peer's flag (the acquire
     // side happens in spin_wait_ge below / on the peer).
     analysis::hb_acq_rel(&b.flags[round][peer].v);
-    b.flags[round][peer].v.fetch_add(1, std::memory_order_acq_rel);
+    b.flags[round][peer].v.fetch_add(
+        1, YHCCL_MC_ORDER(dissem_signal_rmw, std::memory_order_acq_rel));
     spin_wait_ge(b.flags[round][rank].v, tok.epoch, trace::Phase::barrier);
   }
 }

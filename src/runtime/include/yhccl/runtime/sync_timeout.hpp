@@ -6,12 +6,12 @@
 // failure-injection testable.
 #pragma once
 
-#include <atomic>
+#include "yhccl/mc/atomic.hpp"
 
 namespace yhccl::rt {
 
 namespace detail {
-inline std::atomic<double> g_sync_timeout{120.0};
+inline mc::atomic<double> g_sync_timeout{120.0};
 }
 
 /// Set the process-wide synchronization timeout in seconds

@@ -9,7 +9,6 @@
 // buffers, so the same implementation runs unchanged on both.
 #pragma once
 
-#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -21,6 +20,7 @@
 #include "yhccl/copy/cache_model.hpp"
 #include "yhccl/copy/dav.hpp"
 #include "yhccl/copy/isa.hpp"
+#include "yhccl/runtime/channel.hpp"
 #include "yhccl/runtime/fault.hpp"
 #include "yhccl/runtime/plan_registry.hpp"
 #include "yhccl/runtime/remote_access.hpp"
@@ -70,24 +70,6 @@ struct TeamConfig {
   TuneMode tune = TuneMode::env;
 };
 
-/// Eager FIFO + rendezvous descriptor for one directed rank pair.
-struct FifoChannel {
-  static constexpr std::uint64_t kSlots = 2;
-  struct SlotMeta {
-    std::uint32_t bytes;
-    std::int32_t tag;
-  };
-  alignas(kCacheline) std::atomic<std::uint64_t> head{0};  // consumer
-  alignas(kCacheline) std::atomic<std::uint64_t> tail{0};  // producer
-  SlotMeta meta[kSlots]{};
-  // Rendezvous (single-copy) protocol state.
-  alignas(kCacheline) std::atomic<std::uint64_t> rndv_posted{0};
-  alignas(kCacheline) std::atomic<std::uint64_t> rndv_done{0};
-  const void* rndv_ptr = nullptr;
-  std::size_t rndv_bytes = 0;
-  int rndv_pid = 0;
-};
-
 /// Control block at the start of the shared mapping.
 struct TeamShared {
   BarrierState node_barrier;
@@ -99,7 +81,7 @@ struct TeamShared {
   double time_out[kMaxRanks]{};    ///< per-rank wall time of the last run()
   copy::KernelCounts kernels_out[kMaxRanks]{};  ///< per-rank ISA-tier calls
   SyncCounts sync_out[kMaxRanks]{};             ///< per-rank sync-op counts
-  alignas(kCacheline) std::atomic<std::uint64_t> heap_cursor{0};
+  alignas(kCacheline) mc::atomic<std::uint64_t> heap_cursor{0};
   struct alignas(kCacheline) Persist {
     std::uint64_t coll_seq = 0;
     std::uint64_t tune_seq = 0;  ///< tuner resolve counter (docs/tuning.md)
@@ -305,7 +287,7 @@ class RankCtx {
     return (seq << 32) + step;
   }
 
-  std::atomic<std::uint64_t>& flag(int rank) noexcept {
+  mc::atomic<std::uint64_t>& flag(int rank) noexcept {
     return team_->shared().flag[rank].v;
   }
 

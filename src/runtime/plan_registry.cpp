@@ -112,8 +112,10 @@ PlanSlot* PlanRegistry::acquire(std::uint64_t hash, std::uint64_t fields,
       // Publish the fields first: a racer that wins the same CAS writes the
       // identical value, and a reader that sees `hash` also sees `fields`.
       s.fields.store(fields, std::memory_order_release);
-      if (s.hash.compare_exchange_strong(h, hash,
-                                         std::memory_order_acq_rel)) {
+      if (s.hash.compare_exchange_strong(
+              h, hash,
+              YHCCL_MC_ORDER(plan_claim_release,
+                             std::memory_order_acq_rel))) {
         inserts_.fetch_add(1, std::memory_order_relaxed);
         if (inserted != nullptr) *inserted = true;
         return &s;

@@ -21,8 +21,10 @@ void PageLockTable::lock(std::uintptr_t src_page) {
   SpinGuard guard("page-lock wait", trace::Phase::pagelock);
   for (;;) {
     std::uint32_t expect = 0;
-    if (l.compare_exchange_weak(expect, 1, std::memory_order_acquire,
-                                std::memory_order_relaxed)) {
+    if (l.compare_exchange_weak(
+            expect, 1,
+            YHCCL_MC_ORDER(pagelock_acquire, std::memory_order_acquire),
+            std::memory_order_relaxed)) {
       analysis::hb_acquire(&l);
       return;
     }
@@ -33,7 +35,40 @@ void PageLockTable::lock(std::uintptr_t src_page) {
 void PageLockTable::unlock(std::uintptr_t src_page) noexcept {
   auto& l = locks_[(src_page / kPageBytes) % kLocks].v;
   analysis::hb_release(&l);
-  l.store(0, std::memory_order_release);
+  l.store(0, YHCCL_MC_ORDER(pagelock_release, std::memory_order_release));
+}
+
+void window_publish(RemoteWindow& w, const void* p, std::size_t bytes,
+                    int pid) noexcept {
+  // Single-writer seqlock, Boehm-style (see RemoteWindow's doc comment):
+  // odd marker → release fence → fields → even release store.
+  const std::uint64_t s0 = w.seq.load(std::memory_order_relaxed);
+  w.seq.store(s0 + 1, std::memory_order_relaxed);
+  YHCCL_MC_FENCE(seqlock_writer_fence, std::memory_order_release);
+  w.ptr.store(p, std::memory_order_relaxed);
+  w.bytes.store(bytes, std::memory_order_relaxed);
+  w.pid.store(pid, std::memory_order_relaxed);
+  analysis::hb_release(&w.seq);
+  w.seq.store(s0 + 2, YHCCL_MC_ORDER(seqlock_commit_release,
+                                     std::memory_order_release));
+}
+
+RemoteBuf window_read(const RemoteWindow& w) {
+  SpinGuard guard("remote-buffer seqlock read", trace::Phase::rndv);
+  for (;;) {
+    const std::uint64_t s1 = w.seq.load(std::memory_order_acquire);
+    if ((s1 & 1) == 0) {
+      RemoteBuf rb{w.ptr.load(std::memory_order_relaxed),
+                   w.bytes.load(std::memory_order_relaxed),
+                   w.pid.load(std::memory_order_relaxed)};
+      YHCCL_MC_FENCE(seqlock_reader_fence, std::memory_order_acquire);
+      if (w.seq.load(std::memory_order_relaxed) == s1) {
+        analysis::hb_acquire(&w.seq);
+        return rb;
+      }
+    }
+    guard.relax();
+  }
 }
 
 void PageLockTable::reset() noexcept {

@@ -10,6 +10,15 @@
 namespace yhccl::rt {
 
 void SpinGuard::relax() {
+#ifdef YHCCL_MC
+  // Under a model-checking session the wait must become a scheduling point
+  // instead of a busy loop: park this model rank until a watched location
+  // gains a store it has not read yet (yhccl/mc/checker.hpp).
+  if (mc::session_active()) {
+    mc::detail::sess_spin_yield();
+    return;
+  }
+#endif
   if (++spins_ < 64) {
     _mm_pause();
     return;

@@ -453,8 +453,7 @@ std::uint64_t RankCtx::next_seq() {
 void RankCtx::step_publish(std::uint64_t v) {
   fault_point("flag");
   sync_count_flag_post();
-  analysis::hb_release(&team_->shared().step[rank_].v);
-  team_->shared().step[rank_].v.store(v, std::memory_order_release);
+  flag_publish(team_->shared().step[rank_], v);
   trace::instant(trace::Phase::flag_post, v);
 }
 
@@ -467,38 +466,14 @@ void RankCtx::step_wait(int peer, std::uint64_t v) {
 
 void RankCtx::publish_buffer(int slot, const void* p, std::size_t bytes) {
   YHCCL_REQUIRE(slot >= 0 && slot < kRegistrySlots, "registry slot");
-  auto& w = team_->shared().registry[rank_][slot];
   // Single-writer seqlock (see RemoteWindow): only this rank writes its own
   // registry row, so the unsynchronized seq read-modify-write is safe.
-  const std::uint64_t s0 = w.seq.load(std::memory_order_relaxed);
-  w.seq.store(s0 + 1, std::memory_order_relaxed);  // odd: write in progress
-  std::atomic_thread_fence(std::memory_order_release);
-  w.ptr.store(p, std::memory_order_relaxed);
-  w.bytes.store(bytes, std::memory_order_relaxed);
-  w.pid.store(getpid(), std::memory_order_relaxed);
-  analysis::hb_release(&w.seq);
-  w.seq.store(s0 + 2, std::memory_order_release);  // even: stable
+  window_publish(team_->shared().registry[rank_][slot], p, bytes, getpid());
 }
 
 RemoteBuf RankCtx::remote_buffer(int peer, int slot) const {
   YHCCL_REQUIRE(slot >= 0 && slot < kRegistrySlots, "registry slot");
-  const auto& w = team_->shared().registry[peer][slot];
-  SpinGuard guard("remote-buffer seqlock read", trace::Phase::rndv);
-  for (;;) {
-    const std::uint64_t s1 = w.seq.load(std::memory_order_acquire);
-    if ((s1 & 1) == 0) {
-      RemoteBuf rb{w.ptr.load(std::memory_order_relaxed),
-                   w.bytes.load(std::memory_order_relaxed),
-                   w.pid.load(std::memory_order_relaxed)};
-      // Order the field loads before the recheck (Boehm seqlock reader).
-      std::atomic_thread_fence(std::memory_order_acquire);
-      if (w.seq.load(std::memory_order_relaxed) == s1) {
-        analysis::hb_acquire(&w.seq);
-        return rb;
-      }
-    }
-    guard.relax();
-  }
+  return window_read(team_->shared().registry[peer][slot]);
 }
 
 // ---------------------------------------------------------------------------
@@ -515,17 +490,8 @@ void RankCtx::send(int dst, const void* p, std::size_t n, int tag) {
   const auto* src = static_cast<const std::byte*>(p);
   std::size_t off = 0;
   do {
-    const std::uint64_t t = ch.tail.load(std::memory_order_relaxed);
-    SpinGuard guard("pt2pt send slot wait", trace::Phase::fifo);
-    while (t - ch.head.load(std::memory_order_acquire) >= FifoChannel::kSlots)
-      guard.relax();
-    analysis::hb_acquire(&ch.head);  // slot reuse: consumer freed it
-    const auto slot = static_cast<std::size_t>(t % FifoChannel::kSlots);
     const std::size_t len = std::min(chunk, n - off);
-    if (len > 0) copy::t_copy(data + slot * chunk, src + off, len);
-    ch.meta[slot] = {static_cast<std::uint32_t>(len), tag};
-    analysis::hb_release(&ch.tail);
-    ch.tail.store(t + 1, std::memory_order_release);
+    fifo_push_chunk(ch, data, chunk, src + off, len, tag);
     off += len;
   } while (off < n);
 }
@@ -540,16 +506,7 @@ void RankCtx::recv(int src, void* p, std::size_t n, int tag) {
   auto* dst = static_cast<std::byte*>(p);
   std::size_t off = 0;
   do {
-    const std::uint64_t h = ch.head.load(std::memory_order_relaxed);
-    spin_wait_ge(ch.tail, h + 1, trace::Phase::fifo);
-    const auto slot = static_cast<std::size_t>(h % FifoChannel::kSlots);
-    const auto [len, mtag] = ch.meta[slot];
-    YHCCL_REQUIRE(mtag == tag, "pt2pt tag mismatch");
-    YHCCL_REQUIRE(off + len <= n, "pt2pt recv overflow");
-    if (len > 0) copy::t_copy(dst + off, data + slot * chunk, len);
-    analysis::hb_release(&ch.head);
-    ch.head.store(h + 1, std::memory_order_release);
-    off += len;
+    off += fifo_pop_chunk(ch, data, chunk, dst + off, n - off, tag);
   } while (off < n);
 }
 
@@ -574,32 +531,17 @@ void RankCtx::sendrecv(int dst, const void* sbuf, std::size_t sn, int src,
   while (sent < schunks || received < rchunks) {
     bool progressed = false;
     if (sent < schunks) {
-      const std::uint64_t t = out.tail.load(std::memory_order_relaxed);
-      if (t - out.head.load(std::memory_order_acquire) <
-          FifoChannel::kSlots) {
-        analysis::hb_acquire(&out.head);
-        const auto slot = static_cast<std::size_t>(t % FifoChannel::kSlots);
-        const std::size_t len = std::min(chunk, sn - soff);
-        if (len > 0) copy::t_copy(out_data + slot * chunk, sp + soff, len);
-        out.meta[slot] = {static_cast<std::uint32_t>(len), tag};
-        analysis::hb_release(&out.tail);
-        out.tail.store(t + 1, std::memory_order_release);
+      const std::size_t len = std::min(chunk, sn - soff);
+      if (fifo_try_push_chunk(out, out_data, chunk, sp + soff, len, tag)) {
         soff += len;
         ++sent;
         progressed = true;
       }
     }
     if (received < rchunks) {
-      const std::uint64_t h = in.head.load(std::memory_order_relaxed);
-      if (in.tail.load(std::memory_order_acquire) > h) {
-        analysis::hb_acquire(&in.tail);
-        const auto slot = static_cast<std::size_t>(h % FifoChannel::kSlots);
-        const auto [len, mtag] = in.meta[slot];
-        YHCCL_REQUIRE(mtag == tag, "sendrecv tag mismatch");
-        YHCCL_REQUIRE(roff + len <= rn, "sendrecv recv overflow");
-        if (len > 0) copy::t_copy(rp + roff, in_data + slot * chunk, len);
-        analysis::hb_release(&in.head);
-        in.head.store(h + 1, std::memory_order_release);
+      std::size_t len = 0;
+      if (fifo_try_pop_chunk(in, in_data, chunk, rp + roff, rn - roff, tag,
+                             &len)) {
         roff += len;
         ++received;
         progressed = true;
@@ -613,19 +555,10 @@ void RankCtx::sendrecv_zc(int dst, const void* sbuf, std::size_t sn, int src,
                           void* rbuf, std::size_t rn, RemoteMode mode) {
   fault_point("rndv");
   auto& out = team_->channel(rank_, dst);
-  // Relaxed self-read is safe: rndv_posted is a single-writer counter (only
-  // the sending side of channel (rank_, dst) — i.e. this rank — ever stores
-  // it), and the preceding spin_wait_ge(rndv_done) of the previous exchange
-  // ordered the receiver's reads before this reuse of the descriptor.
-  const std::uint64_t s = out.rndv_posted.load(std::memory_order_relaxed) + 1;
-  out.rndv_ptr = sbuf;
-  out.rndv_bytes = sn;
-  out.rndv_pid = getpid();
-  analysis::hb_release(&out.rndv_posted);
-  out.rndv_posted.store(s, std::memory_order_release);
+  const std::uint64_t s = rndv_post(out, sbuf, sn, getpid());
   recv_zc(src, rbuf, rn, mode);  // has its own rndv span for the pull side
   trace::Span sp(trace::Phase::rndv, sn);
-  spin_wait_ge(out.rndv_done, s, trace::Phase::rndv);
+  rndv_wait_drained(out, s);
 }
 
 // ---------------------------------------------------------------------------
@@ -635,39 +568,14 @@ void RankCtx::sendrecv_zc(int dst, const void* sbuf, std::size_t sn, int src,
 void RankCtx::send_zc(int dst, const void* p, std::size_t n) {
   fault_point("rndv");
   auto& ch = team_->channel(rank_, dst);
-  // rndv_posted: single-writer counter (sender side only) — the relaxed
-  // self-read+1 cannot tear or miss an update.  The descriptor fields are
-  // plain because the release store below publishes them and the receiver's
-  // acquire in spin_wait_ge(rndv_posted) reads them only afterwards; the
-  // sender's own spin_wait_ge(rndv_done) closes the edge before reuse.
-  const std::uint64_t s = ch.rndv_posted.load(std::memory_order_relaxed) + 1;
-  ch.rndv_ptr = p;
-  ch.rndv_bytes = n;
-  ch.rndv_pid = getpid();
-  analysis::hb_release(&ch.rndv_posted);
-  ch.rndv_posted.store(s, std::memory_order_release);
+  const std::uint64_t s = rndv_post(ch, p, n, getpid());
   trace::Span sp(trace::Phase::rndv, n);
-  spin_wait_ge(ch.rndv_done, s, trace::Phase::rndv);
+  rndv_wait_drained(ch, s);
 }
 
 void RankCtx::recv_zc(int src, void* p, std::size_t n, RemoteMode mode) {
   fault_point("rndv");
-  auto& ch = team_->channel(src, rank_);
-  // rndv_done: single-writer counter (receiver side only), same argument
-  // as rndv_posted in send_zc above.
-  const std::uint64_t s = ch.rndv_done.load(std::memory_order_relaxed) + 1;
-  {
-    // Span covers only the descriptor wait: remote_read below may take page
-    // locks whose own wait span must not nest inside (and double-count in)
-    // an rndv one.
-    trace::Span sp(trace::Phase::rndv, n);
-    spin_wait_ge(ch.rndv_posted, s, trace::Phase::rndv);
-  }
-  YHCCL_REQUIRE(ch.rndv_bytes == n, "rendezvous size mismatch");
-  RemoteBuf rb{ch.rndv_ptr, ch.rndv_bytes, ch.rndv_pid};
-  if (n > 0) remote_read(p, rb, 0, n, mode, nullptr);
-  analysis::hb_release(&ch.rndv_done);
-  ch.rndv_done.store(s, std::memory_order_release);
+  rndv_pull(team_->channel(src, rank_), p, n, mode);
 }
 
 }  // namespace yhccl::rt

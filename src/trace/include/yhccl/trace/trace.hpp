@@ -21,12 +21,12 @@
 // dumps the last events of every rank when a run aborts (docs/observability.md).
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 
 #include "yhccl/analysis/hb.hpp"
 #include "yhccl/common/error.hpp"
 #include "yhccl/common/types.hpp"
+#include "yhccl/mc/atomic.hpp"
 
 #if defined(__x86_64__) || defined(__i386__)
 #include <immintrin.h>
@@ -182,9 +182,12 @@ class TraceBuffer {
     auto& next = *ring_next(ring);
     const std::uint64_t n = next.load(std::memory_order_relaxed);
     rec.seq = static_cast<std::uint32_t>(n);
+    analysis::hb_write(&ring_slot(ring, n & mask_), sizeof(Rec),
+                       "trace ring slot");
     ring_slot(ring, n & mask_) = rec;
     analysis::hb_release(&next);
-    next.store(n + 1, std::memory_order_release);
+    next.store(n + 1, YHCCL_MC_ORDER(ring_push_release,
+                                     std::memory_order_release));
   }
 
   /// Records ever pushed to `ring` (acquire: pairs with push's release; the
@@ -199,6 +202,8 @@ class TraceBuffer {
   }
   /// Read record ordinal `i` of `ring`; valid for i in [first_kept, count).
   Rec read(int ring, std::uint64_t i) const noexcept {
+    analysis::hb_read(&ring_slot(ring, i & mask_), sizeof(Rec),
+                      "trace ring slot");
     return ring_slot(ring, i & mask_);
   }
 
@@ -210,9 +215,9 @@ class TraceBuffer {
  private:
   TraceBuffer() = default;
 
-  std::atomic<std::uint64_t>* ring_next(int ring) const noexcept {
-    return reinterpret_cast<std::atomic<std::uint64_t>*>(base() +
-                                                         ring * stride_);
+  mc::atomic<std::uint64_t>* ring_next(int ring) const noexcept {
+    return reinterpret_cast<mc::atomic<std::uint64_t>*>(base() +
+                                                        ring * stride_);
   }
   Rec& ring_slot(int ring, std::uint64_t slot) const noexcept {
     return *reinterpret_cast<Rec*>(base() + ring * stride_ + kCacheline +
@@ -231,7 +236,7 @@ class TraceBuffer {
   Mode mode_ = Mode::off;
   std::uint64_t tsc0_ = 0;   ///< trace_now() at create
   double wall0_ = 0;         ///< wall_seconds() at create
-  mutable std::atomic<std::uint64_t> hz_bits_{0};  ///< cached calibration
+  mutable mc::atomic<std::uint64_t> hz_bits_{0};  ///< cached calibration
 };
 
 namespace detail {

@@ -153,7 +153,7 @@ TraceBuffer* TraceBuffer::create(void* mem, std::size_t bytes, int nranks,
   buf->stride_ = kCacheline + static_cast<std::size_t>(slots) * sizeof(Rec);
   buf->mode_ = mode;
   for (int r = 0; r < buf->nrings(); ++r)
-    new (buf->ring_next(r)) std::atomic<std::uint64_t>(0);
+    new (buf->ring_next(r)) mc::atomic<std::uint64_t>(0);
   buf->wall0_ = wall_seconds();
   buf->tsc0_ = trace_now();
   return buf;

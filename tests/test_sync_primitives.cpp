@@ -17,7 +17,9 @@ using namespace yhccl::rt;
 namespace {
 
 TEST(SpinWait, GeAndEqReturnOnceSatisfied) {
-  std::atomic<std::uint64_t> f{0};
+  // mc::atomic (== std::atomic outside model-checking builds) because the
+  // spin helpers take the interposable type.
+  mc::atomic<std::uint64_t> f{0};
   std::thread t([&] {
     for (int i = 1; i <= 5; ++i) f.store(i, std::memory_order_release);
   });
@@ -86,6 +88,54 @@ TEST_P(BarrierStress, DisseminationBarrierNeverReleasesEarly) {
 INSTANTIATE_TEST_SUITE_P(Sizes, BarrierStress,
                          ::testing::Values(1, 2, 3, 4, 7, 8),
                          [](const auto& i) {
+                           return "n" + std::to_string(i.param);
+                         });
+
+TEST(DisseminationInit, AcceptsMaxRankCountRejectsOneOver) {
+  auto state = std::make_unique<DisseminationBarrierState>();
+  // kMaxBarrierRanks == 256 needs exactly kMaxRounds == 9 signal rounds
+  // (ceil(log2(256)) == 8 fits, but the loop bound must still hold at the
+  // boundary) — the init must accept 256 and reject 257, not index past
+  // flags[round][].
+  EXPECT_NO_THROW(dissemination_init(*state, kMaxBarrierRanks));
+  EXPECT_THROW(dissemination_init(*state, kMaxBarrierRanks + 1), Error);
+  EXPECT_THROW(dissemination_init(*state, 0), Error);
+}
+
+class BarrierWinnerRejoin : public ::testing::TestWithParam<int> {};
+
+// At power-of-two rank counts the central barrier's arrived counter hits n
+// exactly and the winner resets it; a winner that re-joins immediately (no
+// intervening work) must block on the *new* sense, not sail through the
+// epoch it just released.  A lost winner re-join shows up as a counter
+// mismatch.
+TEST_P(BarrierWinnerRejoin, ImmediateReJoinAtPow2Counts) {
+  const int n = GetParam();
+  auto state = std::make_unique<BarrierState>();
+  barrier_init(*state, static_cast<std::uint32_t>(n));
+  std::atomic<int> counter{0};
+  std::atomic<bool> violated{false};
+  constexpr int kIters = 4000;
+  std::vector<std::thread> threads;
+  for (int r = 0; r < n; ++r)
+    threads.emplace_back([&] {
+      std::uint32_t sense = 0;
+      for (int i = 0; i < kIters; ++i) {
+        counter.fetch_add(1);
+        // Back-to-back arrivals: whichever rank wins the first epoch
+        // re-joins the next with zero delay.
+        barrier_arrive(*state, sense);
+        if (counter.load() < (i + 1) * n) violated = true;
+        barrier_arrive(*state, sense);
+      }
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(violated.load());
+  EXPECT_EQ(counter.load(), kIters * n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Pow2, BarrierWinnerRejoin,
+                         ::testing::Values(2, 4, 8), [](const auto& i) {
                            return "n" + std::to_string(i.param);
                          });
 
