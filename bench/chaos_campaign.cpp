@@ -1,0 +1,454 @@
+// Randomized chaos campaign over the resilient execution layer
+// (docs/robustness.md §campaign).  Seeded from $YHCCL_CHAOS_SEED, it draws
+// a few hundred fault schedules — die / stall / corrupt at randomized
+// sites, ranks and iterations — and runs each against a randomly chosen
+// collective, message size, socket layout and backend with automatic
+// retry enabled.  Every schedule must end in one of three coherent
+// outcomes:
+//
+//   ok_clean   — the fault never intersected the execution path (or was a
+//                bounded stall); the result is bit-correct.
+//   ok_healed  — the retry engine absorbed the fault (recover + re-issue)
+//                and the final result is bit-correct.
+//   gaveup     — the run raised a *classified* Error (fault_kind != none)
+//                after exhausting the budget, and one manual recover()
+//                later the same team produces a bit-correct result.
+//
+// Anything else — wrong data, an unclassified exception, a hang past the
+// per-schedule watchdog — is a violation and fails the campaign (exit 2).
+// The aggregate lands in a yhccl-chaos/1 JSON report.
+//
+//   chaos_campaign [report.json]
+//
+//   YHCCL_CHAOS_SEED        campaign seed        (default 20260808)
+//   YHCCL_CHAOS_SCHEDULES   schedules to draw    (default 240)
+//   YHCCL_CHAOS_BUDGET_S    wall-clock cap       (default 300 s)
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "yhccl/coll/coll.hpp"
+#include "yhccl/common/time.hpp"
+#include "yhccl/runtime/fault.hpp"
+#include "yhccl/runtime/process_team.hpp"
+#include "yhccl/runtime/resilience.hpp"
+#include "yhccl/runtime/thread_team.hpp"
+
+using namespace yhccl;
+
+namespace {
+
+// ---- deterministic schedule stream ------------------------------------------
+
+std::uint64_t splitmix64(std::uint64_t& s) {
+  std::uint64_t z = (s += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t env_u64(const char* name, std::uint64_t dflt) {
+  const char* e = std::getenv(name);
+  if (e == nullptr || *e == '\0') return dflt;
+  return std::strtoull(e, nullptr, 10);
+}
+
+// ---- reference data (integer-valued doubles: order-independent sums) --------
+
+double gen(int rank, std::size_t i) {
+  return static_cast<double>(((rank + 3) * 37 +
+                              static_cast<std::int64_t>(i % 1009) * 11) %
+                             127);
+}
+
+double reduce_ref(int p, std::size_t i) {
+  double acc = 0;
+  for (int r = 0; r < p; ++r) acc += gen(r, i);
+  return acc;
+}
+
+// ---- one drawn schedule -----------------------------------------------------
+
+enum class Coll { allreduce, reduce, reduce_scatter, broadcast, allgather };
+
+const char* coll_name(Coll c) {
+  switch (c) {
+    case Coll::allreduce: return "allreduce";
+    case Coll::reduce: return "reduce";
+    case Coll::reduce_scatter: return "reduce_scatter";
+    case Coll::broadcast: return "broadcast";
+    case Coll::allgather: return "allgather";
+  }
+  return "?";
+}
+
+struct Schedule {
+  int index = 0;
+  bool procs = false;
+  int p = 2, m = 1;
+  Coll coll = Coll::allreduce;
+  std::size_t n = 1024;  ///< elements (f64)
+  rt::TuneMode tune = rt::TuneMode::prior;
+  std::string fault;  ///< YHCCL_FAULT-grammar spec
+  std::string policy;
+
+  std::string describe() const {
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "#%d %s p=%d m=%d %s n=%zu tune=%s fault=%s", index,
+                  procs ? "procs" : "threads", p, m, coll_name(coll), n,
+                  tune == rt::TuneMode::online ? "online" : "prior",
+                  fault.c_str());
+    return buf;
+  }
+};
+
+Schedule draw(std::uint64_t campaign_seed, int index) {
+  std::uint64_t rng = campaign_seed + 0x9e3779b97f4a7c15ull *
+                                          static_cast<std::uint64_t>(index + 1);
+  Schedule sc;
+  sc.index = index;
+  sc.procs = (splitmix64(rng) & 1) != 0;
+
+  static const int layouts[][2] = {{2, 1}, {3, 1}, {4, 1}, {4, 2}, {6, 2}};
+  const auto& l = layouts[splitmix64(rng) % 5];
+  sc.p = l[0];
+  sc.m = l[1];
+
+  sc.coll = static_cast<Coll>(splitmix64(rng) % 5);
+  static const std::size_t sizes[] = {512, 4096, 32768, 131072};
+  sc.n = sizes[splitmix64(rng) % 4];
+  sc.tune = (splitmix64(rng) & 1) != 0 ? rt::TuneMode::online
+                                       : rt::TuneMode::prior;
+
+  // The faulting rank is never rank 0: roots keep their source data so a
+  // post-exclusion re-run stays verifiable on both backends.
+  const int victim = 1 + static_cast<int>(splitmix64(rng) %
+                                          static_cast<std::uint64_t>(sc.p - 1));
+  const std::uint64_t iter = splitmix64(rng) % 2;
+  // Weighted toward sites most collectives actually pass, so a healthy
+  // fraction of schedules really fires (misses still count as ok_clean).
+  static const char* sites[] = {"barrier", "barrier",  "flag",
+                                "flag",    "slice",    "slice",
+                                "fifo",    "pipeline", "pagelock"};
+  const char* site = sites[splitmix64(rng) % 9];
+  static const char* sections[] = {"arena", "plans", "fifo"};
+  const char* section = sections[splitmix64(rng) % 3];
+
+  char buf[160];
+  switch (splitmix64(rng) % 5) {
+    case 0:
+    case 1:  // transient death (40%)
+      std::snprintf(buf, sizeof buf, "die@%s:rank=%d:iter=%" PRIu64 ":once=1",
+                    site, victim, iter);
+      break;
+    case 2:  // bounded stall: a merely-slow rank, run must still complete
+      std::snprintf(buf, sizeof buf,
+                    "stall@%s:rank=%d:iter=%" PRIu64 ":ms=40:once=1", site,
+                    victim, iter);
+      break;
+    case 3:  // unbounded stall: watchdog timeout -> classified + retried
+      std::snprintf(buf, sizeof buf,
+                    "stall@%s:rank=%d:iter=%" PRIu64 ":ms=-1:once=1", site,
+                    victim, iter);
+      break;
+    default:  // shared-state corruption in a random section
+      std::snprintf(buf, sizeof buf,
+                    "corrupt@%s:rank=%d:iter=%" PRIu64 ":off=%" PRIu64
+                    ":once=1",
+                    section, victim, iter, splitmix64(rng) % 64);
+      break;
+  }
+  sc.fault = buf;
+
+  char pol[96];
+  std::snprintf(pol, sizeof pol, "retries=2:backoff=1:cap=8:seed=%" PRIu64,
+                campaign_seed + static_cast<std::uint64_t>(index));
+  sc.policy = pol;
+  return sc;
+}
+
+// ---- running one schedule ---------------------------------------------------
+
+struct Buffers {
+  std::vector<double*> send, recv;
+};
+
+/// Allocate + parent-fill the buffer set for `coll` on `team`'s shared heap.
+Buffers prepare(rt::Team& team, const Schedule& sc) {
+  Buffers b;
+  const int p = sc.p;
+  b.send.resize(p);
+  b.recv.resize(p);
+  const std::size_t pn = sc.n * static_cast<std::size_t>(p);
+  for (int r = 0; r < p; ++r) {
+    switch (sc.coll) {
+      case Coll::allreduce:
+      case Coll::reduce:
+        b.send[r] = reinterpret_cast<double*>(
+            team.shared_alloc(sc.n * sizeof(double)));
+        b.recv[r] = reinterpret_cast<double*>(
+            team.shared_alloc(sc.n * sizeof(double)));
+        for (std::size_t i = 0; i < sc.n; ++i) b.send[r][i] = gen(r, i);
+        break;
+      case Coll::reduce_scatter:
+        b.send[r] =
+            reinterpret_cast<double*>(team.shared_alloc(pn * sizeof(double)));
+        b.recv[r] = reinterpret_cast<double*>(
+            team.shared_alloc(sc.n * sizeof(double)));
+        for (std::size_t i = 0; i < pn; ++i) b.send[r][i] = gen(r, i);
+        break;
+      case Coll::broadcast:
+        b.send[r] = reinterpret_cast<double*>(
+            team.shared_alloc(sc.n * sizeof(double)));
+        b.recv[r] = b.send[r];
+        for (std::size_t i = 0; i < sc.n; ++i)
+          b.send[r][i] = r == 0 ? gen(0, i) : -1.0;
+        break;
+      case Coll::allgather:
+        b.send[r] = reinterpret_cast<double*>(
+            team.shared_alloc(sc.n * sizeof(double)));
+        b.recv[r] =
+            reinterpret_cast<double*>(team.shared_alloc(pn * sizeof(double)));
+        for (std::size_t i = 0; i < sc.n; ++i) b.send[r][i] = gen(r, i);
+        break;
+    }
+  }
+  return b;
+}
+
+void run_coll(rt::Team& team, const Schedule& sc, Buffers& b) {
+  team.run([&](rt::RankCtx& ctx) {
+    const int r = ctx.rank();
+    switch (sc.coll) {
+      case Coll::allreduce:
+        coll::allreduce(ctx, b.send[r], b.recv[r], sc.n, Datatype::f64,
+                        ReduceOp::sum);
+        break;
+      case Coll::reduce:
+        coll::reduce(ctx, b.send[r], b.recv[r], sc.n, Datatype::f64,
+                     ReduceOp::sum, 0);
+        break;
+      case Coll::reduce_scatter:
+        coll::reduce_scatter(ctx, b.send[r], b.recv[r], sc.n, Datatype::f64,
+                             ReduceOp::sum);
+        break;
+      case Coll::broadcast:
+        coll::broadcast(ctx, b.send[r], sc.n, Datatype::f64, 0);
+        break;
+      case Coll::allgather:
+        coll::allgather(ctx, b.send[r], b.recv[r], sc.n, Datatype::f64);
+        break;
+    }
+  });
+}
+
+/// Bit-exact verification against the sequential reference over the team's
+/// *surviving* membership (a process-backend death shrinks the team; the
+/// re-issued collective is then over p' ranks and must still be correct).
+bool verify(const rt::Team& team, const Schedule& sc, const Buffers& b,
+            std::string& why) {
+  const int p = team.nranks();
+  char msg[160];
+  const auto fail = [&](int r, std::size_t i, double got, double want) {
+    std::snprintf(msg, sizeof msg, "rank %d elem %zu: got %g want %g", r, i,
+                  got, want);
+    why = msg;
+    return false;
+  };
+  switch (sc.coll) {
+    case Coll::allreduce:
+      for (int r = 0; r < p; ++r)
+        for (std::size_t i = 0; i < sc.n; ++i)
+          if (b.recv[r][i] != reduce_ref(p, i))
+            return fail(r, i, b.recv[r][i], reduce_ref(p, i));
+      return true;
+    case Coll::reduce:
+      for (std::size_t i = 0; i < sc.n; ++i)
+        if (b.recv[0][i] != reduce_ref(p, i))
+          return fail(0, i, b.recv[0][i], reduce_ref(p, i));
+      return true;
+    case Coll::reduce_scatter:
+      for (int r = 0; r < p; ++r)
+        for (std::size_t i = 0; i < sc.n; ++i) {
+          const std::size_t idx = sc.n * static_cast<std::size_t>(r) + i;
+          if (b.recv[r][i] != reduce_ref(p, idx))
+            return fail(r, i, b.recv[r][i], reduce_ref(p, idx));
+        }
+      return true;
+    case Coll::broadcast:
+      for (int r = 0; r < p; ++r)
+        for (std::size_t i = 0; i < sc.n; ++i)
+          if (b.send[r][i] != gen(0, i))
+            return fail(r, i, b.send[r][i], gen(0, i));
+      return true;
+    case Coll::allgather:
+      for (int r = 0; r < p; ++r)
+        for (int a = 0; a < p; ++a)
+          for (std::size_t i = 0; i < sc.n; ++i) {
+            const std::size_t idx = sc.n * static_cast<std::size_t>(a) + i;
+            if (b.recv[r][idx] != gen(a, i))
+              return fail(r, idx, b.recv[r][idx], gen(a, i));
+          }
+      return true;
+  }
+  return false;
+}
+
+struct Tally {
+  int ok_clean = 0, ok_healed = 0, gaveup = 0, violations = 0;
+  std::uint64_t post_sweep_findings = 0;  ///< latent corruption swept at end
+  rt::ResilienceStats stats;  // campaign-wide accumulation
+  std::vector<std::string> log;
+
+  void fold(const rt::ResilienceStats& s) { stats += s; }
+  void violate(const Schedule& sc, const std::string& why) {
+    ++violations;
+    if (log.size() < 16) log.push_back(sc.describe() + " -- " + why);
+    std::fprintf(stderr, "[chaos] VIOLATION %s -- %s\n",
+                 sc.describe().c_str(), why.c_str());
+  }
+};
+
+void run_schedule(const Schedule& sc, Tally& t) {
+  rt::TeamConfig cfg;
+  cfg.nranks = sc.p;
+  cfg.nsockets = sc.m;
+  cfg.scratch_bytes = 32u << 20;
+  cfg.shared_heap_bytes = 96u << 20;  // worst draw: p=6 gather at 1 MiB
+  cfg.sync_timeout = 2.0;  // fast watchdog: hangs become classified aborts
+  cfg.tune = sc.tune;
+  cfg.resilience = rt::ResiliencePolicy::parse(sc.policy);
+  std::unique_ptr<rt::Team> team;
+  if (sc.procs)
+    team = std::make_unique<rt::ProcessTeam>(cfg);
+  else
+    team = std::make_unique<rt::ThreadTeam>(cfg);
+
+  Buffers bufs = prepare(*team, sc);
+  team->set_fault_plan(rt::FaultPlan::parse(sc.fault));
+  std::string why;
+  try {
+    run_coll(*team, sc, bufs);
+    team->set_fault_plan(rt::FaultPlan{});
+    if (!verify(*team, sc, bufs, why)) {
+      t.violate(sc, "silent wrong answer: " + why);
+    } else if (team->resilience_stats().faults > 0) {
+      ++t.ok_healed;
+    } else {
+      ++t.ok_clean;
+    }
+  } catch (const Error& e) {
+    team->set_fault_plan(rt::FaultPlan{});
+    if (e.fault_kind() == FaultKind::none) {
+      t.violate(sc, std::string("unclassified error: ") + e.what());
+    } else {
+      // A coherent give-up must leave a recoverable team behind.
+      try {
+        team->recover();
+        run_coll(*team, sc, bufs);
+        if (!verify(*team, sc, bufs, why))
+          t.violate(sc, "wrong answer after giveup+recover: " + why);
+        else
+          ++t.gaveup;
+      } catch (const std::exception& e2) {
+        t.violate(sc, std::string("team did not heal after giveup: ") +
+                          e2.what());
+      }
+    }
+  } catch (const std::exception& e) {
+    team->set_fault_plan(rt::FaultPlan{});
+    t.violate(sc, std::string("non-yhccl exception: ") + e.what());
+  }
+  // Closing sweep: corruption planted in a section the schedule never read
+  // is latent, not lost — the repairing integrity sweep must still find it.
+  const auto report = team->verify_integrity(true);
+  t.post_sweep_findings += report.findings.size();
+  t.fold(team->resilience_stats());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Line-buffer stdout: process-backend children inherit the stdio buffer
+  // at fork and would replay any unflushed output at exit.
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);
+  const std::uint64_t seed = env_u64("YHCCL_CHAOS_SEED", 20260808ull);
+  const int schedules =
+      static_cast<int>(env_u64("YHCCL_CHAOS_SCHEDULES", 240));
+  const double budget_s =
+      static_cast<double>(env_u64("YHCCL_CHAOS_BUDGET_S", 300));
+  const char* out = argc > 1 ? argv[1] : "CHAOS_campaign.json";
+
+  std::printf("chaos campaign: seed=%" PRIu64 " schedules=%d budget=%.0fs\n",
+              seed, schedules, budget_s);
+  const double t0 = wall_seconds();
+  Tally tally;
+  int ran = 0;
+  bool truncated = false;
+  for (; ran < schedules; ++ran) {
+    if (wall_seconds() - t0 > budget_s) {
+      truncated = true;
+      break;
+    }
+    const Schedule sc = draw(seed, ran);
+    run_schedule(sc, tally);
+    if ((ran + 1) % 40 == 0)
+      std::printf("  [%d/%d] clean=%d healed=%d gaveup=%d violations=%d\n",
+                  ran + 1, schedules, tally.ok_clean, tally.ok_healed,
+                  tally.gaveup, tally.violations);
+  }
+  const double wall = wall_seconds() - t0;
+
+  std::FILE* f = std::fopen(out, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "chaos: cannot write %s\n", out);
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"schema\": \"yhccl-chaos/1\",\n");
+  std::fprintf(f, "  \"seed\": %" PRIu64 ",\n", seed);
+  std::fprintf(f, "  \"schedules_requested\": %d,\n", schedules);
+  std::fprintf(f, "  \"schedules_run\": %d,\n", ran);
+  std::fprintf(f, "  \"truncated\": %s,\n", truncated ? "true" : "false");
+  std::fprintf(f, "  \"wall_s\": %.2f,\n", wall);
+  std::fprintf(f,
+               "  \"outcomes\": {\"ok_clean\": %d, \"ok_healed\": %d, "
+               "\"gaveup_coherent\": %d, \"violations\": %d},\n",
+               tally.ok_clean, tally.ok_healed, tally.gaveup,
+               tally.violations);
+  const auto& s = tally.stats;
+  std::fprintf(f,
+               "  \"resilience\": {\"faults\": %" PRIu64 ", \"retries\": %" PRIu64
+               ", \"recoveries\": %" PRIu64 ", \"heals\": %" PRIu64
+               ", \"giveups\": %" PRIu64 ", \"quarantines\": %" PRIu64
+               ", \"degrades\": %" PRIu64 ", \"corruptions\": %" PRIu64 "},\n",
+               s.faults, s.retries, s.recoveries, s.heals, s.giveups,
+               s.quarantines, s.degrades, s.corruptions);
+  std::fprintf(f, "  \"post_sweep_findings\": %" PRIu64 ",\n",
+               tally.post_sweep_findings);
+  std::fprintf(f, "  \"violation_log\": [");
+  for (std::size_t i = 0; i < tally.log.size(); ++i) {
+    std::fprintf(f, "%s\n    \"", i == 0 ? "" : ",");
+    for (const char c : tally.log[i]) {
+      if (c == '"' || c == '\\') std::fputc('\\', f);
+      std::fputc(c, f);
+    }
+    std::fputc('"', f);
+  }
+  std::fprintf(f, "%s]\n}\n", tally.log.empty() ? "" : "\n  ");
+  std::fclose(f);
+
+  std::printf(
+      "chaos campaign done: %d run (%s), clean=%d healed=%d gaveup=%d "
+      "violations=%d, %.1fs -> %s\n",
+      ran, truncated ? "TRUNCATED by budget" : "complete", tally.ok_clean,
+      tally.ok_healed, tally.gaveup, tally.violations, wall, out);
+  return tally.violations > 0 ? 2 : 0;
+}

@@ -186,6 +186,14 @@ def main() -> int:
         help="force the self-contained scanner",
     )
     ap.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="FILE",
+        help="fail unless FILE (relative to --root) is in the scanned set; "
+        "guards against sync-bearing files drifting out of the lint's reach",
+    )
+    ap.add_argument(
         "dirs",
         nargs="*",
         default=SCAN_DIRS,
@@ -208,6 +216,19 @@ def main() -> int:
         files += sorted(
             p for p in base.rglob("*") if p.suffix in EXTENSIONS
         )
+
+    scanned = {p.resolve() for p in files}
+    missing = [
+        r for r in args.require if (args.root / r).resolve() not in scanned
+    ]
+    if missing:
+        for r in missing:
+            print(
+                f"lint_atomics: required file {r} is not covered by the "
+                f"scan (dirs: {args.dirs})",
+                file=sys.stderr,
+            )
+        return 2
 
     findings = []
     for f in files:

@@ -6,6 +6,7 @@
 #include <new>
 
 #include "yhccl/common/error.hpp"
+#include "yhccl/common/types.hpp"
 
 namespace yhccl::analysis {
 
@@ -68,8 +69,13 @@ std::size_t HbChecker::ncells_for(std::size_t region_bytes) noexcept {
   return ((region_bytes - 1) >> shift) + 1;
 }
 
-std::size_t HbChecker::required_bytes(std::size_t total_cells) noexcept {
-  return sizeof(HbChecker) + total_cells * sizeof(ShadowCell);
+std::size_t HbChecker::required_bytes(std::size_t total_cells) {
+  // total_cells scales with caller-controlled region sizes: a silent wrap
+  // here would size an arena every later cell access trusts.
+  return checked_add(sizeof(HbChecker),
+                     checked_mul(total_cells, sizeof(ShadowCell),
+                                 "hb shadow-cell table"),
+                     "hb checker arena");
 }
 
 HbChecker::HbChecker(int nranks, std::size_t total_cells)

@@ -68,7 +68,8 @@ class HbChecker {
   // ---- sizing (all callable before construction) --------------------------
   static std::size_t cell_shift_for(std::size_t region_bytes) noexcept;
   static std::size_t ncells_for(std::size_t region_bytes) noexcept;
-  static std::size_t required_bytes(std::size_t total_cells) noexcept;
+  /// Throws yhccl::Error when the cell table would overflow std::size_t.
+  static std::size_t required_bytes(std::size_t total_cells);
 
   /// Placement-construct a checker in `mem` (inside a MAP_SHARED mapping,
   /// before fork) with room for `total_cells` shadow cells.

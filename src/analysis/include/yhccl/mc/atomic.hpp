@@ -55,6 +55,7 @@ enum class WeakPoint : std::uint8_t {
   pagelock_release,       ///< page unlock: store(release)
   ring_push_release,      ///< trace ring push: counter store(release)
   plan_claim_release,     ///< plan registry: claiming hash CAS (acq_rel)
+  quar_publish_release,   ///< plan quarantine: mark CAS (acq_rel)
   kCount_,
 };
 
@@ -77,6 +78,7 @@ inline const char* weak_point_name(WeakPoint p) noexcept {
     case WeakPoint::pagelock_release: return "pagelock_release";
     case WeakPoint::ring_push_release: return "ring_push_release";
     case WeakPoint::plan_claim_release: return "plan_claim_release";
+    case WeakPoint::quar_publish_release: return "quar_publish_release";
     case WeakPoint::kCount_: break;
   }
   return "?";

@@ -396,6 +396,51 @@ Spec plan_spec(int n) {
 }
 
 // ---------------------------------------------------------------------------
+// quarantine: message-passing shape of PlanRegistry::quarantine.  The
+// committed plan word is cleared *before* the quarantine mark is raised
+// (release CAS), so any rank that observes the mark (acquire) must also
+// observe the cleared word — never the poisoned plan being pinned out of
+// rotation.  Weakening the mark's order lets a reader honor the quarantine
+// while still serving the stale word it was meant to bury.
+// ---------------------------------------------------------------------------
+
+Spec quarantine_spec(int n) {
+  struct St {
+    std::unique_ptr<std::byte[]> mem;
+    rt::PlanRegistry* reg = nullptr;
+  };
+  auto st = std::make_shared<St>();
+  const std::uint32_t slots = 16;  // the registry's minimum (== probe window)
+  st->mem = std::make_unique<std::byte[]>(
+      rt::PlanRegistry::required_bytes(slots));
+  Spec s;
+  s.nthreads = n;
+  s.reset = [st, slots] {
+    std::memset(st->mem.get(), 0, rt::PlanRegistry::required_bytes(slots));
+    st->reg = rt::PlanRegistry::create(st->mem.get(),
+                                       rt::PlanRegistry::required_bytes(slots),
+                                       slots, 0);
+  };
+  s.body = [st](int r) {
+    if (r == 0) {
+      bool inserted = false;
+      rt::PlanSlot* slot = st->reg->acquire(kPlanHash, kPlanFields, &inserted);
+      require(slot != nullptr, "plan registry probe window exhausted");
+      slot->plan.store(kPlanWord, std::memory_order_release);
+      require(st->reg->quarantine(kPlanHash, /*until_epoch=*/5),
+              "quarantine refused a cached key");
+      return;
+    }
+    rt::PlanSlot* slot = nullptr;
+    while ((slot = st->reg->find(kPlanHash)) == nullptr) spin_pause();
+    while (!rt::PlanRegistry::quarantined(*slot, /*epoch=*/0)) spin_pause();
+    require(slot->plan.load(std::memory_order_relaxed) == 0,
+            "quarantine mark observed with the buried plan word");
+  };
+  return s;
+}
+
+// ---------------------------------------------------------------------------
 // ring: the trace ring's counter release must publish the 32-byte slot
 // record to a concurrent harvester (count/read pair).
 // ---------------------------------------------------------------------------
@@ -439,15 +484,15 @@ Spec ring_spec(int n) {
 
 const std::vector<std::string>& protocol_names() {
   static const std::vector<std::string> names = {
-      "flags", "barrier", "dissemination", "fifo",  "rndv",
-      "pagelock", "seqlock", "plan",        "ring"};
+      "flags", "barrier", "dissemination", "fifo",       "rndv",
+      "pagelock", "seqlock", "plan",        "quarantine", "ring"};
   return names;
 }
 
 bool protocol_supports(const std::string& name, int nthreads) {
   if (nthreads < 2) return false;
   if (name == "fifo" || name == "rndv" || name == "ring" || name == "plan" ||
-      name == "seqlock")
+      name == "seqlock" || name == "quarantine")
     return nthreads <= 3;
   return nthreads <= 4;
 }
@@ -463,6 +508,7 @@ Spec protocol_spec(const std::string& name, int nthreads) {
   if (name == "pagelock") return pagelock_spec(nthreads);
   if (name == "seqlock") return seqlock_spec(nthreads);
   if (name == "plan") return plan_spec(nthreads);
+  if (name == "quarantine") return quarantine_spec(nthreads);
   return ring_spec(nthreads);
 }
 
@@ -492,6 +538,7 @@ const std::vector<Mutation>& mutation_table() {
       {WeakPoint::pagelock_release, "pagelock", 2},
       {WeakPoint::ring_push_release, "ring", 2},
       {WeakPoint::plan_claim_release, "plan", 2},
+      {WeakPoint::quar_publish_release, "quarantine", 2},
   };
   return table;
 }

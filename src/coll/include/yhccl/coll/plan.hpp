@@ -196,6 +196,8 @@ class TunedCall {
   bool active_ = false;
   bool online_ = false;
   bool finished_ = true;
+  bool degraded_ = false;     ///< retry engine pinned the conservative lane
+  bool quarantined_ = false;  ///< this key is pinned out of rotation
 };
 
 /// Packed plan word of the last TunedCall resolved on this thread (0 when

@@ -15,6 +15,7 @@
 #include "yhccl/coll/coll.hpp"
 #include "yhccl/copy/dav.hpp"
 #include "yhccl/copy/isa.hpp"
+#include "yhccl/runtime/resilience.hpp"
 #include "yhccl/runtime/sync_counts.hpp"
 #include "yhccl/trace/export.hpp"
 
@@ -79,6 +80,15 @@ class CollProfiler {
   /// from the phase tracer) into the per-kind records.
   void add_skew(CollKind k, std::uint64_t barriers, double skew_sum,
                 double skew_max) noexcept;
+  /// Fold the team's retry/degrade/quarantine counters (parent-side — the
+  /// retry engine runs outside any rank, so these are per-team, not
+  /// per-kind).  Snapshot-merge: pass the *delta* since the last fold.
+  void add_resilience(const rt::ResilienceStats& s) noexcept {
+    resilience_ += s;
+  }
+  const rt::ResilienceStats& resilience() const noexcept {
+    return resilience_;
+  }
   const Record& get(CollKind k) const noexcept;
   Record total() const noexcept;
 
@@ -98,6 +108,7 @@ class CollProfiler {
 
  private:
   Record records_[static_cast<int>(CollKind::kCount_)];
+  rt::ResilienceStats resilience_;
 };
 
 /// Merge a tracer barrier-skew rollup (trace::Harvest::skew()) into the

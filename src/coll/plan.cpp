@@ -103,6 +103,45 @@ PlanKey make_key(CollKind kind, std::size_t msg_bytes, Datatype d,
   return k;
 }
 
+// ---- structural contract ----------------------------------------------------
+// The runtime's integrity sweep validates stored words against the
+// reserved-bit masks in rt/plan_registry.hpp without unpacking them.  These
+// asserts pin this file's packing to that contract: the used bits and the
+// reserved mask must partition the word exactly, so *any* flipped byte of a
+// committed word lands on a reserved bit or clears the valid bit.
+
+namespace {
+
+constexpr std::uint64_t kWordUsedBits =
+    (std::uint64_t{1} << 63) |  // valid
+    0xfull |                    // algorithm 0-3
+    (0x3ull << 4) |             // nt 4-5
+    (0x3full << 8) |            // slice_log2 8-13
+    (0x3full << 16) |           // chunk_log2 16-21
+    (1ull << 24) |              // nt_prior 24
+    (0x3ull << 25) |            // source 25-26
+    (0xfull << 28);             // arm 28-31
+static_assert((kWordUsedBits & rt::kPlanWordValidBit) != 0,
+              "plan word must carry the contracted valid bit");
+static_assert((kWordUsedBits & rt::kPlanWordReservedMask) == 0,
+              "plan packing writes into contracted reserved bits");
+static_assert((kWordUsedBits | rt::kPlanWordReservedMask) == ~0ull,
+              "plan word bits unaccounted for by the structural contract");
+
+constexpr std::uint64_t kFieldsUsedBits =
+    0xfull |            // kind 0-3
+    (0xfull << 4) |     // dtype 4-7
+    (0xfull << 8) |     // op 8-11
+    (0xffull << 12) |   // bucket 12-19
+    (0xfffull << 20) |  // ranks 20-31
+    (0xffull << 32);    // sockets 32-39
+static_assert((kFieldsUsedBits & rt::kPlanFieldsReservedMask) == 0,
+              "key packing writes into contracted reserved bits");
+static_assert((kFieldsUsedBits | rt::kPlanFieldsReservedMask) == ~0ull,
+              "key field bits unaccounted for by the structural contract");
+
+}  // namespace
+
 // ---- plan packing -----------------------------------------------------------
 // word: valid 63 | algorithm 0-3 | nt 4-5 | slice_log2 8-13 |
 // chunk_log2 16-21 | nt_prior 24 | source 25-26 | arm 28-31.

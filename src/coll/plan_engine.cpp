@@ -7,6 +7,7 @@
 // release/acquire edges are what make rank 0's refinement race-free.
 #include "yhccl/coll/plan.hpp"
 #include "yhccl/common/time.hpp"
+#include "yhccl/runtime/fault.hpp"
 
 namespace yhccl::coll::plan {
 
@@ -48,15 +49,34 @@ TunedCall::TunedCall(rt::RankCtx& ctx, CollKind kind, std::size_t msg_bytes,
     slot = reg->find(hash);
   }
 
-  const std::uint64_t word =
+  // Resilience gates (docs/robustness.md §resume).  Both flags are set
+  // parent-side before run_ranks, so every rank — thread- or fork-backed —
+  // reads the same values and the cross-rank agreement invariant holds.
+  degraded_ = team.degraded();
+  quarantined_ = slot != nullptr &&
+                 rt::PlanRegistry::quarantined(*slot, team.team_epoch());
+  if (ctx.rank() == 0) reg->note_inflight(hash);
+
+  std::uint64_t word =
       slot != nullptr ? slot->plan.load(std::memory_order_acquire) : 0;
+  // Read-side integrity: a committed word must satisfy the structural
+  // contract (valid bit + clear reserved bits); a torn or corrupted word
+  // must never steer the schedule — every rank would unpack garbage and
+  // the team would diverge.  Raise a coherent corruption abort instead.
+  if (!rt::plan_word_sane(word))
+    rt::fault_raise_corruption("plan cache: stored plan word failed "
+                               "structural validation");
+  // Degraded lane / quarantine: ignore the cached word and serve the
+  // deterministic analytic prior.
+  if (degraded_ || quarantined_) word = 0;
   if (word != 0)
     plan_ = Plan::unpack(word);
   else
     plan_ = prior_plan(key_, base_opts_, team.topo(), ctx.cache());
   narms_ = arm_count(key_, base_opts_, team.topo());
 
-  if (online_ && slot != nullptr && narms_ > 1) {
+  if (online_ && slot != nullptr && narms_ > 1 && !degraded_ &&
+      !quarantined_) {
     // Epsilon-greedy exploration.  The schedule is a pure function of
     // (key hash, shared tune_seq), so every rank flips the same coin and
     // picks the same arm with no communication.  tune_seq advances
@@ -97,6 +117,9 @@ TunedCall::TunedCall(rt::RankCtx& ctx, CollKind kind, std::size_t msg_bytes,
 void TunedCall::finish(rt::RankCtx& ctx) {
   if (!active_ || finished_) return;
   finished_ = true;
+  // Success path: clear the in-flight attribution the retry engine would
+  // have charged this key with had the collective aborted.
+  if (ctx.rank() == 0) ctx.team().plan_registry()->note_inflight(0);
   if (!online_) return;
   const double dt = wall_seconds() - t0_;
   // Trailing barrier: every rank's plan-word read for *this* call happened
@@ -105,6 +128,10 @@ void TunedCall::finish(rt::RankCtx& ctx) {
   // which rank 0 only reaches after the store below.
   ctx.barrier();
   if (ctx.rank() != 0 || slot_ == nullptr) return;
+  // Quarantined/degraded calls ran the prior, not their arm: folding their
+  // time into the arm statistics (or re-committing a word) would defeat
+  // the quarantine.  The key re-enters refinement when the mark expires.
+  if (quarantined_ || degraded_) return;
 
   slot_->update_arm(plan_.arm, dt);
 
@@ -141,7 +168,11 @@ Plan query(const rt::Team& team, CollKind kind, std::size_t msg_bytes,
         reg->find(key.hash(team.plan_signature(), opts_signature(opts)));
     if (slot != nullptr) {
       const std::uint64_t w = slot->plan.load(std::memory_order_acquire);
-      if (w != 0) return Plan::unpack(w);
+      if (!rt::plan_word_sane(w))
+        rt::fault_raise_corruption("plan cache: stored plan word failed "
+                                   "structural validation");
+      if (w != 0 && !rt::PlanRegistry::quarantined(*slot, team.team_epoch()))
+        return Plan::unpack(w);
     }
   }
   return prior_plan(key, opts, team.topo(), team.config().cache);

@@ -65,8 +65,19 @@ CollProfiler& CollProfiler::operator+=(const CollProfiler& o) noexcept {
     if (o.records_[k].skew_max > records_[k].skew_max)
       records_[k].skew_max = o.records_[k].skew_max;
   }
+  resilience_ += o.resilience_;
   return *this;
 }
+
+namespace {
+
+bool any_resilience(const rt::ResilienceStats& s) noexcept {
+  return s.faults != 0 || s.retries != 0 || s.recoveries != 0 ||
+         s.degrades != 0 || s.quarantines != 0 || s.corruptions != 0 ||
+         s.giveups != 0 || s.heals != 0;
+}
+
+}  // namespace
 
 std::string CollProfiler::report() const {
   char line[224];
@@ -95,6 +106,20 @@ std::string CollProfiler::report() const {
     emit(coll_kind_name(static_cast<CollKind>(k)), r);
   }
   emit("TOTAL", total());
+  if (any_resilience(resilience_)) {
+    std::snprintf(line, sizeof line,
+                  "resilience: faults=%llu retries=%llu heals=%llu "
+                  "degrades=%llu quarantines=%llu corruptions=%llu "
+                  "giveups=%llu\n",
+                  static_cast<unsigned long long>(resilience_.faults),
+                  static_cast<unsigned long long>(resilience_.retries),
+                  static_cast<unsigned long long>(resilience_.heals),
+                  static_cast<unsigned long long>(resilience_.degrades),
+                  static_cast<unsigned long long>(resilience_.quarantines),
+                  static_cast<unsigned long long>(resilience_.corruptions),
+                  static_cast<unsigned long long>(resilience_.giveups));
+    out += line;
+  }
   return out;
 }
 
@@ -171,6 +196,21 @@ bench::Json CollProfiler::report_json() const {
   }
   j.set("kinds", std::move(kinds));
   j.set("total", record_json(total()));
+  // Emitted only when any counter is nonzero, so pre-resilience reports
+  // stay byte-identical (and round-trip exactly: from_json defaults to
+  // all-zero when the block is absent).
+  if (any_resilience(resilience_)) {
+    auto res = bench::Json::object();
+    res.set("faults", resilience_.faults);
+    res.set("retries", resilience_.retries);
+    res.set("recoveries", resilience_.recoveries);
+    res.set("degrades", resilience_.degrades);
+    res.set("quarantines", resilience_.quarantines);
+    res.set("corruptions", resilience_.corruptions);
+    res.set("giveups", resilience_.giveups);
+    res.set("heals", resilience_.heals);
+    j.set("resilience", std::move(res));
+  }
   return j;
 }
 
@@ -189,6 +229,17 @@ CollProfiler CollProfiler::from_json(const bench::Json& j) {
         kinds->find(coll_kind_name(static_cast<CollKind>(k)));
     if (rec != nullptr)
       p.records_[k] = record_from_json(*rec);
+  }
+  if (const auto* res = j.find("resilience"); res != nullptr) {
+    YHCCL_REQUIRE(res->is_object(), "profiler json: resilience not an object");
+    p.resilience_.faults = (*res)["faults"].as_uint();
+    p.resilience_.retries = (*res)["retries"].as_uint();
+    p.resilience_.recoveries = (*res)["recoveries"].as_uint();
+    p.resilience_.degrades = (*res)["degrades"].as_uint();
+    p.resilience_.quarantines = (*res)["quarantines"].as_uint();
+    p.resilience_.corruptions = (*res)["corruptions"].as_uint();
+    p.resilience_.giveups = (*res)["giveups"].as_uint();
+    p.resilience_.heals = (*res)["heals"].as_uint();
   }
   return p;
 }

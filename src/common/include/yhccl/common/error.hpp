@@ -17,6 +17,7 @@ enum class FaultKind : std::uint8_t {
   peer_dead,      ///< a rank's process died or it left the SPMD function
   peer_diverged,  ///< a rank is alive but in a different collective sequence
   timeout,        ///< a rank stalled (or the cause could not be determined)
+  corruption,     ///< shared control state failed an integrity check
 };
 
 constexpr const char* to_string(FaultKind k) noexcept {
@@ -25,6 +26,7 @@ constexpr const char* to_string(FaultKind k) noexcept {
     case FaultKind::peer_dead: return "peer-dead";
     case FaultKind::peer_diverged: return "peer-diverged";
     case FaultKind::timeout: return "timeout";
+    case FaultKind::corruption: return "corruption";
   }
   return "?";
 }

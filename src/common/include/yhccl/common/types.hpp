@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <string_view>
 
+#include "yhccl/common/error.hpp"
+
 namespace yhccl {
 
 inline constexpr std::size_t kCacheline = 64;
@@ -63,6 +65,38 @@ constexpr std::size_t round_up(std::size_t v, std::size_t a) noexcept {
 
 constexpr std::size_t ceil_div(std::size_t v, std::size_t d) noexcept {
   return d == 0 ? 0 : (v + d - 1) / d;
+}
+
+// ---- overflow-checked size arithmetic --------------------------------------
+// Shared-section layouts are computed from user-controlled knobs (rank
+// counts, chunk/scratch sizes); a silent wrap there maps a too-small region
+// and every later bounds check lies.  These helpers are the only sanctioned
+// way to combine such sizes: they raise instead of wrapping.
+
+[[noreturn]] inline void raise_overflow(const char* what) {
+  raise(std::string("size arithmetic overflow: ") + what);
+}
+
+inline std::size_t checked_add(std::size_t a, std::size_t b,
+                               const char* what = "size addition") {
+  std::size_t r = 0;
+  if (__builtin_add_overflow(a, b, &r)) raise_overflow(what);
+  return r;
+}
+
+inline std::size_t checked_mul(std::size_t a, std::size_t b,
+                               const char* what = "size multiplication") {
+  std::size_t r = 0;
+  if (__builtin_mul_overflow(a, b, &r)) raise_overflow(what);
+  return r;
+}
+
+/// round_up that raises instead of wrapping past SIZE_MAX.
+inline std::size_t checked_round_up(std::size_t v, std::size_t a,
+                                    const char* what = "size round-up") {
+  if (a == 0) return v;
+  const std::size_t bumped = checked_add(v, a - 1, what);
+  return (bumped / a) * a;
 }
 
 }  // namespace yhccl

@@ -5,17 +5,38 @@
 #include "yhccl/analysis/hb.hpp"
 #include "yhccl/common/error.hpp"
 #include "yhccl/copy/kernels.hpp"
+#include "yhccl/runtime/fault.hpp"
 #include "yhccl/runtime/sync.hpp"
 #include "yhccl/trace/trace.hpp"
 
 namespace yhccl::rt {
 
+namespace {
+
+/// Read-side integrity gate (docs/robustness.md): at every instant the
+/// counters sandwich as head <= tail <= head + kSlots — the consumer owns
+/// head and never passes tail, the producer owns tail and never runs more
+/// than the ring capacity ahead.  A flipped byte in either word moves it by
+/// at least 38 (> kSlots), so a corrupted channel raises a coherent
+/// corruption abort here instead of spinning into the watchdog.
+void fifo_check(std::uint64_t head, std::uint64_t tail) {
+  if (head > tail || tail - head > FifoChannel::kSlots)
+    fault_raise_corruption("fifo: head/tail counters out of bounds");
+}
+
+}  // namespace
+
 void fifo_push_chunk(FifoChannel& ch, std::byte* data, std::size_t chunk,
                      const void* src, std::size_t len, int tag) {
   const std::uint64_t t = ch.tail.load(std::memory_order_relaxed);
   SpinGuard guard("pt2pt send slot wait", trace::Phase::fifo);
-  while (t - ch.head.load(std::memory_order_acquire) >= FifoChannel::kSlots)
+  std::uint64_t h = ch.head.load(std::memory_order_acquire);
+  fifo_check(h, t);
+  while (t - h >= FifoChannel::kSlots) {
     guard.relax();
+    h = ch.head.load(std::memory_order_acquire);
+    fifo_check(h, t);
+  }
   analysis::hb_acquire(&ch.head);  // slot reuse: consumer freed it
   const auto slot = static_cast<std::size_t>(t % FifoChannel::kSlots);
   if (len > 0) copy::t_copy(data + slot * chunk, src, len);
@@ -30,8 +51,9 @@ void fifo_push_chunk(FifoChannel& ch, std::byte* data, std::size_t chunk,
 bool fifo_try_push_chunk(FifoChannel& ch, std::byte* data, std::size_t chunk,
                          const void* src, std::size_t len, int tag) {
   const std::uint64_t t = ch.tail.load(std::memory_order_relaxed);
-  if (t - ch.head.load(std::memory_order_acquire) >= FifoChannel::kSlots)
-    return false;
+  const std::uint64_t h = ch.head.load(std::memory_order_acquire);
+  fifo_check(h, t);
+  if (t - h >= FifoChannel::kSlots) return false;
   analysis::hb_acquire(&ch.head);
   const auto slot = static_cast<std::size_t>(t % FifoChannel::kSlots);
   if (len > 0) copy::t_copy(data + slot * chunk, src, len);
@@ -69,6 +91,7 @@ std::size_t fifo_pop_chunk(FifoChannel& ch, const std::byte* data,
                            std::size_t chunk, void* dst, std::size_t cap,
                            int tag) {
   const std::uint64_t h = ch.head.load(std::memory_order_relaxed);
+  fifo_check(h, ch.tail.load(std::memory_order_acquire));
   spin_wait_ge(ch.tail, h + 1, trace::Phase::fifo);
   return fifo_pop_ready(ch, data, chunk, h, dst, cap, tag);
 }
@@ -77,7 +100,9 @@ bool fifo_try_pop_chunk(FifoChannel& ch, const std::byte* data,
                         std::size_t chunk, void* dst, std::size_t cap, int tag,
                         std::size_t* len_out) {
   const std::uint64_t h = ch.head.load(std::memory_order_relaxed);
-  if (ch.tail.load(std::memory_order_acquire) <= h) return false;
+  const std::uint64_t t = ch.tail.load(std::memory_order_acquire);
+  fifo_check(h, t);
+  if (t <= h) return false;
   analysis::hb_acquire(&ch.tail);
   *len_out = fifo_pop_ready(ch, data, chunk, h, dst, cap, tag);
   return true;

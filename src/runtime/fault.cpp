@@ -28,6 +28,9 @@ std::string describe_fault(const FaultInfo& f) {
       what = who + " diverged (collective call sequence mismatch)";
       break;
     case FaultKind::timeout: what = who + " stalled past the watchdog"; break;
+    case FaultKind::corruption:
+      what = who + " detected shared-state corruption";
+      break;
     case FaultKind::none: return "no fault";
   }
   return what + " (team epoch " + std::to_string(f.epoch) + ")";
@@ -41,7 +44,8 @@ namespace {
 
 [[noreturn]] void bad_spec(const std::string& spec, const char* why) {
   raise("YHCCL_FAULT spec '" + spec + "': " + why +
-        " (grammar: die|stall@site[:rank=R][:iter=N][:ms=M])");
+        " (grammar: die|stall|corrupt@site[:rank=R][:iter=N][:ms=M]"
+        "[:off=B][:once=1])");
 }
 
 }  // namespace
@@ -55,6 +59,8 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
     p.action = Action::die;
   else if (action == "stall")
     p.action = Action::stall;
+  else if (action == "corrupt")
+    p.action = Action::corrupt;
   else
     bad_spec(spec, "unknown action");
 
@@ -85,6 +91,10 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
       p.iter = static_cast<std::uint64_t>(num);
     else if (key == "ms")
       p.stall_ms = num;
+    else if (key == "off")
+      p.corrupt_off = static_cast<std::uint64_t>(num);
+    else if (key == "once")
+      p.once = num != 0;
     else
       bad_spec(spec, "unknown option key");
     pos = val_end;
@@ -103,8 +113,9 @@ FaultPlan FaultPlan::from_env() {
 // ---------------------------------------------------------------------------
 
 FaultRunScope::FaultRunScope(FaultState& st, const FaultPlan& plan, int rank,
-                             int nranks, std::uint64_t epoch,
-                             bool forked) noexcept {
+                             int nranks, std::uint64_t epoch, bool forked,
+                             const CorruptTarget* targets,
+                             int ntargets) noexcept {
   auto& c = detail::tl_fault;
   c.st = &st;
   c.plan = plan.active() ? &plan : nullptr;
@@ -113,6 +124,8 @@ FaultRunScope::FaultRunScope(FaultState& st, const FaultPlan& plan, int rank,
   c.epoch = epoch;
   c.forked = forked;
   c.hits = 0;
+  c.targets = targets;
+  c.ntargets = ntargets;
   auto& slot = st.hb[rank];
   slot.pid.store(getpid(), std::memory_order_relaxed);
   slot.epoch.store(epoch, std::memory_order_relaxed);
@@ -262,6 +275,23 @@ void fault_check_dead() {
   raise_abort(c, classify(c), what);
 }
 
+[[noreturn]] void fault_raise_corruption(const char* what) {
+  auto& c = detail::tl_fault;
+  const std::string detail = std::string("integrity check failed: ") + what;
+  if (c.st == nullptr) throw Error(detail, FaultKind::corruption, -1, 0);
+  FaultInfo f{FaultKind::corruption, c.rank, c.epoch};
+  std::uint64_t expect = 0;
+  if (!c.st->abort_word.compare_exchange_strong(
+          expect, FaultState::pack(f), std::memory_order_acq_rel,
+          std::memory_order_acquire)) {
+    const FaultInfo winner = FaultState::unpack(expect);
+    if (winner.epoch == c.epoch) f = winner;
+  }
+  trace::instant(trace::Phase::fault, FaultState::pack(f), 0);
+  throw Error("collective aborted: " + describe_fault(f) + " [" + detail + "]",
+              f.kind, f.rank, f.epoch);
+}
+
 // ---------------------------------------------------------------------------
 // Injection
 // ---------------------------------------------------------------------------
@@ -281,6 +311,24 @@ namespace {
     _exit(kDieExitCode);
   }
   throw FaultInjectedDeath{c.rank, site};
+}
+
+void inject_corrupt(detail::FaultCtx& c) {
+  for (int i = 0; i < c.ntargets; ++i) {
+    const CorruptTarget& t = c.targets[i];
+    if (t.name == nullptr || t.bytes == 0 || c.plan->site != t.name) continue;
+    const std::size_t off =
+        static_cast<std::size_t>(c.plan->corrupt_off) % t.bytes;
+    t.base[off] ^= 0x5a;
+    trace::instant(trace::Phase::fault,
+                   FaultState::pack({FaultKind::corruption, c.rank, c.epoch}),
+                   0);
+    return;
+  }
+  // An unknown section is a spec error: surface it instead of silently
+  // injecting nothing (the campaign would read that as a passing check).
+  raise("YHCCL_FAULT corrupt@" + c.plan->site +
+        ": unknown shared section (plans|fifo|arena)");
 }
 
 void inject_stall(detail::FaultCtx& c) {
@@ -314,8 +362,21 @@ void fault_point(const char* site) {
   const FaultPlan* plan = c.plan;
   if (plan == nullptr) return;
   if (plan->rank >= 0 && plan->rank != c.rank) return;
+  if (plan->action == FaultPlan::Action::corrupt) {
+    // corrupt@<section> counts *every* fault point the matching rank
+    // passes (its site names a shared section, not a call site).
+    if (c.hits++ != plan->iter) return;
+    if (plan->once &&
+        c.st->inject_fired.fetch_add(1, std::memory_order_acq_rel) != 0)
+      return;
+    inject_corrupt(c);
+    return;
+  }
   if (plan->site != site) return;
   if (c.hits++ != plan->iter) return;
+  if (plan->once &&
+      c.st->inject_fired.fetch_add(1, std::memory_order_acq_rel) != 0)
+    return;
   if (plan->action == FaultPlan::Action::die) inject_die(c, site);
   inject_stall(c);
 }

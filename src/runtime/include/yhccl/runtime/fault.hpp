@@ -75,6 +75,9 @@ struct FaultState {
   /// Bumped by Team::recover(); stale ranks (and stale abort words) from
   /// earlier epochs are fenced out by comparing against it.
   alignas(kCacheline) mc::atomic<std::uint64_t> team_epoch{1};
+  /// Number of times the injection plan fired, across runs and retries.
+  /// `:once=1` plans consult it so a self-healing retry is not re-killed.
+  alignas(kCacheline) mc::atomic<std::uint64_t> inject_fired{0};
   HeartbeatSlot hb[kMaxFaultRanks];
 
   static std::uint64_t pack(const FaultInfo& f) noexcept {
@@ -96,16 +99,29 @@ struct FaultState {
 
 /// Deterministic fault-injection plan, parsed from the YHCCL_FAULT grammar
 ///   action '@' site (':' key '=' value)*
-/// with action ∈ {die, stall}, keys rank (default: any rank), iter (default
-/// 0: the first matching hit) and ms (stall bound; default: stall until the
-/// team aborts, capped at a few multiples of the watchdog).
+/// with action ∈ {die, stall, corrupt}, keys rank (default: any rank), iter
+/// (default 0: the first matching hit), ms (stall bound; default: stall
+/// until the team aborts, capped at a few multiples of the watchdog), off
+/// (corrupt: byte offset into the target section, default 0) and once
+/// (fire at most once per team lifetime — across runs and resilient
+/// retries — so a self-healing retry is not re-injected).
+///
+/// For die/stall, `site` names a call site threaded through the sync
+/// primitives (`barrier`, `flag`, `fifo`, `rndv`, `pagelock`, `slice`,
+/// `pipeline`).  For corrupt, `site` instead names a *shared section* to
+/// damage (`plans`, `fifo`, `arena`): the plan fires at the iter-th fault
+/// point the matching rank passes, whatever its call site, and flips one
+/// byte of the section's validated control words — exercising exactly the
+/// integrity checks docs/robustness.md documents.
 struct FaultPlan {
-  enum class Action : std::uint8_t { none = 0, die, stall };
+  enum class Action : std::uint8_t { none = 0, die, stall, corrupt };
   Action action = Action::none;
   std::string site;
   int rank = -1;           ///< -1: any rank
   std::uint64_t iter = 0;  ///< trigger on the iter-th matching hit (per run)
   double stall_ms = -1;    ///< <0: stall until aborted (bounded)
+  std::uint64_t corrupt_off = 0;  ///< corrupt: byte offset into the section
+  bool once = false;       ///< fire at most once per team lifetime
 
   bool active() const noexcept { return action != Action::none; }
   /// Parse a spec; throws yhccl::Error on grammar errors.
@@ -124,6 +140,18 @@ struct FaultInjectedDeath {
   const char* site = nullptr;
 };
 
+/// One corruptible shared section a `corrupt@<name>` plan can target: the
+/// team installs pointers to each section's *validated* control words (plan
+/// slot headers, FIFO head/tail counters, the arena section directory), so
+/// a flipped byte always lands on state some integrity check covers.
+struct CorruptTarget {
+  const char* name = nullptr;
+  unsigned char* base = nullptr;
+  std::size_t bytes = 0;
+};
+
+inline constexpr int kMaxCorruptTargets = 8;
+
 namespace detail {
 /// Per-thread (post-fork: per-process) fault context installed by Team::run
 /// for the duration of one SPMD function.  Null st ⇒ every hook is a no-op.
@@ -135,6 +163,8 @@ struct FaultCtx {
   std::uint64_t epoch = 0;  ///< team epoch this run started under
   bool forked = false;      ///< ranks are processes (enables pid probing)
   std::uint64_t hits = 0;   ///< matching fault-point hits so far this run
+  const CorruptTarget* targets = nullptr;  ///< corrupt@ section table
+  int ntargets = 0;
 };
 extern thread_local FaultCtx tl_fault;
 
@@ -153,7 +183,9 @@ inline void fault_heartbeat() noexcept {
 class FaultRunScope {
  public:
   FaultRunScope(FaultState& st, const FaultPlan& plan, int rank, int nranks,
-                std::uint64_t epoch, bool forked) noexcept;
+                std::uint64_t epoch, bool forked,
+                const CorruptTarget* targets = nullptr,
+                int ntargets = 0) noexcept;
   ~FaultRunScope();
   FaultRunScope(const FaultRunScope&) = delete;
   FaultRunScope& operator=(const FaultRunScope&) = delete;
@@ -180,5 +212,13 @@ void fault_check_dead();
 /// the abort word (first detector wins; losers adopt the winner's verdict)
 /// and throw.  Falls back to a generic timeout error without a context.
 [[noreturn]] void fault_timeout(const char* what);
+
+/// A read-side integrity check tripped: raise a team-wide abort classified
+/// as FaultKind::corruption (blaming the detecting rank's epoch; the
+/// corruption itself has no attributable rank) and throw.  Falls back to a
+/// plain corruption error without an installed context, so standalone
+/// validators (verify_integrity, protocol engines under the model checker)
+/// can use the same entry point.
+[[noreturn]] void fault_raise_corruption(const char* what);
 
 }  // namespace yhccl::rt

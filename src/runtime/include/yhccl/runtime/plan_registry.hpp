@@ -64,6 +64,33 @@ constexpr std::uint64_t plan_mix64(std::uint64_t x) noexcept {
 std::uint64_t plan_signature(const Topology& topo,
                              const copy::CacheConfig& cache) noexcept;
 
+// ---- packed-word structural invariants -------------------------------------
+// The *meaning* of key/plan bits is owned by yhccl/coll/plan.hpp, but their
+// reserved-bit skeleton is contracted here so the runtime's integrity sweep
+// (Team::verify_integrity) and the read-side validators can reject torn or
+// corrupted words without understanding them.  coll/plan.cpp static_asserts
+// its packing against these masks.
+
+/// Bit 63 of a committed plan word (0 = no plan committed).
+inline constexpr std::uint64_t kPlanWordValidBit = 1ull << 63;
+/// Plan-word bits no packer ever sets: 6-7, 14-15, 22-23, 27, 32-62.
+inline constexpr std::uint64_t kPlanWordReservedMask = 0x7fffffff08c0c0c0ull;
+/// Key-fields bits no packer ever sets: 40-63.
+inline constexpr std::uint64_t kPlanFieldsReservedMask = 0xffffff0000000000ull;
+
+/// Structural sanity of a stored plan word: absent, or valid-bit set with
+/// every reserved bit clear.  A single flipped byte always trips this (each
+/// byte of the word overlaps the reserved mask or the valid bit).
+constexpr bool plan_word_sane(std::uint64_t w) noexcept {
+  return w == 0 ||
+         ((w & kPlanWordValidBit) != 0 && (w & kPlanWordReservedMask) == 0);
+}
+
+/// Structural sanity of stored key fields.
+constexpr bool plan_fields_sane(std::uint64_t f) noexcept {
+  return (f & kPlanFieldsReservedMask) == 0;
+}
+
 /// One cached plan.  `hash` is the probe identity (0 = empty); `fields`
 /// holds the unhashed key bits so persistence can reconstruct the key;
 /// `plan` is the committed packed plan (0 = none committed yet: every rank
@@ -73,6 +100,11 @@ struct PlanSlot {
   mc::atomic<std::uint64_t> hash{0};
   mc::atomic<std::uint64_t> fields{0};
   mc::atomic<std::uint64_t> plan{0};
+  /// First team epoch at which this key may be served from cache again
+  /// (0 = not quarantined).  Published with release order *after* the
+  /// committed plan word is cleared, so any rank observing the mark also
+  /// observes the cleared word (model-checked: protocol "quarantine").
+  mc::atomic<std::uint64_t> quar{0};
   mc::atomic<std::uint64_t> hits{0};
   mc::atomic<std::uint64_t> wait_ewma{0};  ///< wait-fraction EWMA (bits)
   mc::atomic<std::uint64_t> arm_ewma[kPlanMaxArms]{};  ///< seconds (bits)
@@ -92,11 +124,13 @@ struct PlanRegistryStats {
   std::uint64_t commits = 0;   ///< plan-word rewrites from refinement
   std::uint64_t loaded = 0;    ///< plans installed from files/warming
   std::uint64_t entries = 0;   ///< live slots right now
+  std::uint64_t quarantines = 0;  ///< keys pinned out of rotation
 };
 
 class PlanRegistry {
  public:
-  static std::size_t required_bytes(std::uint32_t slots) noexcept;
+  /// Throws yhccl::Error when the slot table would overflow std::size_t.
+  static std::size_t required_bytes(std::uint32_t slots);
 
   /// Placement-construct a registry over `bytes` of zeroed shared memory.
   static PlanRegistry* create(void* mem, std::size_t bytes,
@@ -125,6 +159,29 @@ class PlanRegistry {
 
   /// Lazy file-warm handshake: 0 = cold, 1 = one rank is loading, 2 = warm.
   mc::atomic<std::uint32_t>& warm_word() noexcept { return warm_state_; }
+
+  // ---- resilience (docs/robustness.md §resume) -----------------------------
+  /// Pin `hash`'s cached plan out of rotation until `until_epoch`: the
+  /// committed word is cleared (resolvers fall back to the analytic prior)
+  /// and the quarantine mark is raised, monotonically.  False when the key
+  /// is not cached.  Safe concurrently with readers.
+  bool quarantine(std::uint64_t hash, std::uint64_t until_epoch) noexcept;
+
+  /// Is this slot's key quarantined at team epoch `epoch`?
+  static bool quarantined(const PlanSlot& s, std::uint64_t epoch) noexcept {
+    return s.quar.load(YHCCL_MC_ORDER(quar_publish_release,
+                                      std::memory_order_acquire)) > epoch;
+  }
+
+  /// Last plan key rank 0 resolved (best effort): the retry engine reads it
+  /// after a fault to attribute the failure to the in-flight plan.  A plain
+  /// shared word — last resolve wins, cleared on clean completion.
+  void note_inflight(std::uint64_t hash) noexcept {
+    inflight_.store(hash, std::memory_order_relaxed);
+  }
+  std::uint64_t inflight() const noexcept {
+    return inflight_.load(std::memory_order_relaxed);
+  }
 
   // Diagnostics counters.  The per-call ones (lookup/explore/commit) are
   // bumped by rank 0 only, so stats count calls, not calls x ranks.
@@ -171,6 +228,8 @@ class PlanRegistry {
   mc::atomic<std::uint64_t> explores_{0};
   mc::atomic<std::uint64_t> commits_{0};
   mc::atomic<std::uint64_t> loaded_{0};
+  mc::atomic<std::uint64_t> quarantines_{0};
+  mc::atomic<std::uint64_t> inflight_{0};
   mc::atomic<std::uint64_t> class_wait_bits_[kPlanClasses]{};
 };
 

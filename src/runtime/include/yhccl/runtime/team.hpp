@@ -24,6 +24,7 @@
 #include "yhccl/runtime/fault.hpp"
 #include "yhccl/runtime/plan_registry.hpp"
 #include "yhccl/runtime/remote_access.hpp"
+#include "yhccl/runtime/resilience.hpp"
 #include "yhccl/runtime/shm_region.hpp"
 #include "yhccl/runtime/sync.hpp"
 #include "yhccl/runtime/topology.hpp"
@@ -68,7 +69,35 @@ struct TeamConfig {
   /// at construction (unset -> prior, which reproduces the static §5.1
   /// switching rules from the analytic prior).
   TuneMode tune = TuneMode::env;
+  /// Automatic retry/fallback on classified faults (docs/robustness.md).
+  /// The default defers to $YHCCL_RESILIENCE (unset: 0 retries — run() is
+  /// byte-for-byte the legacy rethrow-immediately path).
+  ResiliencePolicy resilience;
 };
+
+/// Integrity header for one section of the team's shared mapping.  Written
+/// parent-side while the team is quiesced (construction, recovery) and
+/// audited by Team::verify_integrity(): the canary catches wild writes, the
+/// epoch-tagged checksum catches bit flips in the header itself.
+struct SectionHeader {
+  std::uint64_t canary = 0;  ///< kSectionCanary ^ off
+  std::uint64_t off = 0;     ///< section offset into the mapping
+  std::uint64_t bytes = 0;   ///< section length
+  std::uint64_t epoch = 0;   ///< team epoch this header was stamped at
+  std::uint64_t sum = 0;     ///< checksum over the four fields above
+};
+
+inline constexpr std::uint64_t kSectionCanary = 0x5948434353454354ull;
+inline constexpr int kMaxSections = 8;
+
+/// Epoch-tagged header checksum (splitmix64 chain over the fields).
+constexpr std::uint64_t section_sum(const SectionHeader& h) noexcept {
+  std::uint64_t s = plan_mix64(h.canary);
+  s = plan_mix64(s ^ h.off);
+  s = plan_mix64(s ^ h.bytes);
+  s = plan_mix64(s ^ h.epoch);
+  return s != 0 ? s : 1;
+}
 
 /// Control block at the start of the shared mapping.
 struct TeamShared {
@@ -91,6 +120,10 @@ struct TeamShared {
   Persist persist[kMaxRanks];
   PageLockTable page_locks;  ///< shared lock table for the CMA emulation
   FaultState fault;          ///< abort word + liveness slots (fault.hpp)
+  /// Arena section directory (integrity sweep).  Plain data: stamped
+  /// parent-side while the team is quiesced, read by verify_integrity().
+  SectionHeader sections[kMaxSections];
+  std::uint64_t nsections = 0;
 };
 
 class RankCtx;
@@ -104,6 +137,14 @@ class Team {
 
   /// Execute `fn` SPMD over all ranks; returns when every rank finished.
   /// Per-rank DAV counters and wall times are captured automatically.
+  ///
+  /// With a resilience policy attached (TeamConfig::resilience or
+  /// $YHCCL_RESILIENCE), a classified fault is handled in place: the team
+  /// recovers (integrity-swept + repaired), backs off deterministically and
+  /// re-issues `fn`, degrading to conservative collective plans and
+  /// quarantining a repeatedly-failing cached plan along the way.  Under
+  /// the default 0-retry policy this is byte-for-byte the legacy
+  /// fail-fast path.
   void run(const std::function<void(RankCtx&)>& fn);
 
   const TeamConfig& config() const noexcept { return cfg_; }
@@ -140,6 +181,37 @@ class Team {
   /// Programmatic route to the YHCCL_FAULT injection layer (tests).
   void set_fault_plan(const FaultPlan& plan) { fault_plan_ = plan; }
   const FaultPlan& fault_plan() const noexcept { return fault_plan_; }
+
+  // ---- resilient execution (docs/robustness.md §resume) --------------------
+  /// The policy run() retries under (resolved against $YHCCL_RESILIENCE at
+  /// construction) and the counters its retry engine maintained so far.
+  const ResiliencePolicy& resilience_policy() const noexcept {
+    return resilience_;
+  }
+  void set_resilience_policy(const ResiliencePolicy& p) {
+    resilience_ = p.resolved();
+  }
+  const ResilienceStats& resilience_stats() const noexcept { return rstats_; }
+  /// True while re-issues run in the degraded algorithm lane (conservative
+  /// plans, no exploration).  Reset on the next successful run().
+  bool degraded() const noexcept { return degraded_; }
+  void set_degraded(bool d) noexcept { degraded_ = d; }
+
+  /// What verify_integrity() found in one sweep of the shared mapping.
+  struct IntegrityReport {
+    std::uint64_t sections_checked = 0;
+    std::uint64_t plan_slots_checked = 0;
+    std::uint64_t channels_checked = 0;
+    std::vector<std::string> findings;
+    bool ok() const noexcept { return findings.empty(); }
+  };
+
+  /// Audit the shared mapping's control state: section-directory canaries
+  /// and epoch-tagged checksums, plan-slot structural invariants, FIFO and
+  /// rendezvous descriptor sanity.  With `repair`, found damage is fixed in
+  /// place (headers re-stamped, bad plan slots wiped, channels re-inited).
+  /// Parent-side, team quiesced.  recover() runs a repairing sweep first.
+  IntegrityReport verify_integrity(bool repair = false);
 
   /// Bump-allocate persistent shared memory (test/app IO buffers).  Valid
   /// in all ranks of both backends; never freed until the Team dies.
@@ -207,6 +279,15 @@ class Team {
   int nranks_ = 0;           ///< active membership (≤ cfg_.nranks)
   std::vector<int> active_;  ///< logical rank -> original rank id
   FaultPlan fault_plan_;     ///< parsed from $YHCCL_FAULT at construction
+  ResiliencePolicy resilience_;  ///< resolved retry policy
+  ResilienceStats rstats_;       ///< parent-side retry/degrade counters
+  bool degraded_ = false;        ///< serve conservative plans (both backends
+                                 ///< see this: threads share it, forked ranks
+                                 ///< inherit it at fork time)
+  std::uint64_t fail_hash_ = 0;  ///< plan key of the last faulting attempt
+  int fail_streak_ = 0;          ///< consecutive faults on that key
+  CorruptTarget corrupt_targets_[kMaxCorruptTargets];
+  int n_corrupt_targets_ = 0;
   Topology topo_;
   ShmRegion region_;
   std::size_t off_channels_ = 0;
@@ -229,6 +310,13 @@ class Team {
   /// Write the flight-recorder dump for the abort currently recorded in the
   /// team's fault word (flight mode only; no-op when already dumped).
   void flight_dump();
+  /// One attempt of run(): the pre-resilience body, byte for byte.
+  void run_once(const std::function<void(RankCtx&)>& fn);
+  /// (Re-)write the arena section directory for the current team epoch.
+  void stamp_sections();
+  /// Retry-engine bookkeeping: track the consecutive-fault streak on the
+  /// in-flight plan key and quarantine it once the streak repeats.
+  void note_failed_plan(std::uint64_t hash);
 };
 
 /// Per-rank handle passed to SPMD functions; everything a collective needs.

@@ -68,9 +68,11 @@ void PlanSlot::update_arm(int arm, double seconds) noexcept {
   arm_n[arm].fetch_add(1, std::memory_order_relaxed);
 }
 
-std::size_t PlanRegistry::required_bytes(std::uint32_t slots) noexcept {
-  return round_up(sizeof(PlanRegistry), kCacheline) +
-         static_cast<std::size_t>(slots) * sizeof(PlanSlot);
+std::size_t PlanRegistry::required_bytes(std::uint32_t slots) {
+  return checked_add(round_up(sizeof(PlanRegistry), kCacheline),
+                     checked_mul(static_cast<std::size_t>(slots),
+                                 sizeof(PlanSlot), "plan slot table"),
+                     "plan registry segment");
 }
 
 PlanRegistry* PlanRegistry::create(void* mem, std::size_t bytes,
@@ -127,6 +129,28 @@ PlanSlot* PlanRegistry::acquire(std::uint64_t hash, std::uint64_t fields,
   return nullptr;  // probe window exhausted; caller serves the prior
 }
 
+bool PlanRegistry::quarantine(std::uint64_t hash,
+                              std::uint64_t until_epoch) noexcept {
+  PlanSlot* s = find(hash);
+  if (s == nullptr) return false;
+  // Clear the committed word *before* publishing the mark: the release CAS
+  // below orders the clear ahead of the mark, so a rank that acquires the
+  // mark can never serve the stale (failing) plan word.  Model-checked as
+  // protocol "quarantine"; weakening this order is mutation-caught.
+  s->plan.store(0, std::memory_order_relaxed);
+  std::uint64_t cur = s->quar.load(std::memory_order_relaxed);
+  while (cur < until_epoch) {
+    if (s->quar.compare_exchange_weak(
+            cur, until_epoch,
+            YHCCL_MC_ORDER(quar_publish_release, std::memory_order_acq_rel),
+            std::memory_order_relaxed)) {
+      quarantines_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+  }
+  return true;
+}
+
 PlanRegistryStats PlanRegistry::stats() const noexcept {
   PlanRegistryStats st;
   st.lookups = lookups_.load(std::memory_order_relaxed);
@@ -136,6 +160,7 @@ PlanRegistryStats PlanRegistry::stats() const noexcept {
   st.explores = explores_.load(std::memory_order_relaxed);
   st.commits = commits_.load(std::memory_order_relaxed);
   st.loaded = loaded_.load(std::memory_order_relaxed);
+  st.quarantines = quarantines_.load(std::memory_order_relaxed);
   for (std::uint32_t i = 0; i < slots_; ++i)
     if (slot(i).hash.load(std::memory_order_relaxed) != 0) ++st.entries;
   return st;

@@ -1,0 +1,125 @@
+#include "yhccl/runtime/resilience.hpp"
+
+#include <time.h>
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "yhccl/common/error.hpp"
+
+namespace yhccl::rt {
+
+namespace {
+
+[[noreturn]] void bad_spec(const std::string& spec, const char* why) {
+  raise("YHCCL_RESILIENCE spec '" + spec + "': " + why +
+        " (grammar: retries=N[:backoff=MS][:cap=MS][:seed=S][:degrade=K]"
+        "[:quarantine=E])");
+}
+
+/// splitmix64 — the one-word PRNG the tuner's plan_mix64 also uses; good
+/// enough jitter and trivially reproducible from (seed, attempt).
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ResiliencePolicy ResiliencePolicy::parse(const std::string& spec) {
+  ResiliencePolicy p;
+  p.max_retries = 0;
+  bool saw_retries = false;
+  std::size_t pos = 0;
+  while (pos != std::string::npos && pos < spec.size()) {
+    const auto eq = spec.find('=', pos);
+    if (eq == std::string::npos) bad_spec(spec, "option without '='");
+    const std::string key = spec.substr(pos, eq - pos);
+    const auto val_end = spec.find(':', eq + 1);
+    const std::string val = spec.substr(
+        eq + 1, val_end == std::string::npos ? std::string::npos
+                                             : val_end - (eq + 1));
+    char* end = nullptr;
+    errno = 0;
+    const double num = std::strtod(val.c_str(), &end);
+    if (val.empty() || end == nullptr || *end != '\0' || errno != 0)
+      bad_spec(spec, "option value is not a number");
+    if (key == "retries") {
+      if (num < 0) bad_spec(spec, "retries must be >= 0");
+      p.max_retries = static_cast<int>(num);
+      saw_retries = true;
+    } else if (key == "backoff") {
+      if (num < 0) bad_spec(spec, "backoff must be >= 0");
+      p.backoff_ms = num;
+    } else if (key == "cap") {
+      if (num < 0) bad_spec(spec, "cap must be >= 0");
+      p.backoff_cap_ms = num;
+    } else if (key == "seed") {
+      p.seed = static_cast<std::uint64_t>(num);
+    } else if (key == "degrade") {
+      if (num < 1) bad_spec(spec, "degrade must be >= 1");
+      p.degrade_after = static_cast<int>(num);
+    } else if (key == "quarantine") {
+      if (num < 1) bad_spec(spec, "quarantine must be >= 1");
+      p.quarantine_epochs = static_cast<std::uint64_t>(num);
+    } else {
+      bad_spec(spec, "unknown option key");
+    }
+    pos = val_end == std::string::npos ? std::string::npos : val_end + 1;
+  }
+  if (!saw_retries) bad_spec(spec, "missing retries=N");
+  return p;
+}
+
+ResiliencePolicy ResiliencePolicy::from_env() {
+  const char* e = std::getenv("YHCCL_RESILIENCE");
+  if (e == nullptr || *e == '\0') {
+    ResiliencePolicy p;
+    p.max_retries = 0;
+    return p;
+  }
+  return parse(e);
+}
+
+ResiliencePolicy ResiliencePolicy::resolved() const {
+  if (max_retries >= 0) return *this;
+  ResiliencePolicy env = from_env();
+  // Explicit non-default knobs on the config side win over the env's
+  // defaults; only the retry count itself was deferred.
+  ResiliencePolicy p = *this;
+  p.max_retries = env.max_retries;
+  if (env.max_retries > 0) {
+    p.backoff_ms = env.backoff_ms;
+    p.backoff_cap_ms = env.backoff_cap_ms;
+    p.seed = env.seed;
+    p.degrade_after = env.degrade_after;
+    p.quarantine_epochs = env.quarantine_epochs;
+  }
+  return p;
+}
+
+double resilience_backoff_ms(const ResiliencePolicy& p, int attempt) noexcept {
+  if (p.backoff_ms <= 0) return 0;
+  double ms = p.backoff_ms;
+  for (int i = 0; i < attempt && ms < p.backoff_cap_ms; ++i) ms *= 2;
+  if (ms > p.backoff_cap_ms) ms = p.backoff_cap_ms;
+  const std::uint64_t r =
+      mix64(p.seed ^ static_cast<std::uint64_t>(attempt));
+  const double u =
+      static_cast<double>(r >> 11) / static_cast<double>(1ull << 53);
+  return ms * (0.5 + 0.5 * u);
+}
+
+void resilience_backoff_sleep(const ResiliencePolicy& p,
+                              int attempt) noexcept {
+  const double ms = resilience_backoff_ms(p, attempt);
+  if (ms <= 0) return;
+  const auto ns = static_cast<long long>(ms * 1e6);
+  timespec ts{static_cast<time_t>(ns / 1'000'000'000),
+              static_cast<long>(ns % 1'000'000'000)};
+  nanosleep(&ts, nullptr);
+}
+
+}  // namespace yhccl::rt

@@ -83,13 +83,18 @@ Team::Team(TeamConfig cfg) : cfg_(cfg), topo_(cfg.nranks, cfg.nsockets) {
   YHCCL_REQUIRE(cfg_.chunk_bytes >= 256, "pt2pt chunk too small");
   apply_sync_timeout(cfg_);
   fault_plan_ = FaultPlan::from_env();
+  resilience_ = cfg_.resilience.resolved();
   nranks_ = cfg_.nranks;
   active_.resize(static_cast<std::size_t>(nranks_));
   std::iota(active_.begin(), active_.end(), 0);
 
+  // All layout arithmetic below is overflow-checked: these sizes multiply
+  // user-controlled knobs, and a silent wrap would map a too-small region
+  // that every later bounds check trusts.
   const std::size_t p = static_cast<std::size_t>(cfg_.nranks);
-  const std::size_t nchan = p * p;
-  const std::size_t chan_data = FifoChannel::kSlots * cfg_.chunk_bytes;
+  const std::size_t nchan = checked_mul(p, p, "channel count");
+  const std::size_t chan_data =
+      checked_mul(FifoChannel::kSlots, cfg_.chunk_bytes, "channel data");
 
   bool with_hb = want_hb_checker(cfg_);
   if (with_hb && cfg_.nranks > analysis::HbChecker::kMaxHbRanks) {
@@ -125,21 +130,25 @@ Team::Team(TeamConfig cfg) : cfg_(cfg), topo_(cfg.nranks, cfg.nsockets) {
       tune_mode_ == TuneMode::off ? 0
                                   : PlanRegistry::required_bytes(kPlanSlots);
 
-  std::size_t off = round_up(sizeof(TeamShared), kPageAlign);
+  const auto section = [](std::size_t off, std::size_t bytes) {
+    return checked_round_up(checked_add(off, bytes, "section size"),
+                            kPageAlign, "section alignment");
+  };
+  std::size_t off = section(0, sizeof(TeamShared));
   off_channels_ = off;
-  off = round_up(off + nchan * sizeof(FifoChannel), kPageAlign);
+  off = section(off, checked_mul(nchan, sizeof(FifoChannel), "channels"));
   off_chan_data_ = off;
-  off = round_up(off + nchan * chan_data, kPageAlign);
+  off = section(off, checked_mul(nchan, chan_data, "channel arenas"));
   off_heap_ = off;
-  off = round_up(off + cfg_.shared_heap_bytes, kPageAlign);
+  off = section(off, cfg_.shared_heap_bytes);
   off_scratch_ = off;
-  off = round_up(off + cfg_.scratch_bytes, kPageAlign);
+  off = section(off, cfg_.scratch_bytes);
   off_hb_ = off;
-  off = round_up(off + hb_bytes, kPageAlign);
+  off = section(off, hb_bytes);
   off_trace_ = off;
-  off = round_up(off + trace_bytes, kPageAlign);
+  off = section(off, trace_bytes);
   off_plans_ = off;
-  off = round_up(off + plan_bytes, kPageAlign);
+  off = section(off, plan_bytes);
 
   region_ = ShmRegion::create_anonymous(off);
   shared_ = new (region_.data()) TeamShared();
@@ -165,6 +174,23 @@ Team::Team(TeamConfig cfg) : cfg_(cfg), topo_(cfg.nranks, cfg.nsockets) {
   if (plan_bytes != 0)
     plans_ = PlanRegistry::create(region_.data() + off_plans_, plan_bytes,
                                   kPlanSlots, tune_eps_mille_from_env());
+
+  stamp_sections();
+
+  // Register the corrupt@<section> injection targets: pointers at the
+  // *validated* control words of each shared section, so a flipped byte
+  // always lands on state some integrity check covers (fault.hpp).
+  const auto add_target = [this](const char* name, void* base,
+                                 std::size_t bytes) {
+    if (n_corrupt_targets_ >= kMaxCorruptTargets) return;
+    corrupt_targets_[n_corrupt_targets_++] =
+        CorruptTarget{name, static_cast<unsigned char*>(base), bytes};
+  };
+  add_target("arena", shared_->sections, sizeof(shared_->sections));
+  if (plans_ != nullptr)
+    add_target("plans", &plans_->slot(0).plan, sizeof(std::uint64_t));
+  add_target("fifo", &channel(0, cfg_.nranks > 1 ? 1 : 0).head,
+             sizeof(std::uint64_t));
 }
 
 Team::~Team() {
@@ -235,7 +261,8 @@ std::byte* Team::shared_alloc(std::size_t bytes, std::size_t align) {
   std::uint64_t base;
   do {
     base = (old + align - 1) & ~(static_cast<std::uint64_t>(align) - 1);
-    YHCCL_REQUIRE(base + bytes <= cfg_.shared_heap_bytes,
+    YHCCL_REQUIRE(checked_add(base, bytes, "shared heap reservation") <=
+                      cfg_.shared_heap_bytes,
                   "shared heap exhausted");
   } while (!cur.compare_exchange_weak(old, base + bytes,
                                       std::memory_order_relaxed));
@@ -243,6 +270,61 @@ std::byte* Team::shared_alloc(std::size_t bytes, std::size_t align) {
 }
 
 void Team::run(const std::function<void(RankCtx&)>& fn) {
+  if (!resilience_.enabled()) {
+    // Legacy fail-fast path, untouched: tests pin it allocation- and
+    // barrier-identical to the pre-resilience run().
+    run_once(fn);
+    return;
+  }
+  degraded_ = false;
+  for (int attempt = 0;; ++attempt) {
+    try {
+      run_once(fn);
+      if (attempt > 0) ++rstats_.heals;
+      if (plans_ != nullptr) fail_streak_ = 0;
+      degraded_ = false;
+      return;
+    } catch (const Error& e) {
+      // Only classified faults are retryable: an invariant/syscall error
+      // (kind none) means a bug, not a fault — hand it straight back.
+      if (e.fault_kind() == FaultKind::none) throw;
+      ++rstats_.faults;
+      const std::uint64_t bad_plan =
+          plans_ != nullptr ? plans_->inflight() : 0;
+      if (attempt >= resilience_.max_retries) {
+        ++rstats_.giveups;
+        throw;
+      }
+      recover();  // repairing integrity sweep + shared-state rebuild
+      ++rstats_.recoveries;
+      ++rstats_.retries;
+      note_failed_plan(bad_plan);
+      if (attempt + 1 >= resilience_.degrade_after && !degraded_) {
+        degraded_ = true;
+        ++rstats_.degrades;
+        if (trace_ != nullptr) {
+          const std::uint64_t t = trace::trace_now();
+          trace_->push(
+              trace_->control_ring(),
+              trace::Rec{t, t, team_epoch(),
+                         static_cast<std::uint8_t>(trace::Phase::degrade), 0,
+                         0, trace::kFlagInstant, 0});
+        }
+      }
+      if (trace_ != nullptr) {
+        const std::uint64_t t = trace::trace_now();
+        trace_->push(trace_->control_ring(),
+                     trace::Rec{t, t,
+                                static_cast<std::uint64_t>(attempt + 1),
+                                static_cast<std::uint8_t>(trace::Phase::retry),
+                                0, 0, trace::kFlagInstant, 0});
+      }
+      resilience_backoff_sleep(resilience_, attempt);
+    }
+  }
+}
+
+void Team::run_once(const std::function<void(RankCtx&)>& fn) {
   // Pre-run reset, on the caller thread while the team is quiesced: an
   // abort word or tombstones left by a previous failed run describe *that*
   // run's fault (kept readable via last_fault() until here) and must not
@@ -260,7 +342,8 @@ void Team::run(const std::function<void(RankCtx&)>& fn) {
     run_ranks([&, epoch](int rank) {
       RankCtx ctx(*this, rank);
       FaultRunScope fault_scope(shared_->fault, fault_plan_, rank, nranks_,
-                                epoch, forked_ranks());
+                                epoch, forked_ranks(), corrupt_targets_,
+                                n_corrupt_targets_);
       HbRunScope hb_scope(hb_, rank);
       // The rank's trace ring is indexed by *original* rank id so harvests
       // line up across recoveries that shrank the membership.
@@ -298,6 +381,12 @@ FaultInfo Team::recover() {
   // The flight recorder fires before the rebuild wipes the abort word (a
   // no-op when run() already dumped this fault, or when nothing aborted).
   if (trace_mode_ == trace::Mode::flight) flight_dump();
+
+  // Repairing integrity sweep *before* the rebuild: corrupted plan slots
+  // are wiped (the rebuild below does not touch the plan cache) and damage
+  // is counted while the evidence still exists.
+  const IntegrityReport integrity = verify_integrity(/*repair=*/true);
+  rstats_.corruptions += integrity.findings.size();
 
   // Membership: drop ranks whose *process* died (reap bookkeeping).  A
   // thread-backed rank's death is only a modelling device — the thread is
@@ -385,7 +474,163 @@ FaultInfo Team::recover() {
                             0, 0, trace::kFlagInstant, 0});
   }
   flight_dumped_ = false;  // the next epoch's fault deserves its own dump
+
+  // Re-stamp the section directory under the new epoch: the epoch-tagged
+  // checksums from before recovery stop validating, so tampering that
+  // happened under the old epoch cannot be replayed into the new one.
+  stamp_sections();
   return info;
+}
+
+void Team::stamp_sections() {
+  const std::uint64_t epoch = team_epoch();
+  const std::size_t ends[kMaxSections] = {
+      off_channels_, off_chan_data_, off_heap_,  off_scratch_,
+      off_hb_,       off_trace_,     off_plans_, region_.size()};
+  std::size_t start = 0;
+  shared_->nsections = kMaxSections;
+  for (int i = 0; i < kMaxSections; ++i) {
+    SectionHeader& h = shared_->sections[i];
+    h.off = start;
+    h.bytes = ends[i] - start;
+    h.canary = kSectionCanary ^ h.off;
+    h.epoch = epoch;
+    h.sum = section_sum(h);
+    start = ends[i];
+  }
+}
+
+void Team::note_failed_plan(std::uint64_t hash) {
+  if (plans_ == nullptr || hash == 0) {
+    fail_streak_ = 0;
+    return;
+  }
+  if (hash == fail_hash_) {
+    ++fail_streak_;
+  } else {
+    fail_hash_ = hash;
+    fail_streak_ = 1;
+  }
+  // Two consecutive faults on the same key: stop re-selecting its cached
+  // plan.  until_epoch is measured from the *post-recovery* epoch, so the
+  // quarantine outlives the recovery that just happened.
+  if (fail_streak_ >= 2) {
+    if (plans_->quarantine(hash,
+                           team_epoch() + resilience_.quarantine_epochs))
+      ++rstats_.quarantines;
+    fail_streak_ = 0;
+  }
+}
+
+Team::IntegrityReport Team::verify_integrity(bool repair) {
+  IntegrityReport rep;
+  const auto note = [&rep](std::string what) {
+    rep.findings.push_back(std::move(what));
+  };
+
+  // --- arena section directory ----------------------------------------------
+  const std::uint64_t epoch = team_epoch();
+  const std::uint64_t n = shared_->nsections;
+  if (n == 0 || n > static_cast<std::uint64_t>(kMaxSections)) {
+    note("section directory: count " + std::to_string(n) + " out of range");
+  } else {
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const SectionHeader& h = shared_->sections[i];
+      ++rep.sections_checked;
+      const std::string who = "section " + std::to_string(i);
+      if (h.canary != (kSectionCanary ^ h.off))
+        note(who + ": canary mismatch");
+      else if (h.sum != section_sum(h))
+        note(who + ": checksum mismatch");
+      else if (h.epoch > epoch)
+        note(who + ": stamped under future epoch " + std::to_string(h.epoch));
+      else if (h.off % kPageAlign != 0 && h.off != 0)
+        note(who + ": unaligned offset");
+      else if (h.off > region_.size() ||
+               h.bytes > region_.size() - h.off)
+        note(who + ": exceeds the mapping");
+    }
+  }
+
+  // --- plan slots -----------------------------------------------------------
+  if (plans_ != nullptr) {
+    for (std::uint32_t i = 0; i < plans_->capacity(); ++i) {
+      PlanSlot& s = plans_->slot(i);
+      ++rep.plan_slots_checked;
+      const std::uint64_t h = s.hash.load(std::memory_order_acquire);
+      const std::uint64_t f = s.fields.load(std::memory_order_relaxed);
+      const std::uint64_t w = s.plan.load(std::memory_order_relaxed);
+      const std::string who = "plan slot " + std::to_string(i);
+      bool bad = false;
+      if (h == 0) {
+        if (f != 0 || w != 0) {
+          note(who + ": residue in an empty slot");
+          bad = true;
+        }
+      } else {
+        if (!plan_fields_sane(f)) {
+          note(who + ": reserved key-field bits set");
+          bad = true;
+        }
+        if (!plan_word_sane(w)) {
+          note(who + ": plan word failed structural validation");
+          bad = true;
+        }
+      }
+      if (bad && repair) {
+        // Wipe the slot: readers fall back to the analytic prior, and the
+        // probe hole at worst hides later slots of the same window (they
+        // regenerate on the next resolve).
+        s.plan.store(0, std::memory_order_relaxed);
+        s.fields.store(0, std::memory_order_relaxed);
+        s.quar.store(0, std::memory_order_relaxed);
+        s.hits.store(0, std::memory_order_relaxed);
+        s.wait_ewma.store(0, std::memory_order_relaxed);
+        for (int a = 0; a < kPlanMaxArms; ++a) {
+          s.arm_ewma[a].store(0, std::memory_order_relaxed);
+          s.arm_n[a].store(0, std::memory_order_relaxed);
+        }
+        s.hash.store(0, std::memory_order_release);
+      }
+    }
+  }
+
+  // --- FIFO / rendezvous descriptors ----------------------------------------
+  const std::size_t nchan = static_cast<std::size_t>(cfg_.nranks) *
+                            static_cast<std::size_t>(cfg_.nranks);
+  auto* chans = reinterpret_cast<FifoChannel*>(region_.data() + off_channels_);
+  for (std::size_t c = 0; c < nchan; ++c) {
+    FifoChannel& ch = chans[c];
+    ++rep.channels_checked;
+    const std::uint64_t head = ch.head.load(std::memory_order_relaxed);
+    const std::uint64_t tail = ch.tail.load(std::memory_order_relaxed);
+    const std::uint64_t posted = ch.rndv_posted.load(std::memory_order_relaxed);
+    const std::uint64_t done = ch.rndv_done.load(std::memory_order_relaxed);
+    const std::string who = "fifo channel " + std::to_string(c);
+    bool bad = false;
+    if (head > tail || tail - head > FifoChannel::kSlots) {
+      note(who + ": head/tail counters out of bounds");
+      bad = true;
+    }
+    for (std::uint64_t s = 0; s < FifoChannel::kSlots; ++s) {
+      if (ch.meta[s].bytes > cfg_.chunk_bytes) {
+        note(who + ": slot descriptor exceeds the chunk arena");
+        bad = true;
+        break;
+      }
+    }
+    if (done > posted) {
+      note(who + ": rendezvous retired more descriptors than posted");
+      bad = true;
+    }
+    if (bad && repair) {
+      ch.~FifoChannel();
+      new (&ch) FifoChannel();
+    }
+  }
+
+  if (repair && !rep.findings.empty()) stamp_sections();
+  return rep;
 }
 
 std::uint64_t Team::hb_races() const { return hb_ != nullptr ? hb_->races() : 0; }

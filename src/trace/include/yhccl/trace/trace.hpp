@@ -68,6 +68,8 @@ enum class Phase : std::uint8_t {
   pagelock,   ///< page-lock acquisition (CMA emulation)
   fault,      ///< instant: abort observed / death injected (variant = site)
   recover,    ///< instant: Team::recover() epoch bump (control ring)
+  retry,      ///< instant: resilient run() re-issue (control ring)
+  degrade,    ///< instant: retry entered the degraded plan lane
   kCount_,
 };
 
@@ -159,7 +161,8 @@ constexpr std::uint8_t copy_variant(bool nt, int isa_tier) noexcept {
 /// team is quiesced).  Trivially destructible: the mapping just goes away.
 class TraceBuffer {
  public:
-  static std::size_t required_bytes(int nranks, std::uint32_t slots) noexcept;
+  /// Throws yhccl::Error when the ring arena would overflow std::size_t.
+  static std::size_t required_bytes(int nranks, std::uint32_t slots);
   /// `slots` must be a power of two (slots_from_env guarantees it).
   static TraceBuffer* create(void* mem, std::size_t bytes, int nranks,
                              std::uint32_t slots, Mode mode);

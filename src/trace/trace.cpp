@@ -72,6 +72,8 @@ const char* phase_name(Phase p) noexcept {
     case Phase::pagelock: return "pagelock";
     case Phase::fault: return "fault";
     case Phase::recover: return "recover";
+    case Phase::retry: return "retry";
+    case Phase::degrade: return "degrade";
     default: return "?";
   }
 }
@@ -131,12 +133,19 @@ Site site_from_string(const char* s) noexcept {
 // TraceBuffer
 // ---------------------------------------------------------------------------
 
-std::size_t TraceBuffer::required_bytes(int nranks,
-                                        std::uint32_t slots) noexcept {
-  const std::size_t stride =
-      kCacheline + static_cast<std::size_t>(slots) * sizeof(Rec);
-  return round_up(sizeof(TraceBuffer), kCacheline) +
-         static_cast<std::size_t>(nranks + 1) * stride;
+std::size_t TraceBuffer::required_bytes(int nranks, std::uint32_t slots) {
+  // slots and nranks are caller-controlled: checked so an absurd request
+  // raises instead of silently sizing a too-small arena.
+  const std::size_t stride = checked_add(
+      kCacheline,
+      checked_mul(static_cast<std::size_t>(slots), sizeof(Rec),
+                  "trace ring capacity"),
+      "trace ring stride");
+  return checked_add(
+      round_up(sizeof(TraceBuffer), kCacheline),
+      checked_mul(static_cast<std::size_t>(nranks + 1), stride,
+                  "trace ring count"),
+      "trace arena");
 }
 
 TraceBuffer* TraceBuffer::create(void* mem, std::size_t bytes, int nranks,
