@@ -1,0 +1,146 @@
+// CLI validator for the metrics exports (docs/observability.md §6):
+//
+//   metrics_check <file>...
+//       each file must be a valid "yhccl-metrics/1" JSON snapshot or a
+//       Prometheus text exposition (auto-detected: *.prom / leading '#'
+//       or bare-sample lines are Prometheus, everything else JSON);
+//       exit 1 on the first violation.
+//
+//   metrics_check merge <out.json> <in.json>...
+//       fold per-process snapshots into one artifact (counters/cells sum,
+//       gauges take the max) and validate the result — how
+//       run_collectives.sh builds the campaign-wide metrics artifact.
+//
+// This is the CI metrics leg's gate: an exporter change that breaks the
+// schema (or emits non-monotone histogram series Prometheus would reject
+// at scrape time) fails the build, not the dashboard.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "yhccl/bench/harness.hpp"
+#include "yhccl/bench/json.hpp"
+#include "yhccl/metrics/export.hpp"
+
+namespace yb = yhccl::bench;
+namespace ym = yhccl::metrics;
+
+namespace {
+
+bool read_text(const std::string& path, std::string* out, std::string* err) {
+  std::ifstream in(path);
+  if (!in) {
+    *err = "cannot open";
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+bool looks_prometheus(const std::string& path, const std::string& text) {
+  if (path.size() >= 5 && path.compare(path.size() - 5, 5, ".prom") == 0)
+    return true;
+  // A JSON document opens with '{'; an exposition opens with '#' or a
+  // sample line.  Skip leading whitespace and peek.
+  for (char ch : text) {
+    if (ch == ' ' || ch == '\t' || ch == '\n' || ch == '\r') continue;
+    return ch != '{';
+  }
+  return false;
+}
+
+int check_one(const std::string& path) {
+  std::string text, err;
+  if (!read_text(path, &text, &err)) {
+    std::fprintf(stderr, "metrics_check: %s: %s\n", path.c_str(), err.c_str());
+    return 1;
+  }
+  if (looks_prometheus(path, text)) {
+    if (!ym::validate_prometheus(text, &err)) {
+      std::fprintf(stderr, "metrics_check: %s: %s\n", path.c_str(),
+                   err.c_str());
+      return 1;
+    }
+    std::printf("%s: valid Prometheus exposition\n", path.c_str());
+    return 0;
+  }
+  const yb::Json j = yb::Json::parse(text, &err);
+  if (!err.empty()) {
+    std::fprintf(stderr, "metrics_check: %s: %s\n", path.c_str(), err.c_str());
+    return 1;
+  }
+  if (!ym::validate_metrics_json(j, &err)) {
+    std::fprintf(stderr, "metrics_check: %s: %s\n", path.c_str(), err.c_str());
+    return 1;
+  }
+  std::printf("%s: valid %s snapshot, %zu ranks\n", path.c_str(),
+              ym::kMetricsSchema, j["ranks"].size());
+  return 0;
+}
+
+int merge_cmd(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr,
+                 "usage: metrics_check merge <out.json> <in.json>...\n");
+    return 2;
+  }
+  ym::Snapshot merged;
+  bool first = true;
+  for (int i = 3; i <= argc; ++i) {
+    if (i == argc) break;
+    const std::string path = argv[i];
+    std::string err;
+    const yb::Json j = yb::load_json_file(path, &err);
+    if (!err.empty()) {
+      std::fprintf(stderr, "metrics_check: %s: %s\n", path.c_str(),
+                   err.c_str());
+      return 1;
+    }
+    if (!ym::validate_metrics_json(j, &err)) {
+      std::fprintf(stderr, "metrics_check: %s: %s\n", path.c_str(),
+                   err.c_str());
+      return 1;
+    }
+    const ym::Snapshot s = ym::Snapshot::from_json(j);
+    if (first) {
+      merged = s;
+      first = false;
+    } else {
+      merged.merge(s);
+    }
+  }
+  std::string err;
+  const yb::Json out = merged.to_json();
+  if (!ym::validate_metrics_json(out, &err)) {
+    std::fprintf(stderr, "metrics_check: merged snapshot invalid: %s\n",
+                 err.c_str());
+    return 1;
+  }
+  if (!yb::write_json_file(argv[2], out, &err)) {
+    std::fprintf(stderr, "metrics_check: %s: %s\n", argv[2], err.c_str());
+    return 1;
+  }
+  std::printf("%s: merged %d snapshot(s), %d ranks\n", argv[2], argc - 3,
+              merged.nranks);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "merge") == 0)
+    return merge_cmd(argc, argv);
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: metrics_check <snapshot.json|exposition.prom>...\n"
+                 "       metrics_check merge <out.json> <in.json>...\n");
+    return 2;
+  }
+  int rc = 0;
+  for (int i = 1; i < argc; ++i) rc |= check_one(argv[i]);
+  return rc;
+}

@@ -40,13 +40,26 @@ benches=(
   kernel_dispatch
 )
 
+mtmp="$tmp/metrics"
+mkdir -p "$mtmp"
+
 for b in "${benches[@]}"; do
   echo "== ${b}"
-  YHCCL_BENCH_JSON="$tmp" "$bindir/$b" >/dev/null
+  YHCCL_BENCH_JSON="$tmp" YHCCL_METRICS=on YHCCL_METRICS_DIR="$mtmp" \
+    "$bindir/$b" >/dev/null
 done
 
 "$bindir/bench_compare" merge "$out" "$tmp"/BENCH_*.json
 "$bindir/bench_compare" check "$out"
+
+# Metrics leg (docs/observability.md §6): the campaign ran with the
+# always-on registry enabled, so every team exported a final snapshot pair
+# above.  Validate both export formats and merge the per-process JSON
+# snapshots into one campaign-wide artifact next to the bench report.
+metrics="${out%.json}_metrics.json"
+"$bindir/metrics_check" "$mtmp"/yhccl_metrics_*.json "$mtmp"/yhccl_metrics_*.prom
+"$bindir/metrics_check" merge "$metrics" "$mtmp"/yhccl_metrics_*.json
+echo "metrics artifact: $metrics"
 
 # Auto-tuner leg (docs/tuning.md): distill the campaign into a plan file
 # (loadable via $YHCCL_PLAN_FILE), validate it, and gate the paired

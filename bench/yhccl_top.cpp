@@ -1,0 +1,202 @@
+// Live metrics viewer (docs/observability.md §6):
+//
+//   yhccl_top <pid>         attach to a running serve-mode team's shm
+//                           mirror ("/yhccl-metrics-<pid>") and refresh
+//                           in place until the team goes away;
+//   yhccl_top <dir>         tail the newest yhccl_metrics_*_live.json (or
+//                           final snapshot) under $YHCCL_METRICS_DIR;
+//   yhccl_top <file.json>   render one exported snapshot.
+//
+//   --once            render a single frame and exit (CI smoke mode)
+//   --interval-ms N   refresh period (default 1000)
+//   --no-color        plain ASCII frames
+//
+// The renderer itself lives in src/metrics (render_top); this CLI owns
+// only source selection, cursor control and the refresh loop.
+#include <dirent.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <sys/stat.h>
+
+#include "yhccl/bench/json.hpp"
+#include "yhccl/metrics/export.hpp"
+#include "yhccl/runtime/shm_region.hpp"
+
+namespace ym = yhccl::metrics;
+
+namespace {
+
+struct Options {
+  std::string target;
+  int interval_ms = 1000;
+  bool once = false;
+  bool color = true;
+};
+
+bool all_digits(const std::string& s) {
+  if (s.empty()) return false;
+  for (char ch : s)
+    if (!std::isdigit(static_cast<unsigned char>(ch))) return false;
+  return true;
+}
+
+bool is_directory(const std::string& path) {
+  struct stat st {};
+  return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+/// Newest yhccl_metrics_*.json under dir, preferring the _live pair a
+/// serve-mode team keeps fresh over final numbered snapshots.
+std::string newest_snapshot(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return {};
+  std::string best;
+  time_t best_mtime = 0;
+  bool best_live = false;
+  while (dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name.rfind("yhccl_metrics_", 0) != 0) continue;
+    if (name.size() < 5 || name.compare(name.size() - 5, 5, ".json") != 0)
+      continue;
+    const std::string path = dir + "/" + name;
+    struct stat st {};
+    if (::stat(path.c_str(), &st) != 0) continue;
+    const bool live = name.find("_live.json") != std::string::npos;
+    if (best.empty() || (live && !best_live) ||
+        (live == best_live && st.st_mtime > best_mtime)) {
+      best = path;
+      best_mtime = st.st_mtime;
+      best_live = live;
+    }
+  }
+  ::closedir(d);
+  return best;
+}
+
+bool load_snapshot_text(const std::string& text, ym::Snapshot* out,
+                        std::string* err) {
+  const yhccl::bench::Json j = yhccl::bench::Json::parse(text, err);
+  if (!err->empty()) return false;
+  if (!ym::validate_metrics_json(j, err)) return false;
+  *out = ym::Snapshot::from_json(j);
+  return true;
+}
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+/// One source poll: pid mirror, directory tail, or plain file.
+bool poll_source(const Options& opt, const yhccl::rt::ShmRegion* mirror,
+                 ym::Snapshot* snap, std::string* err) {
+  std::string text;
+  if (mirror != nullptr) {
+    if (!ym::mirror_read(mirror->data(), mirror->size(), text)) {
+      *err = "mirror empty or torn (team gone?)";
+      return false;
+    }
+  } else if (is_directory(opt.target)) {
+    const std::string path = newest_snapshot(opt.target);
+    if (path.empty()) {
+      *err = "no yhccl_metrics_*.json under " + opt.target;
+      return false;
+    }
+    if (!read_file(path, &text)) {
+      *err = "cannot read " + path;
+      return false;
+    }
+  } else if (!read_file(opt.target, &text)) {
+    *err = "cannot read " + opt.target;
+    return false;
+  }
+  return load_snapshot_text(text, snap, err);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--once") {
+      opt.once = true;
+    } else if (a == "--no-color") {
+      opt.color = false;
+    } else if (a == "--interval-ms") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "yhccl_top: --interval-ms needs a value\n");
+        return 2;
+      }
+      opt.interval_ms = std::atoi(argv[++i]);
+      if (opt.interval_ms < 10) opt.interval_ms = 10;
+    } else if (opt.target.empty()) {
+      opt.target = a;
+    } else {
+      std::fprintf(stderr, "yhccl_top: unexpected argument '%s'\n",
+                   a.c_str());
+      return 2;
+    }
+  }
+  if (opt.target.empty()) {
+    std::fprintf(
+        stderr,
+        "usage: yhccl_top [--once] [--interval-ms N] [--no-color] "
+        "<pid | metrics-dir | snapshot.json>\n");
+    return 2;
+  }
+
+  yhccl::rt::ShmRegion mirror;
+  bool use_mirror = false;
+  if (all_digits(opt.target)) {
+    const int pid = std::atoi(opt.target.c_str());
+    try {
+      mirror = yhccl::rt::ShmRegion::open_named(ym::mirror_shm_name(pid),
+                                                ym::kMirrorBytes);
+      use_mirror = true;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr,
+                   "yhccl_top: cannot attach to pid %d (%s) — is the team "
+                   "running with YHCCL_METRICS=serve?\n",
+                   pid, e.what());
+      return 1;
+    }
+  }
+
+  ym::Snapshot prev;
+  bool have_prev = false;
+  for (;;) {
+    ym::Snapshot snap;
+    std::string err;
+    if (!poll_source(opt, use_mirror ? &mirror : nullptr, &snap, &err)) {
+      std::fprintf(stderr, "yhccl_top: %s\n", err.c_str());
+      return 1;
+    }
+    const std::string frame =
+        ym::render_top(snap, have_prev ? &prev : nullptr, opt.color);
+    if (opt.once) {
+      std::fputs(frame.c_str(), stdout);
+      return 0;
+    }
+    // Home + clear-to-end instead of full clears: refresh without flicker.
+    std::printf("\x1b[H\x1b[J%s", frame.c_str());
+    std::fflush(stdout);
+    prev = snap;
+    have_prev = true;
+    timespec ts{opt.interval_ms / 1000,
+                static_cast<long>(opt.interval_ms % 1000) * 1'000'000L};
+    nanosleep(&ts, nullptr);
+  }
+}

@@ -26,7 +26,7 @@ import pathlib
 import re
 import sys
 
-SCAN_DIRS = ["src/runtime", "src/trace"]
+SCAN_DIRS = ["src/runtime", "src/trace", "src/metrics"]
 EXTENSIONS = {".cpp", ".hpp", ".h", ".cc", ".cxx"}
 ALLOW_MARK = "lint-atomics: allow"
 

@@ -7,6 +7,7 @@
 // release/acquire edges are what make rank 0's refinement race-free.
 #include "yhccl/coll/plan.hpp"
 #include "yhccl/common/time.hpp"
+#include "yhccl/metrics/metrics.hpp"
 #include "yhccl/runtime/fault.hpp"
 
 namespace yhccl::coll::plan {
@@ -112,6 +113,13 @@ TunedCall::TunedCall(rt::RankCtx& ctx, CollKind kind, std::size_t msg_bytes,
   finished_ = false;
   if (online_) t0_ = wall_seconds();
   tl_last_plan = plan_.pack();
+  // Serving gauge: what the tuner handed this collective kind last (the
+  // yhccl_top "plan" column); ids follow the trace name-table convention.
+  metrics::note_plan(
+      1 + static_cast<int>(key_.kind),
+      metrics::plan_gauge_pack(1 + static_cast<int>(plan_.algorithm),
+                               plan_.arm, static_cast<int>(plan_.source),
+                               key_.bucket));
 }
 
 void TunedCall::finish(rt::RankCtx& ctx) {

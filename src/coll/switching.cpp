@@ -11,6 +11,7 @@
 #include "yhccl/coll/coll.hpp"
 #include "yhccl/coll/detail.hpp"
 #include "yhccl/coll/plan.hpp"
+#include "yhccl/metrics/metrics.hpp"
 
 namespace yhccl::coll {
 
@@ -44,7 +45,11 @@ void reduce_scatter(RankCtx& ctx, const void* send, void* recv,
       count * dtype_size(d) * static_cast<std::size_t>(ctx.nranks());
   plan::TunedCall tc(ctx, CollKind::reduce_scatter, total, d, op, opts);
   const CollOpts& o = tc.active() ? tc.opts() : opts;
-  switch (reduction_algorithm(tc, ctx, total, opts)) {
+  const Algorithm a = reduction_algorithm(tc, ctx, total, opts);
+  metrics::CollSample ms(1 + static_cast<int>(CollKind::reduce_scatter),
+                         total);
+  ms.set_alg(1 + static_cast<int>(a));
+  switch (a) {
     case Algorithm::dpml_two_level:
       dpml_two_level_reduce_scatter(ctx, send, recv, count, d, op, o);
       break;
@@ -63,7 +68,10 @@ void allreduce(RankCtx& ctx, const void* send, void* recv, std::size_t count,
   const std::size_t total = count * dtype_size(d);
   plan::TunedCall tc(ctx, CollKind::allreduce, total, d, op, opts);
   const CollOpts& o = tc.active() ? tc.opts() : opts;
-  switch (reduction_algorithm(tc, ctx, total, opts)) {
+  const Algorithm a = reduction_algorithm(tc, ctx, total, opts);
+  metrics::CollSample ms(1 + static_cast<int>(CollKind::allreduce), total);
+  ms.set_alg(1 + static_cast<int>(a));
+  switch (a) {
     case Algorithm::dpml_two_level:
       dpml_two_level_allreduce(ctx, send, recv, count, d, op, o);
       break;
@@ -82,7 +90,10 @@ void reduce(RankCtx& ctx, const void* send, void* recv, std::size_t count,
   const std::size_t total = count * dtype_size(d);
   plan::TunedCall tc(ctx, CollKind::reduce, total, d, op, opts);
   const CollOpts& o = tc.active() ? tc.opts() : opts;
-  switch (reduction_algorithm(tc, ctx, total, opts)) {
+  const Algorithm a = reduction_algorithm(tc, ctx, total, opts);
+  metrics::CollSample ms(1 + static_cast<int>(CollKind::reduce), total);
+  ms.set_alg(1 + static_cast<int>(a));
+  switch (a) {
     case Algorithm::dpml_two_level:
       dpml_two_level_reduce(ctx, send, recv, count, d, op, root, o);
       break;
@@ -107,6 +118,9 @@ void broadcast(RankCtx& ctx, void* buf, std::size_t count, Datatype d,
                int root, const CollOpts& opts) {
   plan::TunedCall tc(ctx, CollKind::broadcast, count * dtype_size(d), d,
                      ReduceOp::sum, opts);
+  metrics::CollSample ms(1 + static_cast<int>(CollKind::broadcast),
+                         count * dtype_size(d));
+  ms.set_alg(1 + static_cast<int>(Algorithm::pipelined));
   pipelined_broadcast(ctx, buf, count, d, root,
                       tc.active() ? tc.opts() : opts);
   tc.finish(ctx);
@@ -116,6 +130,9 @@ void allgather(RankCtx& ctx, const void* send, void* recv, std::size_t count,
                Datatype d, const CollOpts& opts) {
   plan::TunedCall tc(ctx, CollKind::allgather, count * dtype_size(d), d,
                      ReduceOp::sum, opts);
+  metrics::CollSample ms(1 + static_cast<int>(CollKind::allgather),
+                         count * dtype_size(d));
+  ms.set_alg(1 + static_cast<int>(Algorithm::pipelined));
   pipelined_allgather(ctx, send, recv, count, d,
                       tc.active() ? tc.opts() : opts);
   tc.finish(ctx);

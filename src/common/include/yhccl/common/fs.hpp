@@ -1,0 +1,55 @@
+// Tiny filesystem helpers for the export paths (trace / metrics).
+//
+// The env-gated exporters ($YHCCL_TRACE_DIR, $YHCCL_METRICS_DIR) write from
+// destructors and sampler threads, where a missing directory must not cost
+// the harvest: ensure_directories() gives the `mkdir -p` semantics those
+// paths need, and warn_once() keeps a misconfigured knob to one stderr line
+// per process instead of one per team.
+#pragma once
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <string>
+
+namespace yhccl {
+
+/// `mkdir -p path`: create every missing component.  Returns true iff the
+/// full path is a directory afterwards (racing creators are fine: EEXIST is
+/// success).  Never throws — callers sit on teardown/best-effort paths.
+inline bool ensure_directories(const char* path) noexcept {
+  if (path == nullptr || *path == '\0') return false;
+  const std::string p(path);
+  for (std::size_t i = 1; i <= p.size(); ++i) {
+    if (i != p.size() && p[i] != '/') continue;
+    const std::string prefix = p.substr(0, i);
+    if (prefix.empty() || prefix == "/") continue;
+    if (::mkdir(prefix.c_str(), 0777) != 0 && errno != EEXIST) {
+      // A non-directory component or permission problem: the final stat
+      // below delivers the verdict.
+    }
+  }
+  struct stat st {};
+  return ::stat(p.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+/// ensure_directories + a single stderr warning per (process, flag) when
+/// the directory cannot be provided.  `warned` is caller-owned so each
+/// export site warns independently; exporters run parent-side only, so a
+/// plain bool flag suffices.
+inline bool ensure_dir_warn_once(const char* path, const char* what,
+                                 bool& warned) noexcept {
+  if (ensure_directories(path)) return true;
+  if (!warned) {
+    warned = true;
+    std::fprintf(stderr,
+                 "[yhccl] warning: %s: cannot create directory '%s'; "
+                 "export dropped\n",
+                 what, path == nullptr ? "(null)" : path);
+  }
+  return false;
+}
+
+}  // namespace yhccl

@@ -1,0 +1,68 @@
+// Periodic metrics sampler used by `YHCCL_METRICS=serve` teams.
+//
+// One std::thread owned by the Team parent: every interval it invokes the
+// team-provided tick callback (fold gauges, run the straggler detector,
+// export snapshots, republish the shm mirror).  The callback runs only
+// from this thread plus one final synchronous invocation from stop(), so a
+// single team-side mutex around the tick body is all the serialization the
+// live readers need.  Deliberately condvar-based (not a spin) — the
+// sampler must be invisible in the team's cycle budget.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+namespace yhccl::metrics {
+
+class Sampler {
+ public:
+  Sampler(int interval_ms, std::function<void()> tick)
+      : interval_ms_(interval_ms < 1 ? 1 : interval_ms),
+        tick_(std::move(tick)) {
+    thread_ = std::thread([this] { loop(); });
+  }
+
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  /// Stop the thread and run one final tick so the last samples are never
+  /// lost (teardown exports read the post-final-tick state).  Idempotent.
+  void stop() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (stopped_) return;
+      stopped_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+    tick_();
+  }
+
+  ~Sampler() { stop(); }
+
+ private:
+  void loop() {
+    std::unique_lock<std::mutex> lk(mu_);
+    while (!stopped_) {
+      if (cv_.wait_for(lk, std::chrono::milliseconds(interval_ms_),
+                       [this] { return stopped_; }))
+        break;
+      lk.unlock();
+      tick_();
+      lk.lock();
+    }
+  }
+
+  const int interval_ms_;
+  std::function<void()> tick_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopped_ = false;
+  std::thread thread_;
+};
+
+}  // namespace yhccl::metrics

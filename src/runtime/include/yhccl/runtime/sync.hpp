@@ -16,6 +16,7 @@
 #include "yhccl/common/error.hpp"
 #include "yhccl/common/types.hpp"
 #include "yhccl/mc/atomic.hpp"
+#include "yhccl/metrics/metrics.hpp"
 #include "yhccl/runtime/fault.hpp"
 #include "yhccl/runtime/sync_counts.hpp"
 #include "yhccl/runtime/sync_timeout.hpp"
@@ -116,6 +117,9 @@ inline void barrier_arrive(BarrierState& b, std::uint32_t& local_sense,
   // arrivals across ranks (SPMD barrier sequence) into max-minus-min skew.
   trace::Span sp(trace::Phase::barrier, detail::g_sync_counts.barriers,
                  trace_scope);
+  // Metrics arrival stamp *after* the fault point, so an injected
+  // stall@barrier shows up as a late arrival the straggler detector sees.
+  metrics::BarrierScope ms(trace_scope);
   local_sense ^= 1u;
   // HB model: the acq_rel RMW joins this rank with every earlier arriver
   // (release sequence on `arrived`); the winner thus carries the join of
@@ -185,6 +189,7 @@ inline void dissemination_arrive(DisseminationBarrierState& b, int rank,
   sync_count_barrier();
   trace::Span sp(trace::Phase::barrier, detail::g_sync_counts.barriers,
                  trace_scope);
+  metrics::BarrierScope ms(trace_scope);
   const auto n = b.nparticipants;
   ++tok.epoch;
   int round = 0;

@@ -12,6 +12,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -20,6 +22,9 @@
 #include "yhccl/copy/cache_model.hpp"
 #include "yhccl/copy/dav.hpp"
 #include "yhccl/copy/isa.hpp"
+#include "yhccl/metrics/export.hpp"
+#include "yhccl/metrics/metrics.hpp"
+#include "yhccl/metrics/sampler.hpp"
 #include "yhccl/runtime/channel.hpp"
 #include "yhccl/runtime/fault.hpp"
 #include "yhccl/runtime/plan_registry.hpp"
@@ -73,6 +78,10 @@ struct TeamConfig {
   /// The default defers to $YHCCL_RESILIENCE (unset: 0 retries — run() is
   /// byte-for-byte the legacy rethrow-immediately path).
   ResiliencePolicy resilience;
+  /// Always-on metrics registry (docs/observability.md §6); `env` defers
+  /// to $YHCCL_METRICS at construction (unset -> off: no section mapped,
+  /// every hook a dead branch).
+  metrics::Mode metrics = metrics::Mode::env;
 };
 
 /// Integrity header for one section of the team's shared mapping.  Written
@@ -88,7 +97,7 @@ struct SectionHeader {
 };
 
 inline constexpr std::uint64_t kSectionCanary = 0x5948434353454354ull;
-inline constexpr int kMaxSections = 8;
+inline constexpr int kMaxSections = 9;
 
 /// Epoch-tagged header checksum (splitmix64 chain over the fields).
 constexpr std::uint64_t section_sum(const SectionHeader& h) noexcept {
@@ -253,6 +262,23 @@ class Team {
   /// the old shape simply stop matching.
   std::uint64_t plan_signature() const noexcept { return plan_sig_; }
 
+  // ---- always-on metrics (YHCCL_METRICS, docs/observability.md §6) ---------
+  /// Non-null when this team meters (mode on or serve).  Lives in the
+  /// shared mapping: identical for thread- and fork()-backed ranks, and
+  /// the parent (or the serve-mode sampler) reads it live.
+  metrics::MetricsBuffer* metrics_buffer() noexcept { return metrics_; }
+  const metrics::MetricsBuffer* metrics_buffer() const noexcept {
+    return metrics_;
+  }
+  metrics::Mode metrics_mode() const noexcept { return metrics_mode_; }
+  /// Run the straggler detector over the current barrier-arrival windows:
+  /// newly flagged ranks bump the straggler gauge, land a Phase::straggler
+  /// instant on the control ring, and push wait pressure into the tuner's
+  /// per-kind feedback channels (the note_profile route).  Called by the
+  /// serve-mode sampler every tick; callable directly by tests/tools.
+  /// Empty report when metrics are off.
+  metrics::StragglerReport straggler_check();
+
   // ---- happens-before race checker (YHCCL_CHECK=hb) -----------------------
   /// Non-null when this team runs with the vector-clock checker.
   analysis::HbChecker* hb_checker() noexcept { return hb_; }
@@ -297,6 +323,7 @@ class Team {
   std::size_t off_hb_ = 0;
   std::size_t off_trace_ = 0;
   std::size_t off_plans_ = 0;
+  std::size_t off_metrics_ = 0;
   TeamShared* shared_ = nullptr;
   analysis::HbChecker* hb_ = nullptr;
   trace::TraceBuffer* trace_ = nullptr;
@@ -305,6 +332,8 @@ class Team {
   TuneMode tune_mode_ = TuneMode::off;
   std::uint64_t plan_sig_ = 0;
   bool flight_dumped_ = false;  ///< one flight dump per fault, not per retry
+  metrics::MetricsBuffer* metrics_ = nullptr;
+  metrics::Mode metrics_mode_ = metrics::Mode::off;
 
  private:
   /// Write the flight-recorder dump for the abort currently recorded in the
@@ -317,6 +346,28 @@ class Team {
   /// Retry-engine bookkeeping: track the consecutive-fault streak on the
   /// in-flight plan key and quarantine it once the streak repeats.
   void note_failed_plan(std::uint64_t hash);
+  /// Copy the parent-owned aggregates (ResilienceStats, PlanRegistryStats,
+  /// epoch, membership) into the shared TeamGauges.  Parent-side, at
+  /// quiesced points only — the sampler thread never calls this.
+  void metrics_fold_team();
+  /// One serve-mode sampler tick: straggler sweep + snapshot export to
+  /// $YHCCL_METRICS_DIR (atomic rename) + shm-mirror republish.
+  void metrics_tick();
+  /// Write yhccl_metrics_<pid>_<n>.{json,prom} into $YHCCL_METRICS_DIR
+  /// (`live=true` writes the _live pair via tmp+rename instead).
+  void metrics_export(bool live);
+  /// Push an instant onto the parent-written control ring.  The sampler
+  /// thread shares this ring with run()/recover(), so every push funnels
+  /// through here under metrics_mu_ (the ring protocol is single-writer).
+  void control_instant(trace::Phase phase, std::uint64_t arg);
+
+  std::uint64_t run_seq_ = 0;  ///< run() ordinal (metrics window grouping)
+  std::unique_ptr<metrics::Sampler> sampler_;  ///< serve mode only
+  ShmRegion mirror_;           ///< named live-snapshot mirror (serve mode)
+  std::mutex metrics_mu_;      ///< serializes control-ring writers
+  std::vector<int> last_stragglers_;  ///< dedupe: currently-flagged ranks
+  bool trace_dir_warned_ = false;
+  bool metrics_dir_warned_ = false;
 };
 
 /// Per-rank handle passed to SPMD functions; everything a collective needs.

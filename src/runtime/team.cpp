@@ -12,6 +12,7 @@
 
 #include "yhccl/analysis/hb.hpp"
 #include "yhccl/common/error.hpp"
+#include "yhccl/common/fs.hpp"
 #include "yhccl/common/time.hpp"
 #include "yhccl/copy/kernels.hpp"
 #include "yhccl/trace/export.hpp"
@@ -130,6 +131,15 @@ Team::Team(TeamConfig cfg) : cfg_(cfg), topo_(cfg.nranks, cfg.nsockets) {
       tune_mode_ == TuneMode::off ? 0
                                   : PlanRegistry::required_bytes(kPlanSlots);
 
+  // Always-on metrics registry: per-rank counter/histogram slots in the
+  // shared mapping, live-readable by the serve-mode sampler and yhccl_top
+  // (docs/observability.md §6).  Off by default — no section is mapped.
+  metrics_mode_ = metrics::resolve_mode(cfg_.metrics);
+  const std::size_t metrics_bytes =
+      metrics_mode_ == metrics::Mode::off
+          ? 0
+          : metrics::MetricsBuffer::required_bytes(cfg_.nranks);
+
   const auto section = [](std::size_t off, std::size_t bytes) {
     return checked_round_up(checked_add(off, bytes, "section size"),
                             kPageAlign, "section alignment");
@@ -149,6 +159,8 @@ Team::Team(TeamConfig cfg) : cfg_(cfg), topo_(cfg.nranks, cfg.nsockets) {
   off = section(off, trace_bytes);
   off_plans_ = off;
   off = section(off, plan_bytes);
+  off_metrics_ = off;
+  off = section(off, metrics_bytes);
 
   region_ = ShmRegion::create_anonymous(off);
   shared_ = new (region_.data()) TeamShared();
@@ -174,6 +186,12 @@ Team::Team(TeamConfig cfg) : cfg_(cfg), topo_(cfg.nranks, cfg.nsockets) {
   if (plan_bytes != 0)
     plans_ = PlanRegistry::create(region_.data() + off_plans_, plan_bytes,
                                   kPlanSlots, tune_eps_mille_from_env());
+  if (metrics_bytes != 0) {
+    metrics_ = metrics::MetricsBuffer::create(region_.data() + off_metrics_,
+                                              metrics_bytes, cfg_.nranks,
+                                              metrics_mode_);
+    metrics_fold_team();
+  }
 
   stamp_sections();
 
@@ -191,9 +209,37 @@ Team::Team(TeamConfig cfg) : cfg_(cfg), topo_(cfg.nranks, cfg.nsockets) {
     add_target("plans", &plans_->slot(0).plan, sizeof(std::uint64_t));
   add_target("fifo", &channel(0, cfg_.nranks > 1 ? 1 : 0).head,
              sizeof(std::uint64_t));
+
+  // serve mode: live shm mirror for external yhccl_top attach, plus the
+  // sampler thread that exports snapshots and runs the straggler sweep.
+  if (metrics_ != nullptr && metrics_mode_ == metrics::Mode::serve) {
+    try {
+      mirror_ = ShmRegion::create_named(metrics::mirror_shm_name(getpid()),
+                                        metrics::kMirrorBytes);
+    } catch (...) {
+      // A second serve-mode team in this process: the first team owns the
+      // per-pid mirror name; this one still samples and exports files.
+    }
+    sampler_ = std::make_unique<metrics::Sampler>(
+        metrics::interval_ms_from_env(), [this] { metrics_tick(); });
+  }
 }
 
 Team::~Team() {
+  // The sampler stops first (its final synchronous tick refreshes the live
+  // export once more), then the parent folds its stats and leaves a final
+  // numbered snapshot behind when $YHCCL_METRICS_DIR is set.
+  if (sampler_ != nullptr) sampler_->stop();
+  sampler_.reset();
+  if (metrics_ != nullptr) {
+    try {
+      metrics_fold_team();
+      metrics_export(/*live=*/false);
+    } catch (...) {
+      // Destructor: exports are best-effort, never a crash on teardown.
+    }
+  }
+
   // Convenience export: with $YHCCL_TRACE_DIR set, every traced team leaves
   // a Chrome-trace JSON behind without the app calling the exporter itself.
   if (trace_ == nullptr) return;
@@ -202,6 +248,8 @@ Team::~Team() {
   try {
     trace::Harvest h(*trace_);
     if (h.total_events() == 0) return;
+    if (!ensure_dir_warn_once(dir, "YHCCL_TRACE_DIR", trace_dir_warned_))
+      return;
     const std::string path = std::string(dir) + "/yhccl_trace_" +
                              std::to_string(getpid()) + ".json";
     std::ofstream out(path);
@@ -224,6 +272,9 @@ void Team::flight_dump() {
     fc.epoch = f.epoch;
     const bench::Json j = h.flight_json(fc);
     const char* dir = trace::trace_dir();
+    if (dir != nullptr &&
+        !ensure_dir_warn_once(dir, "YHCCL_TRACE_DIR", trace_dir_warned_))
+      dir = nullptr;  // fall through to the stderr dump below
     if (dir != nullptr) {
       const std::string path = std::string(dir) + "/yhccl_flight_" +
                                std::to_string(getpid()) + ".json";
@@ -302,23 +353,11 @@ void Team::run(const std::function<void(RankCtx&)>& fn) {
       if (attempt + 1 >= resilience_.degrade_after && !degraded_) {
         degraded_ = true;
         ++rstats_.degrades;
-        if (trace_ != nullptr) {
-          const std::uint64_t t = trace::trace_now();
-          trace_->push(
-              trace_->control_ring(),
-              trace::Rec{t, t, team_epoch(),
-                         static_cast<std::uint8_t>(trace::Phase::degrade), 0,
-                         0, trace::kFlagInstant, 0});
-        }
+        control_instant(trace::Phase::degrade, team_epoch());
       }
-      if (trace_ != nullptr) {
-        const std::uint64_t t = trace::trace_now();
-        trace_->push(trace_->control_ring(),
-                     trace::Rec{t, t,
-                                static_cast<std::uint64_t>(attempt + 1),
-                                static_cast<std::uint8_t>(trace::Phase::retry),
-                                0, 0, trace::kFlagInstant, 0});
-      }
+      control_instant(trace::Phase::retry,
+                      static_cast<std::uint64_t>(attempt + 1));
+      metrics_fold_team();
       resilience_backoff_sleep(resilience_, attempt);
     }
   }
@@ -337,9 +376,10 @@ void Team::run_once(const std::function<void(RankCtx&)>& fn) {
   }
   const std::uint64_t epoch =
       fs.team_epoch.load(std::memory_order_acquire);
+  const std::uint64_t rseq = ++run_seq_;
   flight_dumped_ = false;  // a fresh run may fault afresh
   try {
-    run_ranks([&, epoch](int rank) {
+    run_ranks([&, epoch, rseq](int rank) {
       RankCtx ctx(*this, rank);
       FaultRunScope fault_scope(shared_->fault, fault_plan_, rank, nranks_,
                                 epoch, forked_ranks(), corrupt_targets_,
@@ -349,6 +389,8 @@ void Team::run_once(const std::function<void(RankCtx&)>& fn) {
       // line up across recoveries that shrank the membership.
       trace::TraceRunScope trace_scope(
           trace_, active_[static_cast<std::size_t>(rank)]);
+      metrics::RunScope metrics_scope(
+          metrics_, active_[static_cast<std::size_t>(rank)], rseq);
       copy::dav_reset();
       copy::kernel_counts_reset();
       sync_counts_reset();
@@ -368,6 +410,21 @@ void Team::run_once(const std::function<void(RankCtx&)>& fn) {
     // quiesced — the flight recorder captures what everyone was doing.
     if (trace_mode_ == trace::Mode::flight) flight_dump();
     throw;
+  }
+  // Parent-side fold while the team is quiesced: per-rank run aggregates
+  // (forked ranks' counter writes died with the child; the shared *_out
+  // mailboxes are the surviving record) and the team-wide gauges.
+  if (metrics_ != nullptr) {
+    for (int r = 0; r < nranks_; ++r) {
+      auto& slot = metrics_->rank(active_[static_cast<std::size_t>(r)]);
+      metrics::bump(slot.runs);
+      metrics::bump(slot.wall_ns,
+                    static_cast<std::uint64_t>(shared_->time_out[r] * 1e9));
+      metrics::bump(slot.dav_loads, shared_->dav_out[r].loads);
+      metrics::bump(slot.dav_stores, shared_->dav_out[r].stores);
+    }
+    metrics::bump(metrics_->team().runs);
+    metrics_fold_team();
   }
 }
 
@@ -466,13 +523,8 @@ FaultInfo Team::recover() {
 
   // Recovery epochs land on the parent-side control ring (no rank context
   // is installed here, so the instant is pushed by hand).
-  if (trace_ != nullptr) {
-    const std::uint64_t t = trace::trace_now();
-    trace_->push(trace_->control_ring(),
-                 trace::Rec{t, t, new_epoch,
-                            static_cast<std::uint8_t>(trace::Phase::recover),
-                            0, 0, trace::kFlagInstant, 0});
-  }
+  control_instant(trace::Phase::recover, new_epoch);
+  metrics_fold_team();  // epoch and (possibly shrunken) membership gauges
   flight_dumped_ = false;  // the next epoch's fault deserves its own dump
 
   // Re-stamp the section directory under the new epoch: the epoch-tagged
@@ -485,8 +537,8 @@ FaultInfo Team::recover() {
 void Team::stamp_sections() {
   const std::uint64_t epoch = team_epoch();
   const std::size_t ends[kMaxSections] = {
-      off_channels_, off_chan_data_, off_heap_,  off_scratch_,
-      off_hb_,       off_trace_,     off_plans_, region_.size()};
+      off_channels_, off_chan_data_, off_heap_,    off_scratch_, off_hb_,
+      off_trace_,    off_plans_,     off_metrics_, region_.size()};
   std::size_t start = 0;
   shared_->nsections = kMaxSections;
   for (int i = 0; i < kMaxSections; ++i) {
@@ -520,6 +572,136 @@ void Team::note_failed_plan(std::uint64_t hash) {
       ++rstats_.quarantines;
     fail_streak_ = 0;
   }
+}
+
+void Team::control_instant(trace::Phase phase, std::uint64_t arg) {
+  if (trace_ == nullptr) return;
+  // The control ring is single-writer by protocol; the parent's retry /
+  // recover / degrade instants and the sampler thread's straggler instants
+  // both land on it, so pushes serialize on the metrics mutex.
+  std::lock_guard<std::mutex> lk(metrics_mu_);
+  const std::uint64_t t = trace::trace_now();
+  trace_->push(trace_->control_ring(),
+               trace::Rec{t, t, arg, static_cast<std::uint8_t>(phase), 0, 0,
+                          trace::kFlagInstant, 0});
+}
+
+void Team::metrics_fold_team() {
+  // Parent-side only, at quiesced points (end of run_once, the retry loop,
+  // recover(), teardown): rstats_ / plans_ / the membership are parent
+  // state, so the sampler thread reads them only through these gauges.
+  if (metrics_ == nullptr) return;
+  auto& tg = metrics_->team();
+  const auto st = [](mc::atomic<std::uint64_t>& g, std::uint64_t v) {
+    g.store(v, std::memory_order_relaxed);
+  };
+  st(tg.epoch, team_epoch());
+  st(tg.active_ranks, static_cast<std::uint64_t>(nranks_));
+  st(tg.rs_faults, rstats_.faults);
+  st(tg.rs_retries, rstats_.retries);
+  st(tg.rs_recoveries, rstats_.recoveries);
+  st(tg.rs_degrades, rstats_.degrades);
+  st(tg.rs_quarantines, rstats_.quarantines);
+  st(tg.rs_corruptions, rstats_.corruptions);
+  st(tg.rs_giveups, rstats_.giveups);
+  st(tg.rs_heals, rstats_.heals);
+  if (plans_ != nullptr) {
+    const PlanRegistryStats ps = plans_->stats();
+    st(tg.plan_lookups, ps.lookups);
+    st(tg.plan_hits, ps.hits);
+    st(tg.plan_misses, ps.misses);
+    st(tg.plan_inserts, ps.inserts);
+    st(tg.plan_explores, ps.explores);
+    st(tg.plan_commits, ps.commits);
+    st(tg.plan_loaded, ps.loaded);
+    st(tg.plan_entries, ps.entries);
+    st(tg.plan_quarantines, ps.quarantines);
+  }
+}
+
+metrics::StragglerReport Team::straggler_check() {
+  metrics::StragglerReport rep;
+  if (metrics_ == nullptr) return rep;
+  const metrics::Snapshot snap = metrics::Snapshot::capture(*metrics_);
+  rep = metrics::detect_stragglers(snap);
+  // Level-triggered detector, edge-triggered accounting: only ranks that
+  // were not already flagged on the previous sweep produce a new flag
+  // count, flight-recorder instant and tuner nudge.
+  std::vector<int> fresh;
+  {
+    std::lock_guard<std::mutex> lk(metrics_mu_);
+    for (int r : rep.flagged)
+      if (std::find(last_stragglers_.begin(), last_stragglers_.end(), r) ==
+          last_stragglers_.end())
+        fresh.push_back(r);
+    last_stragglers_ = rep.flagged;
+  }
+  for (int r : fresh) {
+    metrics::bump(metrics_->team().straggler_flags);
+    control_instant(trace::Phase::straggler, static_cast<std::uint64_t>(r));
+  }
+  if (!fresh.empty() && plans_ != nullptr) {
+    // A flagged straggler means the team is wait-bound right now: feed a
+    // saturated wait fraction into the tuner's per-class profile for every
+    // collective kind this team actually ran (note_profile's channel).
+    bool ran[metrics::kCollSlots] = {};
+    for (const auto& rs : snap.ranks)
+      for (const auto& cell : rs.cells)
+        if (cell.coll > 0 && cell.coll < metrics::kCollSlots)
+          ran[cell.coll] = true;
+    for (int id = 1; id < metrics::kCollSlots; ++id)
+      if (ran[id]) plans_->fold_class_wait(id - 1, 1.0);
+  }
+  return rep;
+}
+
+void Team::metrics_tick() {
+  try {
+    straggler_check();
+    metrics_export(/*live=*/true);
+  } catch (...) {
+    // Sampler thread: a failed sweep or export never takes the team down.
+  }
+}
+
+void Team::metrics_export(bool live) {
+  if (metrics_ == nullptr) return;
+  metrics::Snapshot snap = metrics::Snapshot::capture(*metrics_);
+  {
+    std::lock_guard<std::mutex> lk(metrics_mu_);
+    snap.stragglers = last_stragglers_;
+  }
+  const std::string json = snap.to_json().dump(1);
+  if (mirror_.valid())
+    metrics::mirror_publish(mirror_.data(), mirror_.size(), json);
+  const char* dir = metrics::metrics_dir();
+  if (dir == nullptr) return;
+  if (!ensure_dir_warn_once(dir, "YHCCL_METRICS_DIR", metrics_dir_warned_))
+    return;
+  std::string stem =
+      std::string(dir) + "/yhccl_metrics_" + std::to_string(getpid());
+  if (live) {
+    stem += "_live";
+  } else {
+    // Numbered per process, not per team, so two teams tearing down never
+    // overwrite each other's final snapshot.
+    static mc::atomic<int> ordinal{0};
+    stem += "_" + std::to_string(ordinal.fetch_add(1));
+  }
+  const auto write_one = [&stem](const char* ext, const std::string& text) {
+    const std::string path = stem + ext;
+    const std::string tmp = path + ".tmp";
+    {
+      std::ofstream out(tmp);
+      if (!out) return;
+      out << text << '\n';
+    }
+    // Atomic swap: a live reader tailing the _live pair never sees a
+    // half-written file.
+    std::rename(tmp.c_str(), path.c_str());
+  };
+  write_one(".json", json);
+  write_one(".prom", snap.prometheus());
 }
 
 Team::IntegrityReport Team::verify_integrity(bool repair) {
@@ -698,6 +880,7 @@ std::uint64_t RankCtx::next_seq() {
 void RankCtx::step_publish(std::uint64_t v) {
   fault_point("flag");
   sync_count_flag_post();
+  metrics::note_flag_post();
   flag_publish(team_->shared().step[rank_], v);
   trace::instant(trace::Phase::flag_post, v);
 }
@@ -705,6 +888,7 @@ void RankCtx::step_publish(std::uint64_t v) {
 void RankCtx::step_wait(int peer, std::uint64_t v) {
   fault_point("flag");
   sync_count_flag_wait();
+  metrics::note_flag_wait();
   trace::Span sp(trace::Phase::flag_wait, v);
   spin_wait_ge(team_->shared().step[peer].v, v);
 }

@@ -70,6 +70,7 @@ enum class Phase : std::uint8_t {
   recover,    ///< instant: Team::recover() epoch bump (control ring)
   retry,      ///< instant: resilient run() re-issue (control ring)
   degrade,    ///< instant: retry entered the degraded plan lane
+  straggler,  ///< instant: metrics straggler detector flagged a rank
   kCount_,
 };
 

@@ -74,6 +74,7 @@ const char* phase_name(Phase p) noexcept {
     case Phase::recover: return "recover";
     case Phase::retry: return "retry";
     case Phase::degrade: return "degrade";
+    case Phase::straggler: return "straggler";
     default: return "?";
   }
 }
